@@ -1,0 +1,499 @@
+// Benchmarks regenerating the paper's evaluation (§VI), one benchmark per
+// table or figure, plus ablations over the design choices DESIGN.md calls
+// out. Scenario benchmarks run at a reduced workload scale by default so
+// `go test -bench=.` completes in minutes on a laptop; set
+// VIZSCHED_SCALE=1.0 for the paper's full job counts.
+//
+// Reported custom metrics: fps (mean per-action framerate, target 33.33),
+// hit_pct (data reuse), lat_ms (mean interactive latency),
+// sched_ns/job (Table III's scheduling cost).
+package vizsched
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"vizsched/internal/cache"
+	"vizsched/internal/compositing"
+	"vizsched/internal/core"
+	"vizsched/internal/experiments"
+	"vizsched/internal/img"
+	"vizsched/internal/metrics"
+	"vizsched/internal/raycast"
+	"vizsched/internal/service"
+	"vizsched/internal/sim"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+	"vizsched/internal/workload"
+)
+
+// benchScale returns the workload scale for scenario benchmarks.
+func benchScale(def float64) float64 {
+	if s := os.Getenv("VIZSCHED_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return def
+}
+
+// reportScenario attaches the figure's quantities to the benchmark output.
+func reportScenario(b *testing.B, rep *metrics.Report) {
+	b.ReportMetric(rep.MeanFramerate(), "fps")
+	b.ReportMetric(100*rep.HitRate(), "hit_pct")
+	b.ReportMetric(rep.Interactive.Latency.Mean().Milliseconds(), "lat_ms")
+	b.ReportMetric(float64(rep.AvgSchedCostPerJob().Nanoseconds()), "sched_ns/job")
+}
+
+// benchScenario runs one Table II scenario under every scheduler.
+func benchScenario(b *testing.B, id workload.ScenarioID, defScale float64) {
+	cfg := workload.Scenario(id, benchScale(defScale))
+	for _, mk := range experiments.Schedulers() {
+		name := mk.Name()
+		b.Run(name, func(b *testing.B) {
+			var rep *metrics.Report
+			for i := 0; i < b.N; i++ {
+				sched, err := experiments.SchedulerByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = sim.RunScenario(cfg, sched, experiments.Jitter)
+			}
+			reportScenario(b, rep)
+		})
+	}
+}
+
+// BenchmarkFig4Scenario1 regenerates Fig. 4: six steady users on an 8-node
+// cluster with fully cacheable data — pure load balancing.
+func BenchmarkFig4Scenario1(b *testing.B) { benchScenario(b, workload.Scenario1, 0.2) }
+
+// BenchmarkFig5Scenario2 regenerates Fig. 5: short user actions plus batch
+// jobs with data exceeding memory — locality utilization.
+func BenchmarkFig5Scenario2(b *testing.B) { benchScenario(b, workload.Scenario2, 0.2) }
+
+// BenchmarkFig6Scenario3 regenerates Fig. 6: a light-load mixed environment
+// on 64 nodes of the ANL system.
+func BenchmarkFig6Scenario3(b *testing.B) { benchScenario(b, workload.Scenario3, 0.05) }
+
+// BenchmarkFig7Scenario4 regenerates Fig. 7: 1 TB of data, 423k jobs —
+// the heavy-load environment.
+func BenchmarkFig7Scenario4(b *testing.B) { benchScenario(b, workload.Scenario4, 0.025) }
+
+// BenchmarkFig2Pipeline measures the real visualization pipeline stages of
+// Fig. 2 on the live substrate: brick load from disk, ray casting, and
+// image compositing. The orders of magnitude (I/O ≫ render ≈ composite)
+// are the paper's motivating observation.
+func BenchmarkFig2Pipeline(b *testing.B) {
+	dir := b.TempDir()
+	g := volume.Generate(volume.Supernova, 64, 64, 64)
+	m, err := service.WriteDataset(filepath.Join(dir, "nova"), "nova", g, 4, "supernova")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("io_load_brick", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.LoadBrick(i % 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	brick, err := m.LoadBrick(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cam := raycast.NewCamera(0.6, 0.3, 2.4)
+	tf := raycast.PresetTF("supernova")
+	opt := raycast.Options{Width: 256, Height: 256}
+	b.Run("render_brick", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			raycast.RenderBrick(brick, cam, tf, opt)
+		}
+	})
+	frag := raycast.RenderBrick(brick, cam, tf, opt)
+	layers := []*img.Image{frag.Image, frag.Image.Clone(), frag.Image.Clone(), frag.Image.Clone()}
+	b.Run("composite_2_3_swap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compositing.TwoThreeSwap{}.Composite(layers)
+		}
+	})
+}
+
+// BenchmarkTableIIISchedulingCost isolates Table III's "avg. cost": the
+// wall time of one Schedule invocation over a queue of simultaneous jobs,
+// for each policy, on a 64-node head.
+func BenchmarkTableIIISchedulingCost(b *testing.B) {
+	const nodes = 64
+	mkQueue := func(nJobs, chunks int) []*core.Job {
+		queue := make([]*core.Job, nJobs)
+		for j := range queue {
+			job := &core.Job{
+				ID:      core.JobID(j + 1),
+				Class:   core.Interactive,
+				Action:  core.ActionID(j%16 + 1),
+				Dataset: volume.DatasetID(j%16 + 1),
+			}
+			job.Tasks = make([]core.Task, chunks)
+			for i := range job.Tasks {
+				job.Tasks[i] = core.Task{
+					Job: job, Index: i,
+					Chunk: volume.ChunkID{Dataset: job.Dataset, Index: i},
+					Size:  512 * units.MB,
+				}
+			}
+			job.Remaining = chunks
+			queue[j] = job
+		}
+		return queue
+	}
+	for _, name := range []string{"FS", "SF", "FCFS", "FCFSU", "FCFSL", "OURS"} {
+		b.Run(name, func(b *testing.B) {
+			// FCFSU's uniform decomposition yields one task per node — four
+			// times the tasks of the Chkmax policies here, which is why the
+			// paper finds it the most expensive to schedule.
+			chunks := 16
+			if name == "FCFSU" {
+				chunks = nodes
+			}
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sched, _ := experiments.SchedulerByName(name)
+				head := core.NewHeadState(nodes, 8*units.GB, core.System2CostModel())
+				queue := mkQueue(32, chunks)
+				b.StartTimer()
+				sched.Schedule(0, queue, head)
+			}
+			// Per-job cost, Table III's unit.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/32, "ns/job")
+		})
+	}
+}
+
+// BenchmarkFig8ActionsSweep regenerates Fig. 8: scheduling cost per job as
+// simultaneous user actions grow, for FCFSU, FCFSL, and OURS.
+func BenchmarkFig8ActionsSweep(b *testing.B) {
+	for _, actions := range []int{1, 8, 32, 64, 128} {
+		b.Run(fmt.Sprintf("actions-%d", actions), func(b *testing.B) {
+			var pts []experiments.Fig8Point
+			for i := 0; i < b.N; i++ {
+				pts = experiments.Fig8ActionSweep([]int{actions}, 2)
+			}
+			p := pts[0]
+			b.ReportMetric(float64(p.Cost["OURS"].Nanoseconds()), "ours_ns/job")
+			b.ReportMetric(float64(p.Cost["FCFSL"].Nanoseconds()), "fcfsl_ns/job")
+			b.ReportMetric(float64(p.Cost["FCFSU"].Nanoseconds()), "fcfsu_ns/job")
+		})
+	}
+}
+
+// BenchmarkFig9DatasetSweep regenerates Fig. 9: OURS scheduling cost,
+// framerate, and latency as the number of 8 GB datasets grows past the
+// cluster's memory capacity.
+func BenchmarkFig9DatasetSweep(b *testing.B) {
+	for _, datasets := range []int{2, 8, 16, 24, 32} {
+		b.Run(fmt.Sprintf("datasets-%d", datasets), func(b *testing.B) {
+			var pts []experiments.Fig9Point
+			for i := 0; i < b.N; i++ {
+				pts = experiments.Fig9DatasetSweep([]int{datasets}, 3)
+			}
+			p := pts[0]
+			b.ReportMetric(float64(p.Cost.Nanoseconds()), "sched_ns/job")
+			b.ReportMetric(p.Framerate, "fps")
+			b.ReportMetric(p.Latency.Milliseconds(), "lat_ms")
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+// BenchmarkAblationCompositing compares the sort-last compositing
+// algorithms across render-group sizes (supports the choice of 2-3 swap,
+// reference [13]).
+func BenchmarkAblationCompositing(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	mkLayers := func(n int) []*img.Image {
+		layers := make([]*img.Image, n)
+		for i := range layers {
+			m := img.New(128, 128)
+			for p := range m.Pix {
+				a := rng.Float32()
+				m.Pix[p] = img.RGBA{R: rng.Float32() * a, G: rng.Float32() * a, B: rng.Float32() * a, A: a}
+			}
+			layers[i] = m
+		}
+		return layers
+	}
+	for _, n := range []int{4, 16, 64} {
+		layers := mkLayers(n)
+		for _, alg := range []compositing.Algorithm{
+			compositing.Serial{}, compositing.DirectSend{},
+			compositing.BinarySwap{}, compositing.TwoThreeSwap{},
+		} {
+			b.Run(fmt.Sprintf("%s/layers-%d", alg.Name(), n), func(b *testing.B) {
+				var st compositing.Stats
+				for i := 0; i < b.N; i++ {
+					_, st = alg.Composite(layers)
+				}
+				b.ReportMetric(float64(st.Messages), "msgs")
+				b.ReportMetric(float64(st.PixelsSent), "px_moved")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationCycle sweeps the scheduling cycle ω: the paper notes ω
+// must be chosen so interactive jobs are scheduled timely with minimal
+// overhead.
+func BenchmarkAblationCycle(b *testing.B) {
+	cfg := workload.Scenario(workload.Scenario2, benchScale(0.1))
+	for _, cycle := range []units.Duration{
+		2 * units.Millisecond, 10 * units.Millisecond,
+		50 * units.Millisecond, 200 * units.Millisecond,
+	} {
+		b.Run(fmt.Sprintf("omega-%v", cycle), func(b *testing.B) {
+			var rep *metrics.Report
+			for i := 0; i < b.N; i++ {
+				rep = sim.RunScenario(cfg, core.NewLocalityScheduler(cycle), experiments.Jitter)
+			}
+			reportScenario(b, rep)
+		})
+	}
+}
+
+// BenchmarkAblationIdleGuard toggles the ε idle-time threshold that defers
+// non-cached batch work away from interactive nodes.
+func BenchmarkAblationIdleGuard(b *testing.B) {
+	cfg := workload.Scenario(workload.Scenario2, benchScale(0.1))
+	for _, disabled := range []bool{false, true} {
+		name := "guarded"
+		if disabled {
+			name = "unguarded"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rep *metrics.Report
+			for i := 0; i < b.N; i++ {
+				s := core.NewLocalityScheduler(0)
+				s.DisableIdleGuard = disabled
+				rep = sim.RunScenario(cfg, s, experiments.Jitter)
+			}
+			reportScenario(b, rep)
+		})
+	}
+}
+
+// BenchmarkAblationChunkSize sweeps Chkmax (§III-C): too small multiplies
+// per-task overheads; too large limits placement freedom.
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for _, chkmax := range []units.Bytes{128 * units.MB, 256 * units.MB, 512 * units.MB, units.GB} {
+		b.Run(chkmax.String(), func(b *testing.B) {
+			var rep *metrics.Report
+			for i := 0; i < b.N; i++ {
+				cfg := workload.Scenario(workload.Scenario1, benchScale(0.2))
+				cfg.Chkmax = chkmax
+				rep = sim.RunScenario(cfg, core.NewLocalityScheduler(0), experiments.Jitter)
+			}
+			reportScenario(b, rep)
+		})
+	}
+}
+
+// BenchmarkAblationNodeModel compares the paper's serial node model
+// (Definition 1) against the future-work extensions: overlapped I/O,
+// a two-level GPU-memory hierarchy, and dual-GPU nodes, all under OURS on
+// scenario 2.
+func BenchmarkAblationNodeModel(b *testing.B) {
+	base := workload.Scenario(workload.Scenario2, benchScale(0.1))
+	variants := []struct {
+		name string
+		mod  func(*sim.Config)
+	}{
+		{"serial", func(*sim.Config) {}},
+		{"overlap-io", func(c *sim.Config) { c.OverlapIO = true }},
+		{"gpu-cache-1GB", func(c *sim.Config) { c.GPUCache = units.GB }},
+		{"dual-gpu", func(c *sim.Config) { c.GPUsPerNode = 2 }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var rep *metrics.Report
+			for i := 0; i < b.N; i++ {
+				cfg := sim.Config{
+					Nodes:     base.Nodes,
+					MemQuota:  base.MemQuota,
+					Model:     core.System1CostModel(),
+					Scheduler: core.NewLocalityScheduler(0),
+					Library:   base.Library(volume.MaxChunk{Chkmax: base.Chkmax}),
+					Jitter:    experiments.Jitter,
+					Seed:      7,
+					Preload:   true,
+				}
+				v.mod(&cfg)
+				rep = sim.New(cfg).Run(workload.Generate(base.Spec), 0)
+			}
+			reportScenario(b, rep)
+		})
+	}
+}
+
+// BenchmarkAblationEviction compares cache replacement policies on a
+// memory-pressured scenario 2 under OURS.
+func BenchmarkAblationEviction(b *testing.B) {
+	base := workload.Scenario(workload.Scenario2, benchScale(0.1))
+	for _, p := range []cache.Policy{cache.PolicyLRU, cache.PolicyFIFO, cache.PolicyRandom, cache.PolicyLFU} {
+		b.Run(p.String(), func(b *testing.B) {
+			var rep *metrics.Report
+			for i := 0; i < b.N; i++ {
+				cfg := sim.Config{
+					Nodes:          base.Nodes,
+					MemQuota:       base.MemQuota,
+					Model:          core.System1CostModel(),
+					Scheduler:      core.NewLocalityScheduler(0),
+					Library:        base.Library(volume.MaxChunk{Chkmax: base.Chkmax}),
+					Jitter:         experiments.Jitter,
+					Seed:           7,
+					Preload:        true,
+					EvictionPolicy: p,
+				}
+				rep = sim.New(cfg).Run(workload.Generate(base.Spec), 0)
+			}
+			reportScenario(b, rep)
+		})
+	}
+}
+
+// BenchmarkAblationRaycaster measures the software renderer (the GPU
+// substitute) across image sizes, sequential versus parallel.
+func BenchmarkAblationRaycaster(b *testing.B) {
+	g := volume.Generate(volume.Supernova, 48, 48, 48)
+	cam := raycast.NewCamera(0.6, 0.3, 2.4)
+	tf := raycast.PresetTF("supernova")
+	for _, size := range []int{64, 128, 256} {
+		for _, parallel := range []bool{false, true} {
+			name := fmt.Sprintf("%dpx/seq", size)
+			if parallel {
+				name = fmt.Sprintf("%dpx/par", size)
+			}
+			b.Run(name, func(b *testing.B) {
+				opt := raycast.Options{Width: size, Height: size, Parallel: parallel}
+				for i := 0; i < b.N; i++ {
+					raycast.RenderFull(g, cam, tf, opt)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLiveServiceFrame measures an end-to-end frame through the live
+// in-process service (schedule → worker render → 2-3 swap → PNG), warm
+// caches — the "hit" row of Fig. 2 on real hardware.
+func BenchmarkLiveServiceFrame(b *testing.B) {
+	dir := b.TempDir()
+	g := volume.Generate(volume.Supernova, 48, 48, 48)
+	m, err := service.WriteDataset(filepath.Join(dir, "nova"), "nova", g, 3, "supernova")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := service.NewCatalog()
+	if err := cat.Add(m); err != nil {
+		b.Fatal(err)
+	}
+	cl, err := service.StartCluster(core.NewLocalityScheduler(2*units.Millisecond), cat, 3, 128*units.MB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Stop()
+	client := cl.Connect()
+	defer client.Close()
+	req := service.RenderBody{Dataset: "nova", Angle: 0.6, Elevation: 0.3, Dist: 2.4, Width: 128, Height: 128}
+	if _, err := client.Render(req); err != nil { // warm caches
+		b.Fatal(err)
+	}
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Render(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "frames/s")
+}
+
+// BenchmarkSchedulerThroughput is a pure scheduler micro-benchmark: jobs
+// scheduled per second through Algorithm 1 at growing queue depths —
+// evidence for the paper's claim that scheduling stays far cheaper than
+// rendering.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	for _, depth := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("queue-%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sched := core.NewLocalityScheduler(0)
+				head := core.NewHeadState(64, 8*units.GB, core.System2CostModel())
+				queue := make([]*core.Job, depth)
+				for j := range queue {
+					job := &core.Job{ID: core.JobID(j + 1), Class: core.Interactive,
+						Action: core.ActionID(j + 1), Dataset: volume.DatasetID(j%32 + 1)}
+					job.Tasks = make([]core.Task, 16)
+					for k := range job.Tasks {
+						job.Tasks[k] = core.Task{Job: job, Index: k,
+							Chunk: volume.ChunkID{Dataset: job.Dataset, Index: k}, Size: 512 * units.MB}
+					}
+					job.Remaining = 16
+					queue[j] = job
+				}
+				b.StartTimer()
+				sched.Schedule(0, queue, head)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTimeSeries compares batch animation (many frames of one
+// dataset) against time-varying sweeps (one frame per timestep dataset) —
+// the paper's "visualizing time-varying data" use case, which is the worst
+// case for locality because every frame needs different chunks.
+func BenchmarkAblationTimeSeries(b *testing.B) {
+	for _, timeSeries := range []bool{false, true} {
+		name := "animation"
+		if timeSeries {
+			name = "time-series"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rep *metrics.Report
+			for i := 0; i < b.N; i++ {
+				lib := volume.NewLibrary()
+				for d := 1; d <= 12; d++ {
+					lib.Add(volume.NewDataset(volume.DatasetID(d), fmt.Sprintf("t%02d", d),
+						2*units.GB, volume.MaxChunk{Chkmax: 512 * units.MB}))
+				}
+				eng := sim.New(sim.Config{
+					Nodes:     8,
+					MemQuota:  2 * units.GB,
+					Model:     core.System1CostModel(),
+					Scheduler: core.NewLocalityScheduler(0),
+					Library:   lib,
+					Jitter:    experiments.Jitter,
+					Seed:      3,
+					Preload:   true,
+				})
+				wl := workload.Generate(workload.Spec{
+					Length:            units.Time(20 * units.Second),
+					Datasets:          12,
+					ContinuousActions: 2,
+					TargetBatch:       200,
+					BatchFramesMin:    50, BatchFramesMax: 50,
+					BatchTimeSeries: timeSeries,
+					Seed:            9,
+				})
+				rep = eng.Run(wl, 0)
+			}
+			reportScenario(b, rep)
+			b.ReportMetric(float64(rep.Batch.Completed), "batch_done")
+			b.ReportMetric(float64(rep.Loads), "loads")
+		})
+	}
+}

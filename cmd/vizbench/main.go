@@ -1,0 +1,106 @@
+// Command vizbench regenerates every table and figure of the paper's
+// evaluation section in one run: Fig. 2 (pipeline costs), Table II (scenario
+// configurations), Figs. 4–7 (per-scheduler scenario results), Table III
+// (hit rates and scheduling costs), Fig. 8 (scheduling cost vs user
+// actions), and Fig. 9 (OURS vs dataset count).
+//
+// Usage:
+//
+//	vizbench                  # everything at full scale (minutes)
+//	vizbench -scale 0.1       # everything, 10% workload scale (seconds)
+//	vizbench -only fig4,table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vizsched/internal/experiments"
+	"vizsched/internal/metrics"
+	"vizsched/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
+	only := flag.String("only", "all",
+		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9")
+	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
+	flag.Parse()
+
+	writeCSV := func(name string, fn func(w *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "vizbench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vizbench:", err)
+			os.Exit(1)
+		}
+		if err := fn(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vizbench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	want := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		want[strings.TrimSpace(strings.ToLower(k))] = true
+	}
+	has := func(k string) bool { return want["all"] || want[k] }
+
+	out := os.Stdout
+	if has("fig2") {
+		experiments.WriteFig2(out)
+	}
+	if has("table2") {
+		experiments.WriteTableII(out, *scale)
+	}
+
+	results := map[workload.ScenarioID][]*metrics.Report{}
+	scenarioFig := map[workload.ScenarioID]string{
+		workload.Scenario1: "fig4", workload.Scenario2: "fig5",
+		workload.Scenario3: "fig6", workload.Scenario4: "fig7",
+	}
+	needTable3 := has("table3")
+	for id := workload.Scenario1; id <= workload.Scenario4; id++ {
+		if has(scenarioFig[id]) || needTable3 {
+			results[id] = experiments.WriteScenario(out, id, *scale)
+			id := id
+			writeCSV(scenarioFig[id]+".csv", func(f *os.File) error {
+				return experiments.ScenarioCSV(f, id, results[id])
+			})
+		}
+	}
+	if needTable3 {
+		experiments.WriteTableIII(out, results)
+	}
+	if has("fig8") {
+		actions := []int{1, 8, 32, 64, 128}
+		seconds := int(10 * *scale)
+		if seconds < 2 {
+			seconds = 2
+		}
+		points := experiments.Fig8ActionSweep(actions, seconds)
+		experiments.PrintFig8(out, points)
+		writeCSV("fig8.csv", func(f *os.File) error { return experiments.Fig8CSV(f, points) })
+	}
+	if has("fig9") {
+		datasets := []int{2, 8, 16, 24, 32}
+		seconds := int(10 * *scale)
+		if seconds < 2 {
+			seconds = 2
+		}
+		points := experiments.Fig9DatasetSweep(datasets, seconds)
+		experiments.PrintFig9(out, points)
+		writeCSV("fig9.csv", func(f *os.File) error { return experiments.Fig9CSV(f, points) })
+	}
+	fmt.Fprintln(out, "done.")
+}

@@ -1,0 +1,96 @@
+// Command vizclient renders frames through a running vizserver head node:
+// a single interactive frame, or an orbit animation submitted as batch jobs.
+//
+// Usage:
+//
+//	vizclient -addr localhost:7000 -dataset supernova -o frame.png
+//	vizclient -addr localhost:7000 -dataset plume -frames 24 -batch -o anim
+//
+// With -frames N, output files are named <o>_000.png through <o>_NNN.png.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"vizsched/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7000", "head node client address")
+	dataset := flag.String("dataset", "", "dataset name (required)")
+	size := flag.Int("size", 384, "image size (square)")
+	angle := flag.Float64("angle", 0.65, "camera azimuth (radians)")
+	elevation := flag.Float64("elevation", 0.35, "camera elevation (radians)")
+	dist := flag.Float64("dist", 2.3, "camera distance")
+	frames := flag.Int("frames", 1, "number of orbit frames")
+	batch := flag.Bool("batch", false, "submit as deferrable batch jobs")
+	action := flag.Int("action", 1, "action/session id for scheduling fairness")
+	out := flag.String("o", "frame", "output PNG path (basename when -frames > 1)")
+	flag.Parse()
+
+	if *dataset == "" {
+		fmt.Fprintln(os.Stderr, "vizclient: -dataset is required")
+		os.Exit(2)
+	}
+	client, err := service.DialTCP(*addr)
+	if err != nil {
+		log.Fatal("vizclient: ", err)
+	}
+	defer client.Close()
+
+	if *frames <= 1 {
+		start := time.Now()
+		res, err := client.Render(service.RenderBody{
+			Dataset: *dataset, Angle: *angle, Elevation: *elevation, Dist: *dist,
+			Width: *size, Height: *size, Batch: *batch, Action: *action,
+		})
+		if err != nil {
+			log.Fatal("vizclient: ", err)
+		}
+		path := *out
+		if path == "frame" {
+			path = "frame.png"
+		}
+		if err := os.WriteFile(path, res.PNG, 0o644); err != nil {
+			log.Fatal("vizclient: ", err)
+		}
+		log.Printf("wrote %s in %v (server %v, %d hits / %d misses)",
+			path, time.Since(start).Round(time.Millisecond),
+			res.Elapsed.Round(time.Millisecond), res.Hits, res.Misses)
+		return
+	}
+
+	// Orbit animation: pipeline all frames, then collect in order.
+	type pending struct {
+		ch   <-chan service.Outcome
+		path string
+	}
+	var queue []pending
+	for f := 0; f < *frames; f++ {
+		a := *angle + 2*math.Pi*float64(f)/float64(*frames)
+		ch, err := client.RenderAsync(service.RenderBody{
+			Dataset: *dataset, Angle: a, Elevation: *elevation, Dist: *dist,
+			Width: *size, Height: *size, Batch: *batch, Action: *action,
+		})
+		if err != nil {
+			log.Fatal("vizclient: ", err)
+		}
+		queue = append(queue, pending{ch: ch, path: fmt.Sprintf("%s_%03d.png", *out, f)})
+	}
+	start := time.Now()
+	for i, p := range queue {
+		o := <-p.ch
+		if o.Err != nil {
+			log.Fatalf("vizclient: frame %d: %v", i, o.Err)
+		}
+		if err := os.WriteFile(p.path, o.Result.PNG, 0o644); err != nil {
+			log.Fatal("vizclient: ", err)
+		}
+	}
+	log.Printf("wrote %d frames in %v", len(queue), time.Since(start).Round(time.Millisecond))
+}

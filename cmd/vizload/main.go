@@ -1,0 +1,170 @@
+// Command vizload drives a live visualization service with simulated users
+// and reports achieved framerates and latencies — the paper's experiment
+// shape run against the real rendering stack instead of the cluster
+// simulator. By default it stands up an in-process cluster over synthetic
+// datasets; point it at a running vizserver head with -addr instead.
+//
+// Usage:
+//
+//	vizload -users 3 -workers 4 -duration 10s
+//	vizload -addr localhost:7000 -datasets supernova,plume -users 2 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vizsched/internal/experiments"
+	"vizsched/internal/service"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+type userStats struct {
+	frames    int
+	latencies []time.Duration
+	err       error
+}
+
+func main() {
+	addr := flag.String("addr", "", "existing head node address (empty: in-process cluster)")
+	users := flag.Int("users", 3, "concurrent interactive users")
+	workers := flag.Int("workers", 4, "rendering workers (in-process mode)")
+	schedName := flag.String("sched", "OURS", "scheduler (in-process mode)")
+	duration := flag.Duration("duration", 10*time.Second, "how long each user keeps rendering")
+	size := flag.Int("size", 128, "image size")
+	datasetsFlag := flag.String("datasets", "", "comma-separated dataset names (default: synthetic set)")
+	batch := flag.Int("batch", 0, "also submit this many batch frames up front")
+	flag.Parse()
+
+	var datasets []string
+	if *datasetsFlag != "" {
+		datasets = strings.Split(*datasetsFlag, ",")
+	}
+
+	connect := func() *service.Client { // set below per mode
+		panic("unset")
+	}
+	if *addr != "" {
+		if len(datasets) == 0 {
+			log.Fatal("vizload: -datasets is required with -addr")
+		}
+		connect = func() *service.Client {
+			c, err := service.DialTCP(*addr)
+			if err != nil {
+				log.Fatal("vizload: ", err)
+			}
+			return c
+		}
+	} else {
+		if len(datasets) == 0 {
+			datasets = []string{"supernova", "plume", "combustion"}
+		}
+		dir, err := os.MkdirTemp("", "vizload")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		catalog := service.NewCatalog()
+		for _, name := range datasets {
+			g := volume.Generate(volume.FieldByName(name), 32, 32, 32)
+			m, err := service.WriteDataset(filepath.Join(dir, name), name, g, 3, name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := catalog.Add(m); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sched, err := experiments.SchedulerByName(*schedName)
+		if err != nil {
+			log.Fatal("vizload: ", err)
+		}
+		cluster, err := service.StartCluster(sched, catalog, *workers, 256*units.MB)
+		if err != nil {
+			log.Fatal("vizload: ", err)
+		}
+		defer cluster.Stop()
+		connect = cluster.Connect
+		fmt.Printf("in-process cluster: %d workers, %s scheduling, datasets %v\n",
+			*workers, sched.Name(), datasets)
+	}
+
+	// Optional batch pressure.
+	if *batch > 0 {
+		bc := connect()
+		defer bc.Close()
+		for f := 0; f < *batch; f++ {
+			if _, err := bc.RenderAsync(service.RenderBody{
+				Dataset: datasets[f%len(datasets)],
+				Angle:   float64(f) * 0.26, Dist: 2.5,
+				Width: *size, Height: *size,
+				Batch: true, Action: 1000,
+			}); err != nil {
+				log.Fatal("vizload: ", err)
+			}
+		}
+		fmt.Printf("submitted %d batch frames\n", *batch)
+	}
+
+	stats := make([]userStats, *users)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for u := 0; u < *users; u++ {
+		u := u
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := connect()
+			defer client.Close()
+			ds := datasets[u%len(datasets)]
+			angle := 0.3 * float64(u)
+			for time.Since(start) < *duration {
+				t0 := time.Now()
+				_, err := client.Render(service.RenderBody{
+					Dataset: ds,
+					Angle:   angle, Elevation: 0.3, Dist: 2.4,
+					Width: *size, Height: *size,
+					Action: u + 1,
+				})
+				if err != nil {
+					stats[u].err = err
+					return
+				}
+				stats[u].frames++
+				stats[u].latencies = append(stats[u].latencies, time.Since(t0))
+				angle += 2 * math.Pi / 64
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("\n%-6s %8s %8s %10s %10s %10s\n", "user", "frames", "fps", "p50", "p95", "max")
+	for u := range stats {
+		s := &stats[u]
+		if s.err != nil {
+			fmt.Printf("user%-2d failed: %v\n", u, s.err)
+			continue
+		}
+		sort.Slice(s.latencies, func(a, b int) bool { return s.latencies[a] < s.latencies[b] })
+		pct := func(q float64) time.Duration {
+			if len(s.latencies) == 0 {
+				return 0
+			}
+			return s.latencies[int(q*float64(len(s.latencies)-1))]
+		}
+		fmt.Printf("user%-2d %8d %8.2f %10v %10v %10v\n",
+			u, s.frames, float64(s.frames)/elapsed.Seconds(),
+			pct(0.5).Round(time.Millisecond), pct(0.95).Round(time.Millisecond),
+			pct(1).Round(time.Millisecond))
+	}
+}

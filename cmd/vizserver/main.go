@@ -1,0 +1,136 @@
+// Command vizserver runs one node of the live visualization service over
+// TCP — either the head (which accepts worker registrations, then serves
+// clients) or a rendering worker.
+//
+// A three-terminal deployment:
+//
+//	vizserver -mode head -workers 2 -worker-addr :7001 -client-addr :7000 -sched OURS
+//	vizserver -mode worker -connect localhost:7001 -data ./data -mem 256MB
+//	vizserver -mode worker -connect localhost:7001 -data ./data -mem 256MB
+//
+// then render with vizclient -addr localhost:7000 -dataset supernova.
+//
+// The head needs no dataset payloads, only the manifests (it schedules by
+// metadata); workers need the actual dataset directories.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"vizsched/internal/core"
+	"vizsched/internal/experiments"
+	"vizsched/internal/service"
+	"vizsched/internal/transport"
+	"vizsched/internal/units"
+)
+
+func parseBytes(s string) (units.Bytes, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := units.Bytes(1)
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, s = units.GB, strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = units.MB, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = units.KB, strings.TrimSuffix(s, "KB")
+	}
+	var n int64
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return units.Bytes(n) * mult, nil
+}
+
+func main() {
+	mode := flag.String("mode", "head", "head or worker")
+	data := flag.String("data", "./data", "directory of dataset directories")
+	mem := flag.String("mem", "512MB", "per-worker brick cache quota")
+	schedName := flag.String("sched", "OURS", "scheduling policy (head mode)")
+	workers := flag.Int("workers", 1, "number of workers to wait for (head mode)")
+	workerAddr := flag.String("worker-addr", ":7001", "worker registration address (head mode)")
+	clientAddr := flag.String("client-addr", ":7000", "client service address (head mode)")
+	connect := flag.String("connect", "localhost:7001", "head's worker address (worker mode)")
+	name := flag.String("name", "", "worker name (worker mode)")
+	httpAddr := flag.String("http", "", "serve JSON stats and /metrics on this address (head mode)")
+	flag.Parse()
+
+	catalog := service.NewCatalog()
+	if err := catalog.LoadDir(*data); err != nil {
+		log.Fatalf("vizserver: loading catalog from %s: %v", *data, err)
+	}
+	if catalog.Len() == 0 {
+		log.Fatalf("vizserver: no datasets found under %s (generate some with volgen)", *data)
+	}
+	log.Printf("catalog: %v", catalog.Names())
+
+	quota, err := parseBytes(*mem)
+	if err != nil {
+		log.Fatal("vizserver: ", err)
+	}
+
+	switch *mode {
+	case "head":
+		sched, err := experiments.SchedulerByName(*schedName)
+		if err != nil {
+			log.Fatal("vizserver: ", err)
+		}
+		head := service.NewHead(sched, catalog, quota, core.DefaultCostModel())
+		wl, err := transport.ListenTCP(*workerAddr)
+		if err != nil {
+			log.Fatal("vizserver: ", err)
+		}
+		log.Printf("head: waiting for %d workers on %s", *workers, wl.Addr())
+		for i := 0; i < *workers; i++ {
+			conn, err := wl.Accept()
+			if err != nil {
+				log.Fatal("vizserver: ", err)
+			}
+			if err := head.AddWorker(conn); err != nil {
+				log.Fatal("vizserver: ", err)
+			}
+			log.Printf("head: worker %d/%d registered", i+1, *workers)
+		}
+		if err := head.Start(); err != nil {
+			log.Fatal("vizserver: ", err)
+		}
+		if *httpAddr != "" {
+			go func() {
+				log.Printf("head: stats on http://%s/ and /metrics", *httpAddr)
+				if err := http.ListenAndServe(*httpAddr, head.StatsHandler()); err != nil {
+					log.Printf("head: stats server: %v", err)
+				}
+			}()
+		}
+		cl, err := transport.ListenTCP(*clientAddr)
+		if err != nil {
+			log.Fatal("vizserver: ", err)
+		}
+		log.Printf("head: serving clients on %s with %s scheduling", cl.Addr(), sched.Name())
+		head.ServeClients(cl)
+
+	case "worker":
+		if *name == "" {
+			host, _ := os.Hostname()
+			*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		conn, err := transport.DialTCP(*connect)
+		if err != nil {
+			log.Fatal("vizserver: ", err)
+		}
+		w := service.NewWorker(*name, catalog, quota)
+		log.Printf("worker %s: serving %v with %v cache", *name, catalog.Names(), quota)
+		if err := w.Serve(conn); err != nil {
+			log.Fatal("vizserver: ", err)
+		}
+		log.Printf("worker %s: head closed the connection; exiting", *name)
+
+	default:
+		log.Fatalf("vizserver: unknown -mode %q", *mode)
+	}
+}

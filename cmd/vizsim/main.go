@@ -1,0 +1,127 @@
+// Command vizsim runs one of the paper's four scenarios (Table II) under one
+// or all scheduling policies on the discrete-event cluster simulator and
+// prints the resulting metrics — one bar group of Figs. 4–7 per line.
+//
+// Usage:
+//
+//	vizsim -scenario 1 -sched OURS
+//	vizsim -scenario 4 -sched all -scale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vizsched/internal/experiments"
+	"vizsched/internal/sim"
+	"vizsched/internal/trace"
+	"vizsched/internal/units"
+	"vizsched/internal/workload"
+)
+
+func main() {
+	scenario := flag.Int("scenario", 1, "scenario 1-4 (Table II)")
+	sched := flag.String("sched", "all", "scheduler: FS, SF, FCFS, FCFSU, FCFSL, OURS, or all")
+	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]: shrinks run length and job counts")
+	jitter := flag.Float64("jitter", experiments.Jitter, "execution-time noise fraction")
+	traceCSV := flag.String("trace", "", "write an event trace CSV to this path (single -sched only)")
+	ganttSVG := flag.String("gantt", "", "write a node-occupancy Gantt SVG to this path (single -sched only)")
+	ganttSeconds := flag.Float64("gantt-window", 5, "Gantt time window in seconds from the start")
+	verbose := flag.Bool("v", false, "print latency histograms")
+	saveWL := flag.String("save-workload", "", "save the generated workload to this file and exit")
+	loadWL := flag.String("load-workload", "", "replay a workload saved with -save-workload")
+	flag.Parse()
+
+	if *scenario < 1 || *scenario > 4 {
+		fmt.Fprintln(os.Stderr, "vizsim: -scenario must be 1-4")
+		os.Exit(2)
+	}
+	cfg := workload.Scenario(workload.ScenarioID(*scenario), *scale)
+	wl := workload.Generate(cfg.Spec)
+	if *loadWL != "" {
+		loaded, err := workload.LoadScheduleFile(*loadWL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vizsim:", err)
+			os.Exit(1)
+		}
+		wl = loaded
+	}
+	fmt.Printf("scenario %d: %d nodes, %v memory, %d×%v datasets, %.0fs, %d interactive + %d batch jobs\n",
+		cfg.ID, cfg.Nodes, cfg.TotalMemory(), cfg.DatasetCount, cfg.DatasetSize,
+		wl.Length.Seconds(), wl.InteractiveCount(), wl.BatchCount())
+	if *saveWL != "" {
+		if err := wl.SaveFile(*saveWL); err != nil {
+			fmt.Fprintln(os.Stderr, "vizsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved workload to %s\n", *saveWL)
+		return
+	}
+
+	run := func(name string) error {
+		s, err := experiments.SchedulerByName(name)
+		if err != nil {
+			return err
+		}
+		ecfg := sim.ScenarioEngineConfig(cfg, s, *jitter)
+		var tl *trace.Log
+		if (*traceCSV != "" || *ganttSVG != "") && *sched != "all" {
+			tl = trace.New(2_000_000)
+			ecfg.Trace = tl
+		}
+		rep := sim.New(ecfg).Run(wl, 0)
+		fmt.Println(rep)
+		if *verbose {
+			fmt.Printf("interactive latency distribution:\n%s", rep.Interactive.LatencyHist.Render(12))
+		}
+		if tl != nil {
+			if tl.Dropped > 0 {
+				fmt.Fprintf(os.Stderr, "vizsim: trace capped, %d events dropped\n", tl.Dropped)
+			}
+			if *traceCSV != "" {
+				f, err := os.Create(*traceCSV)
+				if err != nil {
+					return err
+				}
+				if err := tl.WriteCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s (%d events)\n", *traceCSV, tl.Len())
+			}
+			if *ganttSVG != "" {
+				f, err := os.Create(*ganttSVG)
+				if err != nil {
+					return err
+				}
+				to := units.Time(*ganttSeconds * float64(units.Second))
+				if err := tl.GanttSVG(f, cfg.Nodes, 0, to); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *ganttSVG)
+			}
+		}
+		return nil
+	}
+	if *sched == "all" {
+		for _, s := range experiments.Schedulers() {
+			if err := run(s.Name()); err != nil {
+				fmt.Fprintln(os.Stderr, "vizsim:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(*sched); err != nil {
+		fmt.Fprintln(os.Stderr, "vizsim:", err)
+		os.Exit(1)
+	}
+}

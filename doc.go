@@ -1,0 +1,14 @@
+// Package vizsched reproduces "A Job Scheduling Design for Visualization
+// Services using GPU Clusters" (Hsu, Wang, Ma, Yu, Chen — IEEE CLUSTER
+// 2012): a multi-user parallel volume-rendering service whose head node
+// schedules rendering tasks for data locality, plus the cost model, the
+// five baseline policies, the cluster simulator that regenerates every
+// figure and table of the paper's evaluation, and a live TCP service with a
+// real software ray caster.
+//
+// Start with README.md for the layout, DESIGN.md for the system inventory
+// and paper-to-module mapping, and EXPERIMENTS.md for paper-versus-measured
+// results. The benchmarks in bench_test.go regenerate each figure:
+//
+//	go test -bench=Fig4 -benchmem .
+package vizsched

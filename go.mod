@@ -1,0 +1,3 @@
+module vizsched
+
+go 1.22

@@ -1,0 +1,153 @@
+// Package analysis provides closed-form capacity estimates for the
+// scheduling scenarios: the back-of-envelope arithmetic the paper's design
+// rests on (demand = actions × rate × tasks × per-task cost versus node
+// supply), made executable. The simulator measures what *does* happen;
+// this package predicts what *should*, and the tests hold the two within
+// tolerance of each other — a guard against silent model drift.
+package analysis
+
+import (
+	"fmt"
+
+	"vizsched/internal/core"
+	"vizsched/internal/units"
+	"vizsched/internal/workload"
+)
+
+// Capacity summarizes the steady-state load arithmetic of one scenario
+// under a Chkmax-decomposed locality-aware scheduler with warm caches.
+type Capacity struct {
+	// Nodes is the cluster size p.
+	Nodes int
+	// TasksPerJob is m, the chunk count of one dataset.
+	TasksPerJob int
+	// HitCost is the per-task node occupancy for a cached chunk.
+	HitCost units.Duration
+	// InteractiveJobsPerSec is the aggregate request rate of all actions in
+	// steady state.
+	InteractiveJobsPerSec float64
+	// BatchJobsPerSec is the average batch arrival rate.
+	BatchJobsPerSec float64
+	// InteractiveUtilization is interactive demand / cluster supply.
+	InteractiveUtilization float64
+	// TotalUtilization includes batch demand.
+	TotalUtilization float64
+	// SustainableFPS is the per-action framerate the cluster can sustain:
+	// the target when interactive utilization ≤ 1, else target scaled by
+	// the overload factor.
+	SustainableFPS float64
+	// CacheableFraction is total memory / total data, capped at 1 — how
+	// much of the working set can be resident at once.
+	CacheableFraction float64
+	// ReloadUtilization estimates the node time consumed by chunk reloads
+	// when user actions start on non-resident datasets: action starts/s ×
+	// (1 − cacheable) × m × tio / supply. This is what actually overloads
+	// Scenario 4.
+	ReloadUtilization float64
+}
+
+// Overloaded reports whether steady-state demand (interactive + batch +
+// reloads) exceeds the cluster.
+func (c Capacity) Overloaded() bool {
+	return c.TotalUtilization+c.ReloadUtilization > 1
+}
+
+// AnalyzeScenario computes the capacity arithmetic for a Table II scenario,
+// assuming the scenario's cost model and full cache warmth (the scheduler's
+// job is to approach this bound; Figs. 4–7 measure how close each policy
+// gets).
+func AnalyzeScenario(cfg workload.ScenarioConfig) Capacity {
+	model := core.System2CostModel()
+	if cfg.System1 {
+		model = core.System1CostModel()
+	}
+	m := int(units.CeilDiv(int64(cfg.DatasetSize), int64(cfg.Chkmax)))
+	chunk := cfg.DatasetSize / units.Bytes(m)
+	hit := model.HitExec(chunk, m)
+
+	wl := workload.Generate(cfg.Spec)
+	length := cfg.Spec.Length.Seconds()
+	jobRate := float64(wl.InteractiveCount()) / length
+	batchRate := float64(wl.BatchCount()) / length
+
+	supply := float64(cfg.Nodes) // node-seconds per second
+	intDemand := jobRate * float64(m) * hit.Seconds()
+	batchDemand := batchRate * float64(m) * hit.Seconds()
+
+	cacheable := float64(cfg.TotalMemory()) / float64(cfg.TotalData())
+	if cacheable > 1 {
+		cacheable = 1
+	}
+	actionsPerSec := float64(len(wl.Actions)) / length
+	reloadDemand := actionsPerSec * (1 - cacheable) * float64(m) * model.IOTime(chunk).Seconds()
+
+	target := 1 / (30e-3) // one request per 30 ms
+	if p := cfg.Spec.Period; p > 0 {
+		target = 1 / p.Seconds()
+	}
+	fps := target
+	if u := (intDemand + reloadDemand) / supply; u > 1 {
+		fps = target / u
+	}
+
+	return Capacity{
+		Nodes:                  cfg.Nodes,
+		TasksPerJob:            m,
+		HitCost:                hit,
+		InteractiveJobsPerSec:  jobRate,
+		BatchJobsPerSec:        batchRate,
+		InteractiveUtilization: intDemand / supply,
+		TotalUtilization:       (intDemand + batchDemand) / supply,
+		SustainableFPS:         fps,
+		CacheableFraction:      cacheable,
+		ReloadUtilization:      reloadDemand / supply,
+	}
+}
+
+// UniformPenalty returns the per-job resource ratio of the FCFSU policy
+// (uniform partition into one chunk per node) relative to the Chkmax
+// decomposition — the paper's "twice as many computing resources" argument
+// for Scenario 1, computed instead of asserted.
+func UniformPenalty(cfg workload.ScenarioConfig) float64 {
+	model := core.System2CostModel()
+	if cfg.System1 {
+		model = core.System1CostModel()
+	}
+	m := int(units.CeilDiv(int64(cfg.DatasetSize), int64(cfg.Chkmax)))
+	chunk := cfg.DatasetSize / units.Bytes(m)
+	ours := float64(m) * model.HitExec(chunk, m).Seconds()
+
+	um := cfg.Nodes
+	uchunk := cfg.DatasetSize / units.Bytes(um)
+	uniform := float64(um) * model.HitExec(uchunk, um).Seconds()
+	return uniform / ours
+}
+
+// MissBudget reports how many chunk reloads per second the cluster can
+// absorb *beyond* the workload's own reload demand while keeping within
+// capacity — the quantity that decides whether non-cached batch work can
+// flow at all (ε exists to spend this budget on nodes that are quiet
+// anyway).
+func MissBudget(cfg workload.ScenarioConfig) float64 {
+	model := core.System2CostModel()
+	if cfg.System1 {
+		model = core.System1CostModel()
+	}
+	cap := AnalyzeScenario(cfg)
+	slack := (1 - cap.InteractiveUtilization - cap.ReloadUtilization) * float64(cfg.Nodes)
+	if slack <= 0 {
+		return 0
+	}
+	m := int(units.CeilDiv(int64(cfg.DatasetSize), int64(cfg.Chkmax)))
+	chunk := cfg.DatasetSize / units.Bytes(m)
+	return slack / model.IOTime(chunk).Seconds()
+}
+
+// String renders the capacity summary.
+func (c Capacity) String() string {
+	return fmt.Sprintf(
+		"p=%d m=%d hit=%v jobs/s=%.1f util=%.0f%% (total %.0f%%, reload %.0f%%) sustainable=%.1ffps cacheable=%.0f%%",
+		c.Nodes, c.TasksPerJob, c.HitCost.Std(), c.InteractiveJobsPerSec,
+		100*c.InteractiveUtilization, 100*c.TotalUtilization, 100*c.ReloadUtilization,
+		c.SustainableFPS, 100*c.CacheableFraction)
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vizsched/internal/core"
+	"vizsched/internal/sim"
+	"vizsched/internal/workload"
+)
+
+func TestScenarioCapacityShapes(t *testing.T) {
+	// The load arithmetic that shaped the paper's scenarios must hold.
+	s1 := AnalyzeScenario(workload.Scenario(workload.Scenario1, 1))
+	if s1.TasksPerJob != 4 {
+		t.Errorf("scenario 1 m = %d, want 4", s1.TasksPerJob)
+	}
+	if s1.InteractiveUtilization <= 0.4 || s1.InteractiveUtilization >= 1 {
+		t.Errorf("scenario 1 utilization = %.2f, want loaded but feasible", s1.InteractiveUtilization)
+	}
+	if math.Abs(s1.SustainableFPS-33.33) > 0.1 {
+		t.Errorf("scenario 1 sustainable fps = %.2f", s1.SustainableFPS)
+	}
+	if s1.CacheableFraction != 1 {
+		t.Errorf("scenario 1 cacheable = %.2f, want 1 (12GB on 16GB)", s1.CacheableFraction)
+	}
+
+	s2 := AnalyzeScenario(workload.Scenario(workload.Scenario2, 1))
+	if s2.CacheableFraction >= 1 {
+		t.Error("scenario 2 must exceed memory (that is its purpose)")
+	}
+
+	s3 := AnalyzeScenario(workload.Scenario(workload.Scenario3, 1))
+	if s3.TasksPerJob != 16 {
+		t.Errorf("scenario 3 m = %d, want 16", s3.TasksPerJob)
+	}
+	if s3.InteractiveUtilization >= 1 {
+		t.Errorf("scenario 3 is 'light load': utilization = %.2f", s3.InteractiveUtilization)
+	}
+
+	s4 := AnalyzeScenario(workload.Scenario(workload.Scenario4, 1))
+	if !s4.Overloaded() {
+		t.Errorf("scenario 4 is 'heavy load': util = %.2f + reload %.2f", s4.TotalUtilization, s4.ReloadUtilization)
+	}
+	if s4.SustainableFPS >= 33 {
+		t.Errorf("scenario 4 sustainable fps = %.2f, must be capped by overload", s4.SustainableFPS)
+	}
+	// The capped prediction should land near the paper's 23 fps / our 17.
+	if s4.SustainableFPS < 10 || s4.SustainableFPS > 30 {
+		t.Errorf("scenario 4 sustainable fps = %.2f, want 10-30", s4.SustainableFPS)
+	}
+}
+
+// The analytic sustainable framerate must agree with what the simulator
+// actually measures for OURS, within tolerance — the guard that keeps the
+// closed-form model and the event-driven model from drifting apart.
+func TestCapacityPredictsSimulatedFramerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	for _, id := range []workload.ScenarioID{workload.Scenario1, workload.Scenario3} {
+		cfg := workload.Scenario(id, 0.1)
+		pred := AnalyzeScenario(cfg)
+		rep := sim.RunScenario(cfg, core.NewLocalityScheduler(0), 0.05)
+		got := rep.MeanFramerate()
+		if math.Abs(got-pred.SustainableFPS) > 0.15*pred.SustainableFPS {
+			t.Errorf("scenario %d: simulated %.2f fps vs predicted %.2f", id, got, pred.SustainableFPS)
+		}
+	}
+}
+
+func TestUniformPenalty(t *testing.T) {
+	// Scenario 1: the paper says FCFSU consumes about twice the resources
+	// per job.
+	p := UniformPenalty(workload.Scenario(workload.Scenario1, 1))
+	if p < 1.3 || p > 2.5 {
+		t.Errorf("scenario 1 uniform penalty = %.2f, want ~2", p)
+	}
+	// Scenario 3 (64 nodes): the penalty grows with cluster size.
+	p3 := UniformPenalty(workload.Scenario(workload.Scenario3, 1))
+	if p3 <= p {
+		t.Errorf("penalty should grow with node count: %.2f vs %.2f", p3, p)
+	}
+}
+
+func TestMissBudget(t *testing.T) {
+	// Scenario 3 has slack for reloads; scenario 4 has none.
+	if b := MissBudget(workload.Scenario(workload.Scenario3, 1)); b <= 0 {
+		t.Errorf("scenario 3 miss budget = %.2f, want positive", b)
+	}
+	if b := MissBudget(workload.Scenario(workload.Scenario4, 1)); b != 0 {
+		t.Errorf("scenario 4 miss budget = %.2f, want 0 (overloaded)", b)
+	}
+}
+
+func TestCapacityString(t *testing.T) {
+	s := AnalyzeScenario(workload.Scenario(workload.Scenario1, 1)).String()
+	for _, want := range []string{"p=8", "m=4", "fps"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"vizsched/internal/analysis"
+	"vizsched/internal/workload"
+)
+
+// The capacity arithmetic behind the paper's scenarios: Scenario 3 is
+// feasible ("light load"); Scenario 4 is not ("heavy load").
+func ExampleAnalyzeScenario() {
+	s3 := analysis.AnalyzeScenario(workload.Scenario(workload.Scenario3, 1))
+	s4 := analysis.AnalyzeScenario(workload.Scenario(workload.Scenario4, 1))
+	fmt.Printf("scenario 3 overloaded: %v\n", s3.Overloaded())
+	fmt.Printf("scenario 4 overloaded: %v\n", s4.Overloaded())
+	fmt.Printf("scenario 3 tasks/job: %d\n", s3.TasksPerJob)
+	// Output:
+	// scenario 3 overloaded: false
+	// scenario 4 overloaded: true
+	// scenario 3 tasks/job: 16
+}

@@ -1,0 +1,65 @@
+package baselines
+
+import (
+	"testing"
+
+	"vizsched/internal/core"
+	"vizsched/internal/units"
+)
+
+func TestDelayMetadata(t *testing.T) {
+	d := NewDelay(0, 0)
+	if d.Name() != "DELAY" || d.Trigger() != core.Periodic {
+		t.Error("metadata wrong")
+	}
+	if d.Cycle() != core.DefaultCycle || d.Wait != 5*core.DefaultCycle {
+		t.Errorf("defaults: cycle=%v wait=%v", d.Cycle(), d.Wait)
+	}
+}
+
+func TestDelayPrefersBusyLocalNodeWithinWait(t *testing.T) {
+	d := NewDelay(10*units.Millisecond, 50*units.Millisecond)
+	h := newHead(2)
+	j := mkJob(1, core.Interactive, 1, 1, 1, 512*units.MB)
+	// Node 1 caches the chunk but is busy for 30ms — within the wait bound;
+	// node 0 is idle. Delay scheduling queues on the busy local node.
+	h.Caches[1].Insert(j.Tasks[0].Chunk, j.Tasks[0].Size)
+	h.Available[1] = units.Time(30 * units.Millisecond)
+	as := d.Schedule(0, []*core.Job{j}, h)
+	if len(as) != 1 || as[0].Node != 1 {
+		t.Fatalf("assigned %v, want busy local node 1", as)
+	}
+}
+
+func TestDelayDefersWhenLocalTooBusy(t *testing.T) {
+	d := NewDelay(10*units.Millisecond, 50*units.Millisecond)
+	h := newHead(2)
+	j := mkJob(1, core.Interactive, 1, 1, 1, 512*units.MB)
+	j.Issued = 0
+	h.Caches[1].Insert(j.Tasks[0].Chunk, j.Tasks[0].Size)
+	// Local node busy beyond the wait bound, job fresh: defer entirely.
+	h.Available[1] = units.Time(10 * units.Second)
+	as := d.Schedule(0, []*core.Job{j}, h)
+	if len(as) != 0 {
+		t.Fatalf("assigned %v, want deferral", as)
+	}
+	if j.Tasks[0].Assigned {
+		t.Error("task marked assigned while deferred")
+	}
+	// After the job has waited past D, it accepts a non-local node.
+	later := units.Time(100 * units.Millisecond)
+	as = d.Schedule(later, []*core.Job{j}, h)
+	if len(as) != 1 || as[0].Node != 0 {
+		t.Fatalf("assigned %v after wait, want fallback to node 0", as)
+	}
+}
+
+func TestDelayGreedyWhenNoReplicaExists(t *testing.T) {
+	d := NewDelay(10*units.Millisecond, 50*units.Millisecond)
+	h := newHead(2)
+	j := mkJob(1, core.Interactive, 1, 1, 1, 512*units.MB)
+	as := d.Schedule(0, []*core.Job{j}, h)
+	if len(as) != 1 {
+		t.Fatalf("uncached task deferred: %v", as)
+	}
+}

@@ -1,0 +1,179 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+func cid(d, i int) volume.ChunkID {
+	return volume.ChunkID{Dataset: volume.DatasetID(d), Index: i}
+}
+
+func TestInsertAndContains(t *testing.T) {
+	c := NewLRU(10)
+	if ev := c.Insert(cid(1, 0), 4); ev != nil {
+		t.Errorf("unexpected eviction %v", ev)
+	}
+	if !c.Contains(cid(1, 0)) || c.Contains(cid(1, 1)) {
+		t.Error("Contains wrong")
+	}
+	if c.Used() != 4 || c.Len() != 1 {
+		t.Errorf("Used=%v Len=%d", c.Used(), c.Len())
+	}
+}
+
+func TestEvictionOrderIsLRU(t *testing.T) {
+	c := NewLRU(10)
+	c.Insert(cid(1, 0), 4)
+	c.Insert(cid(1, 1), 4)
+	// Touch chunk 0 so chunk 1 is now least recently used.
+	if !c.Touch(cid(1, 0)) {
+		t.Fatal("Touch missed resident chunk")
+	}
+	ev := c.Insert(cid(1, 2), 4)
+	if len(ev) != 1 || ev[0] != cid(1, 1) {
+		t.Errorf("evicted %v, want [d1/c1]", ev)
+	}
+	if c.Evictions != 1 {
+		t.Errorf("Evictions = %d", c.Evictions)
+	}
+}
+
+func TestInsertExistingTouches(t *testing.T) {
+	c := NewLRU(10)
+	c.Insert(cid(1, 0), 4)
+	c.Insert(cid(1, 1), 4)
+	// Re-inserting chunk 0 must refresh it instead of duplicating.
+	if ev := c.Insert(cid(1, 0), 4); ev != nil {
+		t.Errorf("re-insert evicted %v", ev)
+	}
+	if c.Used() != 8 || c.Len() != 2 {
+		t.Errorf("Used=%v Len=%d", c.Used(), c.Len())
+	}
+	ev := c.Insert(cid(1, 2), 4)
+	if len(ev) != 1 || ev[0] != cid(1, 1) {
+		t.Errorf("evicted %v, want chunk 1", ev)
+	}
+}
+
+func TestMultiEviction(t *testing.T) {
+	c := NewLRU(10)
+	c.Insert(cid(1, 0), 3)
+	c.Insert(cid(1, 1), 3)
+	c.Insert(cid(1, 2), 3)
+	ev := c.Insert(cid(1, 3), 8)
+	if len(ev) != 3 {
+		t.Errorf("evicted %d chunks, want 3", len(ev))
+	}
+	if c.Used() != 8 || c.Len() != 1 {
+		t.Errorf("Used=%v Len=%d", c.Used(), c.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := NewLRU(10)
+	c.Insert(cid(1, 0), 4)
+	if !c.Remove(cid(1, 0)) {
+		t.Error("Remove missed resident chunk")
+	}
+	if c.Remove(cid(1, 0)) {
+		t.Error("Remove hit absent chunk")
+	}
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Error("state not empty after Remove")
+	}
+}
+
+func TestResidentOrder(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert(cid(1, 0), 1)
+	c.Insert(cid(1, 1), 1)
+	c.Insert(cid(1, 2), 1)
+	c.Touch(cid(1, 0))
+	got := c.Resident()
+	want := []volume.ChunkID{cid(1, 0), cid(1, 2), cid(1, 1)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Resident = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := NewLRU(10)
+	c.Insert(cid(1, 0), 4)
+	c.Insert(cid(1, 1), 4)
+	cl := c.Clone()
+	// Same contents and recency order.
+	a, b := c.Resident(), cl.Resident()
+	if len(a) != len(b) || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("clone order %v != %v", b, a)
+	}
+	// Divergence after clone.
+	cl.Insert(cid(1, 2), 4)
+	if c.Contains(cid(1, 2)) {
+		t.Error("clone writes leaked to original")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero quota":     func() { NewLRU(0) },
+		"zero size":      func() { NewLRU(10).Insert(cid(1, 0), 0) },
+		"oversize chunk": func() { NewLRU(10).Insert(cid(1, 0), 11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: used bytes never exceed the quota and always equal the sum of
+// resident chunk sizes, under any operation sequence.
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		quota := units.Bytes(rng.Intn(50) + 10)
+		c := NewLRU(quota)
+		sizes := make(map[volume.ChunkID]units.Bytes)
+		for i := 0; i < int(ops); i++ {
+			id := cid(rng.Intn(3), rng.Intn(5))
+			switch rng.Intn(3) {
+			case 0:
+				size, had := sizes[id]
+				if !had {
+					size = units.Bytes(rng.Int63n(int64(quota))) + 1
+					sizes[id] = size
+				}
+				c.Insert(id, size)
+			case 1:
+				c.Touch(id)
+			default:
+				c.Remove(id)
+			}
+			if c.Used() > quota {
+				return false
+			}
+			var sum units.Bytes
+			for _, r := range c.Resident() {
+				sum += sizes[r]
+			}
+			if sum != c.Used() || len(c.Resident()) != c.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"math/rand"
+
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// Policy names an eviction strategy for Store.
+type Policy int
+
+// Eviction policies. PolicyLRU matches the paper's nodes ("the least
+// recently used caches are released", §V-B); the others exist for the
+// eviction ablation.
+const (
+	PolicyLRU Policy = iota
+	PolicyFIFO
+	PolicyRandom
+	PolicyLFU
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyFIFO:
+		return "fifo"
+	case PolicyRandom:
+		return "random"
+	case PolicyLFU:
+		return "lfu"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Store is a byte-quota chunk cache with a pluggable eviction policy. It
+// exposes the same operations as LRU; LRU remains the concrete type used on
+// hot paths, while Store backs the eviction-policy ablation.
+type Store struct {
+	policy Policy
+	quota  units.Bytes
+	used   units.Bytes
+
+	// order is maintained for LRU (recency) and FIFO (insertion).
+	order *list.List
+	items map[volume.ChunkID]*storeEntry
+
+	// freq tracks access counts for LFU.
+	rng *rand.Rand
+
+	// Evictions counts chunks dropped to make room.
+	Evictions int64
+}
+
+type storeEntry struct {
+	id   volume.ChunkID
+	size units.Bytes
+	el   *list.Element
+	freq int64
+}
+
+// NewStore returns an empty cache with the given policy and quota. Random
+// eviction draws from the given seed for reproducibility.
+func NewStore(policy Policy, quota units.Bytes, seed int64) *Store {
+	if quota <= 0 {
+		panic(fmt.Sprintf("cache: non-positive quota %v", quota))
+	}
+	return &Store{
+		policy: policy,
+		quota:  quota,
+		order:  list.New(),
+		items:  make(map[volume.ChunkID]*storeEntry),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Policy returns the configured eviction policy.
+func (s *Store) Policy() Policy { return s.policy }
+
+// Quota returns the configured byte limit.
+func (s *Store) Quota() units.Bytes { return s.quota }
+
+// Used returns the bytes currently resident.
+func (s *Store) Used() units.Bytes { return s.used }
+
+// Len returns the number of resident chunks.
+func (s *Store) Len() int { return len(s.items) }
+
+// Contains reports residency without recording an access.
+func (s *Store) Contains(id volume.ChunkID) bool {
+	_, ok := s.items[id]
+	return ok
+}
+
+// Touch records an access and reports whether the chunk was resident.
+func (s *Store) Touch(id volume.ChunkID) bool {
+	e, ok := s.items[id]
+	if !ok {
+		return false
+	}
+	e.freq++
+	if s.policy == PolicyLRU {
+		s.order.MoveToFront(e.el)
+	}
+	return true
+}
+
+// victim selects the entry to evict under the policy.
+func (s *Store) victim() *storeEntry {
+	switch s.policy {
+	case PolicyLRU, PolicyFIFO:
+		return s.order.Back().Value.(*storeEntry)
+	case PolicyRandom:
+		n := s.rng.Intn(len(s.items))
+		el := s.order.Front()
+		for i := 0; i < n; i++ {
+			el = el.Next()
+		}
+		return el.Value.(*storeEntry)
+	case PolicyLFU:
+		var worst *storeEntry
+		for el := s.order.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*storeEntry)
+			if worst == nil || e.freq < worst.freq {
+				worst = e
+			}
+		}
+		return worst
+	default:
+		panic("cache: unknown policy")
+	}
+}
+
+// Insert adds the chunk (or touches it if resident), evicting under the
+// policy as needed, and returns the evicted IDs.
+func (s *Store) Insert(id volume.ChunkID, size units.Bytes) []volume.ChunkID {
+	if size <= 0 {
+		panic(fmt.Sprintf("cache: non-positive chunk size %v", size))
+	}
+	if size > s.quota {
+		panic(fmt.Sprintf("cache: chunk %v (%v) exceeds quota %v", id, size, s.quota))
+	}
+	if s.Touch(id) {
+		return nil
+	}
+	var evicted []volume.ChunkID
+	for s.used+size > s.quota {
+		v := s.victim()
+		s.order.Remove(v.el)
+		delete(s.items, v.id)
+		s.used -= v.size
+		s.Evictions++
+		evicted = append(evicted, v.id)
+	}
+	e := &storeEntry{id: id, size: size, freq: 1}
+	e.el = s.order.PushFront(e)
+	s.items[id] = e
+	s.used += size
+	return evicted
+}
+
+// Remove drops the chunk if resident and reports whether it was.
+func (s *Store) Remove(id volume.ChunkID) bool {
+	e, ok := s.items[id]
+	if !ok {
+		return false
+	}
+	s.order.Remove(e.el)
+	delete(s.items, id)
+	s.used -= e.size
+	return true
+}
+
+// Resident returns resident chunk IDs, most-recent/newest first.
+func (s *Store) Resident() []volume.ChunkID {
+	out := make([]volume.ChunkID, 0, len(s.items))
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*storeEntry).id)
+	}
+	return out
+}
+
+// Chunks is the minimal cache interface shared by LRU and Store, which the
+// simulation engine's nodes program against.
+type Chunks interface {
+	Contains(volume.ChunkID) bool
+	Touch(volume.ChunkID) bool
+	Insert(volume.ChunkID, units.Bytes) []volume.ChunkID
+	Remove(volume.ChunkID) bool
+	Resident() []volume.ChunkID
+	Used() units.Bytes
+	Quota() units.Bytes
+	Len() int
+}
+
+// Compile-time interface checks.
+var (
+	_ Chunks = (*LRU)(nil)
+	_ Chunks = (*Store)(nil)
+)

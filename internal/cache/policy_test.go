@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+func allPolicies() []Policy {
+	return []Policy{PolicyLRU, PolicyFIFO, PolicyRandom, PolicyLFU}
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{PolicyLRU: "lru", PolicyFIFO: "fifo", PolicyRandom: "random", PolicyLFU: "lfu"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+	if Policy(99).String() == "" {
+		t.Error("unknown policy String empty")
+	}
+}
+
+func TestStoreBasicOpsAllPolicies(t *testing.T) {
+	for _, p := range allPolicies() {
+		s := NewStore(p, 10, 1)
+		if ev := s.Insert(cid(1, 0), 4); ev != nil {
+			t.Errorf("%v: unexpected eviction", p)
+		}
+		if !s.Contains(cid(1, 0)) || !s.Touch(cid(1, 0)) {
+			t.Errorf("%v: residency broken", p)
+		}
+		if s.Used() != 4 || s.Len() != 1 {
+			t.Errorf("%v: accounting broken", p)
+		}
+		if !s.Remove(cid(1, 0)) || s.Remove(cid(1, 0)) {
+			t.Errorf("%v: Remove broken", p)
+		}
+	}
+}
+
+func TestStoreLRUEvictsLeastRecent(t *testing.T) {
+	s := NewStore(PolicyLRU, 8, 1)
+	s.Insert(cid(1, 0), 4)
+	s.Insert(cid(1, 1), 4)
+	s.Touch(cid(1, 0))
+	ev := s.Insert(cid(1, 2), 4)
+	if len(ev) != 1 || ev[0] != cid(1, 1) {
+		t.Errorf("LRU evicted %v", ev)
+	}
+}
+
+func TestStoreFIFOIgnoresTouch(t *testing.T) {
+	s := NewStore(PolicyFIFO, 8, 1)
+	s.Insert(cid(1, 0), 4)
+	s.Insert(cid(1, 1), 4)
+	// Touching the oldest does not save it under FIFO.
+	s.Touch(cid(1, 0))
+	ev := s.Insert(cid(1, 2), 4)
+	if len(ev) != 1 || ev[0] != cid(1, 0) {
+		t.Errorf("FIFO evicted %v, want the oldest insert", ev)
+	}
+}
+
+func TestStoreLFUEvictsColdest(t *testing.T) {
+	s := NewStore(PolicyLFU, 8, 1)
+	s.Insert(cid(1, 0), 4)
+	s.Insert(cid(1, 1), 4)
+	for i := 0; i < 5; i++ {
+		s.Touch(cid(1, 1))
+	}
+	ev := s.Insert(cid(1, 2), 4)
+	if len(ev) != 1 || ev[0] != cid(1, 0) {
+		t.Errorf("LFU evicted %v, want the cold chunk", ev)
+	}
+}
+
+func TestStoreRandomDeterministicPerSeed(t *testing.T) {
+	run := func() []volume.ChunkID {
+		s := NewStore(PolicyRandom, 8, 42)
+		var ev []volume.ChunkID
+		for i := 0; i < 10; i++ {
+			ev = append(ev, s.Insert(cid(1, i), 4)...)
+		}
+		return ev
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("random policy not reproducible")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random policy diverged across identical seeds")
+		}
+	}
+}
+
+func TestStorePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero quota": func() { NewStore(PolicyLRU, 0, 1) },
+		"oversize":   func() { NewStore(PolicyLRU, 4, 1).Insert(cid(1, 0), 5) },
+		"zero size":  func() { NewStore(PolicyLRU, 4, 1).Insert(cid(1, 0), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: under every policy, used bytes stay within quota and equal the
+// sum of resident sizes.
+func TestQuickStoreInvariants(t *testing.T) {
+	f := func(seed int64, ops uint8, policyRaw uint8) bool {
+		policy := allPolicies()[int(policyRaw)%4]
+		rng := rand.New(rand.NewSource(seed))
+		quota := units.Bytes(rng.Intn(40) + 8)
+		s := NewStore(policy, quota, seed)
+		sizes := map[volume.ChunkID]units.Bytes{}
+		for i := 0; i < int(ops); i++ {
+			id := cid(rng.Intn(3), rng.Intn(6))
+			switch rng.Intn(3) {
+			case 0:
+				size, had := sizes[id]
+				if !had {
+					size = units.Bytes(rng.Int63n(int64(quota))) + 1
+					sizes[id] = size
+				}
+				s.Insert(id, size)
+			case 1:
+				s.Touch(id)
+			default:
+				s.Remove(id)
+			}
+			if s.Used() > quota {
+				return false
+			}
+			var sum units.Bytes
+			for _, r := range s.Resident() {
+				sum += sizes[r]
+			}
+			if sum != s.Used() || len(s.Resident()) != s.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The Store with PolicyLRU must behave identically to the dedicated LRU.
+func TestQuickStoreLRUMatchesLRU(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		quota := units.Bytes(rng.Intn(30) + 8)
+		a := NewLRU(quota)
+		b := NewStore(PolicyLRU, quota, 0)
+		sizes := map[volume.ChunkID]units.Bytes{}
+		for i := 0; i < int(ops); i++ {
+			id := cid(0, rng.Intn(6))
+			switch rng.Intn(3) {
+			case 0:
+				size, had := sizes[id]
+				if !had {
+					size = units.Bytes(rng.Int63n(int64(quota))) + 1
+					sizes[id] = size
+				}
+				evA := a.Insert(id, size)
+				evB := b.Insert(id, size)
+				if len(evA) != len(evB) {
+					return false
+				}
+				for j := range evA {
+					if evA[j] != evB[j] {
+						return false
+					}
+				}
+			case 1:
+				if a.Touch(id) != b.Touch(id) {
+					return false
+				}
+			default:
+				if a.Remove(id) != b.Remove(id) {
+					return false
+				}
+			}
+		}
+		ra, rb := a.Resident(), b.Resident()
+		if len(ra) != len(rb) {
+			return false
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"sort"
+
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// LocalityScheduler is the paper's scheduler ("OURS", Algorithm 1): it runs
+// every scheduling cycle ω, decomposes queued jobs into per-chunk task
+// groups, schedules all interactive tasks immediately — same-chunk tasks in
+// a cycle to the same node, chosen to minimize predicted completion time —
+// and defers batch tasks: cached batch fills nodes only up to the next
+// scheduling time λ, and non-cached batch (which implies a long disk load)
+// is placed only on nodes that have served no interactive task for the
+// idle threshold ε = Estimate[c]/2.
+type LocalityScheduler struct {
+	cycle units.Duration
+	// DisableIdleGuard drops the ε idle-time condition on non-cached batch
+	// placement (ablation: batch loads may then interrupt interactive
+	// streams, the failure mode the guard exists to prevent).
+	DisableIdleGuard bool
+}
+
+// DefaultCycle is the ω used when none is specified: short enough that an
+// interactive request never waits long for the next cycle at the paper's
+// 33.33 fps target cadence (one request per 30 ms).
+const DefaultCycle = 10 * units.Millisecond
+
+// NewLocalityScheduler returns the paper's scheduler with the given cycle;
+// a non-positive cycle selects DefaultCycle.
+func NewLocalityScheduler(cycle units.Duration) *LocalityScheduler {
+	if cycle <= 0 {
+		cycle = DefaultCycle
+	}
+	return &LocalityScheduler{cycle: cycle}
+}
+
+// Name implements Scheduler.
+func (s *LocalityScheduler) Name() string { return "OURS" }
+
+// Trigger implements Scheduler.
+func (s *LocalityScheduler) Trigger() Trigger { return Periodic }
+
+// Cycle implements Scheduler.
+func (s *LocalityScheduler) Cycle() units.Duration { return s.cycle }
+
+// chunkGroup is one entry of the H_I / H_B hash tables: the unassigned
+// tasks within this cycle that need the same chunk.
+type chunkGroup struct {
+	chunk volume.ChunkID
+	size  units.Bytes
+	tasks []*Task
+}
+
+// groupByChunk buckets unassigned tasks of the given class by chunk and
+// returns the groups sorted by chunk ID for determinism.
+func groupByChunk(queue []*Job, class Class) []*chunkGroup {
+	byChunk := make(map[volume.ChunkID]*chunkGroup)
+	for _, j := range queue {
+		if j.Class != class {
+			continue
+		}
+		for i := range j.Tasks {
+			t := &j.Tasks[i]
+			if t.Assigned {
+				continue
+			}
+			g := byChunk[t.Chunk]
+			if g == nil {
+				g = &chunkGroup{chunk: t.Chunk, size: t.Size}
+				byChunk[t.Chunk] = g
+			}
+			g.tasks = append(g.tasks, t)
+		}
+	}
+	groups := make([]*chunkGroup, 0, len(byChunk))
+	for _, g := range byChunk {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(a, b int) bool { return chunkLess(groups[a].chunk, groups[b].chunk) })
+	return groups
+}
+
+func chunkLess(a, b volume.ChunkID) bool {
+	if a.Dataset != b.Dataset {
+		return a.Dataset < b.Dataset
+	}
+	return a.Index < b.Index
+}
+
+// Schedule implements Algorithm 1.
+func (s *LocalityScheduler) Schedule(now units.Time, queue []*Job, head *HeadState) []Assignment {
+	lambda := now.Add(s.cycle) // λ: the next scheduling time
+	var out []Assignment
+	assign := func(t *Task, k NodeID) {
+		t.Assigned = true
+		head.CommitAssign(t, k, now)
+		out = append(out, Assignment{Task: t, Node: k})
+	}
+
+	// Lines 2–7: decompose queued jobs into per-chunk task groups.
+	hi := groupByChunk(queue, Interactive)
+	hb := groupByChunk(queue, Batch)
+
+	// Lines 8–9: split interactive groups into cached / non-cached; sort the
+	// non-cached by estimated execution time so cheap loads start first.
+	var cached, nonCached []*chunkGroup
+	for _, g := range hi {
+		if len(head.CachedOn(g.chunk)) > 0 {
+			cached = append(cached, g)
+		} else {
+			nonCached = append(nonCached, g)
+		}
+	}
+	sort.SliceStable(nonCached, func(a, b int) bool {
+		ga, gb := nonCached[a], nonCached[b]
+		ea := head.Estimate(ga.chunk, ga.size, ga.tasks[0].Job.GroupSize())
+		eb := head.Estimate(gb.chunk, gb.size, gb.tasks[0].Job.GroupSize())
+		if ea != eb {
+			return ea < eb
+		}
+		return chunkLess(ga.chunk, gb.chunk)
+	})
+
+	// Lines 10–15: every interactive group goes, whole, to the node with the
+	// earliest predicted completion for its chunk.
+	for _, g := range append(cached, nonCached...) {
+		k, ok := s.bestNode(now, g, head)
+		if !ok {
+			continue // no node alive; engine will retry next cycle
+		}
+		for _, t := range g.tasks {
+			assign(t, k)
+		}
+	}
+
+	// Lines 16–22: cached batch tasks fill each node until its predicted
+	// available time crosses λ.
+	for k := 0; k < head.Nodes(); k++ {
+		node := NodeID(k)
+		if !head.Alive(node) {
+			continue
+		}
+	cachedBatch:
+		for _, g := range hb {
+			if !head.Caches[k].Contains(g.chunk) {
+				continue
+			}
+			for _, t := range g.tasks {
+				if t.Assigned {
+					continue
+				}
+				if !head.Available[k].Before(lambda) {
+					break cachedBatch
+				}
+				assign(t, node)
+			}
+		}
+	}
+
+	// Lines 23–31: non-cached batch, rarest chunks first (fewest predicted
+	// replicas), placed only on nodes idle of interactive work for ε.
+	var rest []*chunkGroup
+	for _, g := range hb {
+		pending := g.tasks[:0]
+		for _, t := range g.tasks {
+			if !t.Assigned {
+				pending = append(pending, t)
+			}
+		}
+		g.tasks = pending
+		if len(g.tasks) > 0 {
+			rest = append(rest, g)
+		}
+	}
+	sort.SliceStable(rest, func(a, b int) bool {
+		ca := len(head.CachedOn(rest[a].chunk))
+		cb := len(head.CachedOn(rest[b].chunk))
+		if ca != cb {
+			return ca < cb
+		}
+		return chunkLess(rest[a].chunk, rest[b].chunk)
+	})
+	gi := 0
+	for k := 0; k < head.Nodes() && gi < len(rest); k++ {
+		node := NodeID(k)
+		if !head.Alive(node) {
+			continue
+		}
+		for gi < len(rest) && head.Available[k].Before(lambda) {
+			g := rest[gi]
+			if len(g.tasks) == 0 {
+				gi++
+				continue
+			}
+			if !s.DisableIdleGuard {
+				eps := head.IdleThreshold(g.chunk, g.size, g.tasks[0].Job.GroupSize())
+				if head.InteractiveIdle(node, now) <= eps {
+					break // this node served interactive work too recently
+				}
+			}
+			assign(g.tasks[0], node)
+			g.tasks = g.tasks[1:]
+		}
+	}
+	return out
+}
+
+// bestNode returns the alive node minimizing predicted completion time for
+// the group's chunk: max(Available[k], now) + cost, where cost is the hit
+// cost on nodes predicted to hold the chunk and Estimate[c] elsewhere.
+func (s *LocalityScheduler) bestNode(now units.Time, g *chunkGroup, head *HeadState) (NodeID, bool) {
+	best := NodeID(-1)
+	var bestDone units.Time
+	for k := 0; k < head.Nodes(); k++ {
+		if !head.Alive(NodeID(k)) {
+			continue
+		}
+		start := head.Available[k]
+		if start < now {
+			start = now
+		}
+		done := start.Add(head.PredictExec(g.tasks[0], NodeID(k)))
+		if best < 0 || done < bestDone {
+			best = NodeID(k)
+			bestDone = done
+		}
+	}
+	return best, best >= 0
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+func TestOursMetadata(t *testing.T) {
+	s := NewLocalityScheduler(0)
+	if s.Name() != "OURS" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.Trigger() != Periodic {
+		t.Error("OURS must be periodic")
+	}
+	if s.Cycle() != DefaultCycle {
+		t.Errorf("Cycle = %v, want default", s.Cycle())
+	}
+	if NewLocalityScheduler(5*units.Millisecond).Cycle() != 5*units.Millisecond {
+		t.Error("explicit cycle ignored")
+	}
+}
+
+func TestOursSchedulesAllInteractiveTasks(t *testing.T) {
+	s := NewLocalityScheduler(0)
+	h := newHead(4)
+	j1 := mkJob(1, Interactive, 1, 1, 4, 512*units.MB, 0)
+	j2 := mkJob(2, Interactive, 2, 2, 4, 512*units.MB, 0)
+	as := s.Schedule(0, []*Job{j1, j2}, h)
+	if len(as) != 8 {
+		t.Fatalf("assigned %d tasks, want all 8", len(as))
+	}
+	for _, j := range []*Job{j1, j2} {
+		for i := range j.Tasks {
+			if !j.Tasks[i].Assigned {
+				t.Errorf("task %v left unassigned", &j.Tasks[i])
+			}
+		}
+	}
+}
+
+func TestOursSameChunkSameNodeWithinCycle(t *testing.T) {
+	s := NewLocalityScheduler(0)
+	h := newHead(4)
+	// Three interactive jobs over the same dataset in one cycle: tasks for
+	// chunk i must all land on the same node.
+	jobs := []*Job{
+		mkJob(1, Interactive, 1, 1, 4, 512*units.MB, 0),
+		mkJob(2, Interactive, 2, 1, 4, 512*units.MB, 0),
+		mkJob(3, Interactive, 3, 1, 4, 512*units.MB, 0),
+	}
+	as := s.Schedule(0, jobs, h)
+	byChunk := make(map[volume.ChunkID]map[NodeID]bool)
+	for _, a := range as {
+		if byChunk[a.Task.Chunk] == nil {
+			byChunk[a.Task.Chunk] = map[NodeID]bool{}
+		}
+		byChunk[a.Task.Chunk][a.Node] = true
+	}
+	for c, nodes := range byChunk {
+		if len(nodes) != 1 {
+			t.Errorf("chunk %v scattered over %d nodes", c, len(nodes))
+		}
+	}
+}
+
+func TestOursPrefersCachedNode(t *testing.T) {
+	s := NewLocalityScheduler(0)
+	h := newHead(4)
+	j := mkJob(1, Interactive, 1, 1, 1, 512*units.MB, 0)
+	// Chunk is cached on node 2 only; all nodes equally available.
+	h.Caches[2].Insert(j.Tasks[0].Chunk, j.Tasks[0].Size)
+	as := s.Schedule(0, []*Job{j}, h)
+	if len(as) != 1 || as[0].Node != 2 {
+		t.Fatalf("assigned to %v, want node 2", as)
+	}
+}
+
+func TestOursAbandonsCachedNodeWhenOverloaded(t *testing.T) {
+	s := NewLocalityScheduler(0)
+	h := newHead(2)
+	j := mkJob(1, Interactive, 1, 1, 1, 512*units.MB, 0)
+	h.Caches[0].Insert(j.Tasks[0].Chunk, j.Tasks[0].Size)
+	// Node 0 holds the cache but is busy for longer than a full reload
+	// would take on idle node 1: load balance must win.
+	h.Available[0] = units.Time(60 * units.Second)
+	as := s.Schedule(0, []*Job{j}, h)
+	if len(as) != 1 || as[0].Node != 1 {
+		t.Fatalf("assigned to %v, want node 1", as)
+	}
+}
+
+func TestOursDefersNonCachedBatchOnBusyInteractiveNodes(t *testing.T) {
+	s := NewLocalityScheduler(0)
+	h := newHead(2)
+	// Both nodes just served interactive work: ε not yet satisfied.
+	ij := mkJob(1, Interactive, 1, 1, 2, 512*units.MB, 0)
+	now := units.Time(0)
+	s.Schedule(now, []*Job{ij}, h)
+
+	bj := mkJob(2, Batch, 2, 7, 2, 512*units.MB, 0)
+	as := s.Schedule(now.Add(units.Millisecond), []*Job{bj}, h)
+	if len(as) != 0 {
+		t.Fatalf("non-cached batch scheduled %d tasks on interactive-hot nodes", len(as))
+	}
+	// Long after the interactive activity, ε is satisfied and batch flows.
+	later := now.Add(30 * units.Second)
+	h.Available[0], h.Available[1] = later, later
+	as = s.Schedule(later, []*Job{bj}, h)
+	if len(as) == 0 {
+		t.Fatal("batch never scheduled after idle threshold passed")
+	}
+}
+
+func TestOursCachedBatchFillsUntilLambda(t *testing.T) {
+	cycle := 10 * units.Millisecond
+	s := NewLocalityScheduler(cycle)
+	h := newHead(1)
+	bj := mkJob(1, Batch, 1, 1, 1, 512*units.MB, 0)
+	// The batch chunk is cached: tasks cost ~8ms each, so exactly one fits
+	// before λ = now+10ms at a time.
+	h.Caches[0].Insert(bj.Tasks[0].Chunk, bj.Tasks[0].Size)
+	many := []*Job{}
+	for i := 0; i < 5; i++ {
+		many = append(many, mkJob(JobID(i+1), Batch, 1, 1, 1, 512*units.MB, 0))
+	}
+	as := s.Schedule(0, many, h)
+	if len(as) == 0 {
+		t.Fatal("cached batch starved")
+	}
+	if len(as) == 5 {
+		t.Fatal("batch overfilled past λ")
+	}
+	// The rest remain unassigned for the next cycle.
+	unassigned := 0
+	for _, j := range many {
+		if !j.Tasks[0].Assigned {
+			unassigned++
+		}
+	}
+	if unassigned != 5-len(as) {
+		t.Errorf("unassigned = %d, want %d", unassigned, 5-len(as))
+	}
+}
+
+func TestOursInteractivePriorityOverBatch(t *testing.T) {
+	s := NewLocalityScheduler(0)
+	h := newHead(2)
+	// One interactive and one batch job for the same (cached) dataset: the
+	// interactive tasks must all be assigned; batch fills leftovers.
+	for i := 0; i < 2; i++ {
+		h.Caches[0].Insert(volume.ChunkID{Dataset: 1, Index: i}, 512*units.MB)
+	}
+	ij := mkJob(1, Interactive, 1, 1, 2, 512*units.MB, 0)
+	bj := mkJob(2, Batch, 2, 1, 2, 512*units.MB, 0)
+	as := s.Schedule(0, []*Job{bj, ij}, h)
+	interactiveAssigned := 0
+	for _, a := range as {
+		if a.Task.Job.Class == Interactive {
+			interactiveAssigned++
+		}
+	}
+	if interactiveAssigned != 2 {
+		t.Errorf("interactive tasks assigned = %d, want 2", interactiveAssigned)
+	}
+}
+
+func TestOursSkipsFailedNodes(t *testing.T) {
+	s := NewLocalityScheduler(0)
+	h := newHead(3)
+	h.MarkFailed(1)
+	j := mkJob(1, Interactive, 1, 1, 6, 256*units.MB, 0)
+	as := s.Schedule(0, []*Job{j}, h)
+	if len(as) != 6 {
+		t.Fatalf("assigned %d, want 6", len(as))
+	}
+	for _, a := range as {
+		if a.Node == 1 {
+			t.Error("task placed on failed node")
+		}
+	}
+}
+
+func TestOursAllNodesFailedLeavesQueue(t *testing.T) {
+	s := NewLocalityScheduler(0)
+	h := newHead(2)
+	h.MarkFailed(0)
+	h.MarkFailed(1)
+	j := mkJob(1, Interactive, 1, 1, 2, 256*units.MB, 0)
+	as := s.Schedule(0, []*Job{j}, h)
+	if len(as) != 0 {
+		t.Errorf("assigned %d tasks with no nodes alive", len(as))
+	}
+	if j.Tasks[0].Assigned || j.Tasks[1].Assigned {
+		t.Error("tasks marked assigned with no nodes alive")
+	}
+}
+
+func TestOursDeterministic(t *testing.T) {
+	run := func() []Assignment {
+		s := NewLocalityScheduler(0)
+		h := newHead(4)
+		jobs := []*Job{
+			mkJob(1, Interactive, 1, 3, 4, 512*units.MB, 0),
+			mkJob(2, Interactive, 2, 1, 4, 512*units.MB, 0),
+			mkJob(3, Batch, 3, 2, 4, 512*units.MB, 0),
+			mkJob(4, Interactive, 4, 1, 4, 512*units.MB, 0),
+		}
+		return s.Schedule(0, jobs, h)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node || a[i].Task.Chunk != b[i].Task.Chunk {
+			t.Fatalf("assignment %d differs across runs", i)
+		}
+	}
+}
+
+func TestOursBalancesAcrossNodes(t *testing.T) {
+	s := NewLocalityScheduler(0)
+	h := newHead(8)
+	// 6 datasets × 4 chunks = 24 chunk groups; they must spread over all
+	// 8 nodes, not pile onto one.
+	var jobs []*Job
+	for d := 0; d < 6; d++ {
+		jobs = append(jobs, mkJob(JobID(d+1), Interactive, ActionID(d+1), volume.DatasetID(d+1), 4, 512*units.MB, 0))
+	}
+	as := s.Schedule(0, jobs, h)
+	counts := map[NodeID]int{}
+	for _, a := range as {
+		counts[a.Node]++
+	}
+	if len(counts) != 8 {
+		t.Errorf("used %d nodes, want 8", len(counts))
+	}
+	for n, c := range counts {
+		if c > 4 {
+			t.Errorf("node %d overloaded with %d tasks", n, c)
+		}
+	}
+}

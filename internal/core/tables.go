@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"vizsched/internal/cache"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// HeadState is the head node's view of the cluster: the three tables of
+// §V-A (Available, Cache, Estimate) plus the per-node last-interactive
+// timestamps that implement the idle-time threshold ε. The tables are
+// *predictions*, updated eagerly as tasks are scheduled and corrected as
+// TaskResults flow back (§V-B). Every scheduler — OURS and the baselines —
+// reads and writes the same structure, so their bookkeeping costs are
+// comparable, which Table III measures.
+type HeadState struct {
+	// Available[k] predicts when node R_k will have drained its queue.
+	Available []units.Time
+	// Caches[k] predicts node R_k's main-memory residency (the Cache table,
+	// indexed the transposed way: per node rather than per chunk; CachedOn
+	// provides the per-chunk view Algorithm 1 uses).
+	Caches []*cache.LRU
+	// lastInteractive[k] is the last time an interactive task was assigned
+	// to R_k.
+	lastInteractive []units.Time
+	// estimate[c] is the latest known miss execution time for chunk c,
+	// lazily initialized from the cost model ("via a test run", §V-B) and
+	// overwritten with observed times.
+	estimate map[volume.ChunkID]units.Duration
+	// hitObs learns actual cached-task execution times per (size, group),
+	// the symmetric correction to estimate: without it, a system whose real
+	// costs differ from the model would mis-rank cached against non-cached
+	// placements.
+	hitObs map[hitKey]units.Duration
+
+	// Model prices task executions for predictions.
+	Model CostModel
+
+	// failed[k] marks nodes that have crashed (§VI-D); schedulers skip them.
+	failed []bool
+}
+
+// NewHeadState builds head-node tables for n nodes with the given per-node
+// main-memory quota.
+func NewHeadState(n int, quota units.Bytes, model CostModel) *HeadState {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: non-positive node count %d", n))
+	}
+	h := &HeadState{
+		Available:       make([]units.Time, n),
+		Caches:          make([]*cache.LRU, n),
+		lastInteractive: make([]units.Time, n),
+		estimate:        make(map[volume.ChunkID]units.Duration),
+		hitObs:          make(map[hitKey]units.Duration),
+		Model:           model,
+		failed:          make([]bool, n),
+	}
+	for k := range h.Caches {
+		h.Caches[k] = cache.NewLRU(quota)
+	}
+	for k := range h.lastInteractive {
+		h.lastInteractive[k] = -1 << 62 // long before the epoch: ε starts satisfied
+	}
+	return h
+}
+
+// Nodes returns the cluster size p.
+func (h *HeadState) Nodes() int { return len(h.Available) }
+
+// Alive reports whether node k is usable.
+func (h *HeadState) Alive(k NodeID) bool { return !h.failed[k] }
+
+// MarkFailed removes a node from scheduling consideration and forgets its
+// predicted caches; MarkRepaired restores it (empty).
+func (h *HeadState) MarkFailed(k NodeID) {
+	h.failed[k] = true
+	h.Caches[k] = cache.NewLRU(h.Caches[k].Quota())
+}
+
+// MarkRepaired returns a failed node to service with a cold cache.
+func (h *HeadState) MarkRepaired(k NodeID, now units.Time) {
+	h.failed[k] = false
+	h.Available[k] = now
+}
+
+// Estimate returns Estimate[c]: the expected miss execution time for a task
+// on chunk c in a render group of the given size, initializing from the
+// cost model on first use. A miss does strictly more work than a hit
+// (it is a hit plus a load), so the estimate is floored just above the hit
+// estimate — otherwise a fast observed load could make the scheduler prefer
+// reloading over reusing forever.
+func (h *HeadState) Estimate(c volume.ChunkID, size units.Bytes, group int) units.Duration {
+	e, ok := h.estimate[c]
+	if !ok {
+		e = h.Model.MissExec(size, group)
+		h.estimate[c] = e
+	}
+	if floor := h.HitEstimate(size, group) + units.Microsecond; e < floor {
+		return floor
+	}
+	return e
+}
+
+// IdleThreshold returns ε = Estimate[c]/2, the minimum interactive-idle time
+// a node must show before a non-cached batch task may be placed on it.
+func (h *HeadState) IdleThreshold(c volume.ChunkID, size units.Bytes, group int) units.Duration {
+	return h.Estimate(c, size, group) / 2
+}
+
+// InteractiveIdle returns how long node k has gone without an interactive
+// assignment as of now.
+func (h *HeadState) InteractiveIdle(k NodeID, now units.Time) units.Duration {
+	return now.Sub(h.lastInteractive[k])
+}
+
+// CachedOn returns the nodes predicted to hold chunk c — the per-chunk view
+// of the Cache table (Cache[c] in Algorithm 1). Failed nodes are excluded.
+func (h *HeadState) CachedOn(c volume.ChunkID) []NodeID {
+	var nodes []NodeID
+	for k := range h.Caches {
+		if !h.failed[k] && h.Caches[k].Contains(c) {
+			nodes = append(nodes, NodeID(k))
+		}
+	}
+	return nodes
+}
+
+// hitKey buckets hit-cost observations.
+type hitKey struct {
+	size  units.Bytes
+	group int
+}
+
+// HitEstimate returns the expected cached-task execution time, preferring
+// observed times over the cost model.
+func (h *HeadState) HitEstimate(size units.Bytes, group int) units.Duration {
+	if obs, ok := h.hitObs[hitKey{size, group}]; ok {
+		return obs
+	}
+	return h.Model.HitExec(size, group)
+}
+
+// PredictExec prices running task t on node k under the current tables:
+// the (observed) hit cost when the chunk is predicted resident, Estimate[c]
+// otherwise.
+func (h *HeadState) PredictExec(t *Task, k NodeID) units.Duration {
+	group := t.Job.GroupSize()
+	if h.Caches[k].Contains(t.Chunk) {
+		return h.HitEstimate(t.Size, group)
+	}
+	return h.Estimate(t.Chunk, t.Size, group)
+}
+
+// CommitAssign records an assignment in the tables: bumps the node's
+// predicted available time, predicts the chunk load (with LRU eviction) on
+// a miss, and stamps lastInteractive for interactive tasks. It returns the
+// predicted execution time, which the engine threads through to Correct.
+func (h *HeadState) CommitAssign(t *Task, k NodeID, now units.Time) units.Duration {
+	exec := h.PredictExec(t, k)
+	start := h.Available[k]
+	if start < now {
+		start = now
+	}
+	h.Available[k] = start.Add(exec)
+	if !h.Caches[k].Contains(t.Chunk) {
+		h.Caches[k].Insert(t.Chunk, t.Size)
+	} else {
+		h.Caches[k].Touch(t.Chunk)
+	}
+	if t.Job.Class == Interactive {
+		h.lastInteractive[k] = now
+	}
+	t.PredictedExec = exec
+	return exec
+}
+
+// Correct reconciles the tables with an actual task completion (§V-B):
+// Estimate[c] tracks the latest observed miss time, the Available
+// prediction absorbs the drift between predicted and actual execution, and
+// the predicted cache drops whatever the node actually evicted.
+func (h *HeadState) Correct(res TaskResult, now units.Time) {
+	if res.Hit {
+		key := hitKey{res.Task.Size, res.Task.Job.GroupSize()}
+		if prev, ok := h.hitObs[key]; ok {
+			// Light smoothing keeps one outlier from flapping placements.
+			h.hitObs[key] = (3*prev + res.Exec) / 4
+		} else {
+			h.hitObs[key] = res.Exec
+		}
+	} else {
+		h.estimate[res.Task.Chunk] = res.Exec
+	}
+	drift := res.Exec - res.Predicted
+	if drift != 0 {
+		av := h.Available[res.Node].Add(drift)
+		if av < now {
+			av = now
+		}
+		h.Available[res.Node] = av
+	}
+	c := h.Caches[res.Node]
+	for _, ev := range res.Evicted {
+		c.Remove(ev)
+	}
+	// If the prediction said resident but the node actually missed, the
+	// node has (re)loaded it now either way; make sure the table agrees.
+	if !c.Contains(res.Task.Chunk) {
+		c.Insert(res.Task.Chunk, res.Task.Size)
+	}
+}

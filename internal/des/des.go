@@ -1,0 +1,174 @@
+// Package des is a small deterministic discrete-event simulation kernel.
+//
+// The simulator owns a virtual clock (units.Time) and a priority queue of
+// events. Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking by sequence number), which makes every run of
+// a seeded scenario bit-for-bit reproducible — a requirement for regenerating
+// the paper's figures.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"vizsched/internal/units"
+)
+
+// Event is a callback that fires at a virtual instant. The simulator passes
+// itself so handlers can schedule follow-up events.
+type Event func(sim *Simulator)
+
+// item is a scheduled event in the kernel's heap.
+type item struct {
+	at  units.Time
+	seq uint64
+	fn  Event
+	// canceled events stay in the heap but are skipped when popped; this is
+	// cheaper than O(n) removal and the common case (timers that do fire)
+	// pays nothing.
+	canceled bool
+	index    int
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct{ it *item }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled timer is a no-op. Cancel reports whether the event was
+// still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.it == nil || t.it.canceled {
+		return false
+	}
+	pending := t.it.index >= 0
+	t.it.canceled = true
+	return pending
+}
+
+// eventHeap orders items by (time, sequence).
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Simulator is the event loop. The zero value is not usable; call New.
+type Simulator struct {
+	now     units.Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// fired counts events executed, exposed for tests and runaway detection.
+	fired uint64
+}
+
+// New returns a simulator with its clock at the epoch.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() units.Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including canceled
+// events that have not yet been reaped).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in the
+// past panics: it always indicates a logic error in the model, and silently
+// clamping would corrupt causality.
+func (s *Simulator) At(at units.Time, fn Event) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("des: nil event")
+	}
+	it := &item{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, it)
+	return &Timer{it: it}
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// delays panic via At.
+func (s *Simulator) After(d units.Duration, fn Event) *Timer {
+	return s.At(s.now.Add(d), fn)
+}
+
+// Every schedules fn to run now+d, then every d thereafter, until the
+// returned Timer is canceled or the simulation stops. fn observes the tick
+// time via sim.Now().
+func (s *Simulator) Every(d units.Duration, fn Event) *Timer {
+	if d <= 0 {
+		panic("des: Every requires a positive period")
+	}
+	t := &Timer{}
+	var tick Event
+	tick = func(sim *Simulator) {
+		fn(sim)
+		if !t.it.canceled {
+			t.it = sim.After(d, tick).it
+		}
+	}
+	t.it = s.After(d, tick).it
+	return t
+}
+
+// Stop halts the event loop after the current event returns. Remaining
+// events are discarded by Run.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events in order until the queue drains, the horizon passes,
+// or Stop is called. A zero horizon means "run to completion". Run returns
+// the virtual time at which it stopped.
+func (s *Simulator) Run(horizon units.Time) units.Time {
+	for len(s.queue) > 0 && !s.stopped {
+		it := s.queue[0]
+		if horizon > 0 && it.at > horizon {
+			s.now = horizon
+			break
+		}
+		heap.Pop(&s.queue)
+		if it.canceled {
+			continue
+		}
+		if it.at < s.now {
+			panic("des: event heap yielded time travel")
+		}
+		s.now = it.at
+		s.fired++
+		it.fn(s)
+	}
+	if s.stopped {
+		// Drop whatever is left so a subsequent Run does not resurrect it.
+		s.queue = nil
+	}
+	return s.now
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"vizsched/internal/metrics"
+	"vizsched/internal/workload"
+)
+
+// ScenarioCSV writes one scenario's per-scheduler results as CSV, one row
+// per policy — the data behind one of Figs. 4–7, ready for any plotting
+// tool.
+func ScenarioCSV(w io.Writer, id workload.ScenarioID, reports []*metrics.Report) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"scenario", "scheduler", "fps", "interactive_latency_ms",
+		"interactive_p95_ms", "batch_latency_ms", "batch_working_ms",
+		"hit_rate_pct", "sched_cost_ns_per_job", "utilization_pct",
+		"interactive_completed", "batch_completed", "loads", "evictions",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	for _, r := range reports {
+		rec := []string{
+			strconv.Itoa(int(id)),
+			r.Scheduler,
+			f(r.MeanFramerate()),
+			f(r.Interactive.Latency.Mean().Milliseconds()),
+			f(r.Interactive.LatencyHist.P95().Milliseconds()),
+			f(r.Batch.Latency.Mean().Milliseconds()),
+			f(r.Batch.Working.Mean().Milliseconds()),
+			f(100 * r.HitRate()),
+			strconv.FormatInt(r.AvgSchedCostPerJob().Nanoseconds(), 10),
+			f(100 * r.Utilization()),
+			strconv.FormatInt(r.Interactive.Completed, 10),
+			strconv.FormatInt(r.Batch.Completed, 10),
+			strconv.FormatInt(r.Loads, 10),
+			strconv.FormatInt(r.Evictions, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig8CSV writes the user-action sweep as CSV.
+func Fig8CSV(w io.Writer, points []Fig8Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"actions", "fcfsu_ns_per_job", "fcfsl_ns_per_job", "ours_ns_per_job"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			strconv.Itoa(p.Actions),
+			strconv.FormatInt(p.Cost["FCFSU"].Nanoseconds(), 10),
+			strconv.FormatInt(p.Cost["FCFSL"].Nanoseconds(), 10),
+			strconv.FormatInt(p.Cost["OURS"].Nanoseconds(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig9CSV writes the dataset sweep as CSV.
+func Fig9CSV(w io.Writer, points []Fig9Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"datasets", "sched_cost_ns_per_job", "fps", "latency_ms"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			strconv.Itoa(p.Datasets),
+			strconv.FormatInt(p.Cost.Nanoseconds(), 10),
+			fmt.Sprintf("%.3f", p.Framerate),
+			fmt.Sprintf("%.3f", p.Latency.Milliseconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,325 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI): the pipeline-stage breakdown of Fig. 2, the scenario
+// configurations of Table II, the per-scheduler scenario results of
+// Figs. 4–7, the hit-rate/scheduling-cost summary of Table III, and the
+// scaling sweeps of Figs. 8 and 9. Both cmd/vizbench and the repository's
+// benchmarks drive these entry points, so the printed artifacts and the
+// benchmarked code paths are the same.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vizsched/internal/baselines"
+	"vizsched/internal/core"
+	"vizsched/internal/metrics"
+	"vizsched/internal/sim"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+	"vizsched/internal/workload"
+)
+
+// Schedulers returns fresh instances of all six scheduling policies in the
+// paper's presentation order: FS, SF, FCFS, FCFSU, FCFSL, OURS.
+func Schedulers() []core.Scheduler {
+	return []core.Scheduler{
+		baselines.NewFS(0),
+		baselines.NewSF(0),
+		baselines.FCFS{},
+		baselines.FCFSU{},
+		baselines.FCFSL{},
+		core.NewLocalityScheduler(0),
+	}
+}
+
+// SchedulerByName returns a fresh instance of the named policy. Beyond the
+// paper's six, "DELAY" selects the delay-scheduling extension (the paper's
+// reference [26]).
+func SchedulerByName(name string) (core.Scheduler, error) {
+	if name == "DELAY" {
+		return baselines.NewDelay(0, 0), nil
+	}
+	for _, s := range Schedulers() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown scheduler %q (want FS, SF, FCFS, FCFSU, FCFSL, OURS, or DELAY)", name)
+}
+
+// Jitter is the execution-time noise used by all experiment runs; it keeps
+// the prediction-correction path honest without breaking determinism.
+const Jitter = 0.05
+
+// ScenarioResult is one scheduler's outcome in one scenario: a bar group in
+// Figs. 4–7 plus a Table III cell pair.
+type ScenarioResult struct {
+	Report *metrics.Report
+}
+
+// RunScenarioAll runs one scenario under every scheduler at the given scale.
+func RunScenarioAll(id workload.ScenarioID, scale float64) []*metrics.Report {
+	cfg := workload.Scenario(id, scale)
+	var out []*metrics.Report
+	for _, s := range Schedulers() {
+		out = append(out, sim.RunScenario(cfg, s, Jitter))
+	}
+	return out
+}
+
+// Fig2Row is one pipeline stage of Fig. 2.
+type Fig2Row struct {
+	Stage string
+	Time  units.Duration
+}
+
+// Fig2Pipeline walks one 512 MB chunk through the visualization pipeline on
+// both cost models and returns the stage costs — the paper's point being
+// the orders-of-magnitude gap between data I/O and everything after it.
+func Fig2Pipeline(model core.CostModel, chunk units.Bytes, group int) []Fig2Row {
+	return []Fig2Row{
+		{"disk -> main memory", model.DiskRate.TimeFor(chunk)},
+		{"main memory -> GPU", model.PCIeRate.TimeFor(chunk)},
+		{"ray casting", model.RenderTime(chunk)},
+		{"image compositing", model.CompositeTime(group)},
+		{"dispatch + return", model.TaskOverhead},
+	}
+}
+
+// WriteFig2 prints the Fig. 2 breakdown for both systems.
+func WriteFig2(w io.Writer) {
+	for _, sys := range []struct {
+		name  string
+		model core.CostModel
+	}{
+		{"System 1 (8-node GTX 285 cluster)", core.System1CostModel()},
+		{"System 2 (ANL GPU cluster)", core.System2CostModel()},
+	} {
+		fmt.Fprintf(w, "Fig 2 — pipeline stage costs, 512MB chunk, 16-node group — %s\n", sys.name)
+		for _, r := range Fig2Pipeline(sys.model, 512*units.MB, 16) {
+			fmt.Fprintf(w, "  %-22s %12v\n", r.Stage, r.Time.Std())
+		}
+		m := sys.model
+		fmt.Fprintf(w, "  %-22s %12v   (tio dominates: miss/hit = %.0fx)\n\n",
+			"total (cold chunk)", m.MissExec(512*units.MB, 16).Std(),
+			float64(m.MissExec(512*units.MB, 16))/float64(m.HitExec(512*units.MB, 16)))
+	}
+}
+
+// WriteTableII prints the scenario configurations and verifies the generated
+// workloads hit Table II's job counts.
+func WriteTableII(w io.Writer, scale float64) {
+	fmt.Fprintf(w, "Table II — four scenarios (scale=%.2f)\n", scale)
+	fmt.Fprintf(w, "  %-9s %6s %12s %10s %12s %9s %10s %12s\n",
+		"scenario", "nodes", "total mem", "datasets", "total size", "length", "batch", "interactive")
+	for id := workload.Scenario1; id <= workload.Scenario4; id++ {
+		cfg := workload.Scenario(id, scale)
+		wl := workload.Generate(cfg.Spec)
+		fmt.Fprintf(w, "  %-9d %6d %12v %10d %12v %8.0fs %10d %12d\n",
+			cfg.ID, cfg.Nodes, cfg.TotalMemory(), cfg.DatasetCount, cfg.TotalData(),
+			cfg.Spec.Length.Seconds(), wl.BatchCount(), wl.InteractiveCount())
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteScenario runs one scenario under all schedulers and prints the
+// corresponding figure (Fig. 4, 5, 6, or 7).
+func WriteScenario(w io.Writer, id workload.ScenarioID, scale float64) []*metrics.Report {
+	fig := map[workload.ScenarioID]string{
+		workload.Scenario1: "Fig 4 — Scenario 1 (8 nodes, fully cacheable, interactive only)",
+		workload.Scenario2: "Fig 5 — Scenario 2 (8 nodes, 24GB data on 16GB memory, mixed)",
+		workload.Scenario3: "Fig 6 — Scenario 3 (64 nodes, light load, mixed)",
+		workload.Scenario4: "Fig 7 — Scenario 4 (64 nodes, 1TB heavy load, mixed)",
+	}
+	fmt.Fprintf(w, "%s  (scale=%.2f, target 33.33 fps)\n", fig[id], scale)
+	fmt.Fprintf(w, "  %-6s %9s %12s %12s %12s %9s\n",
+		"sched", "fps", "int-latency", "batch-lat", "batch-work", "hit-rate")
+	reports := RunScenarioAll(id, scale)
+	for _, r := range reports {
+		fmt.Fprintf(w, "  %-6s %9.2f %12v %12v %12v %8.2f%%\n",
+			r.Scheduler, r.MeanFramerate(),
+			r.Interactive.Latency.Mean().Std().Round(time.Millisecond),
+			r.Batch.Latency.Mean().Std().Round(time.Millisecond),
+			r.Batch.Working.Mean().Std().Round(time.Millisecond),
+			100*r.HitRate())
+	}
+	fmt.Fprintln(w)
+	return reports
+}
+
+// WriteTableIII prints hit rates and average scheduling costs for the four
+// schedulers Table III covers, from already-collected scenario reports
+// keyed by scenario ID.
+func WriteTableIII(w io.Writer, results map[workload.ScenarioID][]*metrics.Report) {
+	fmt.Fprintln(w, "Table III — data reuse hit rates and average scheduling costs")
+	fmt.Fprintf(w, "  %-9s %-10s %10s %10s %10s %10s\n",
+		"scenario", "metric", "FS", "FCFSU", "FCFSL", "OURS")
+	pick := func(rs []*metrics.Report, name string) *metrics.Report {
+		for _, r := range rs {
+			if r.Scheduler == name {
+				return r
+			}
+		}
+		return nil
+	}
+	for id := workload.Scenario1; id <= workload.Scenario4; id++ {
+		rs := results[id]
+		if rs == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-9d %-10s", id, "hit rate")
+		for _, n := range []string{"FS", "FCFSU", "FCFSL", "OURS"} {
+			fmt.Fprintf(w, " %9.2f%%", 100*pick(rs, n).HitRate())
+		}
+		fmt.Fprintf(w, "\n  %-9s %-10s", "", "avg cost")
+		for _, n := range []string{"FS", "FCFSU", "FCFSL", "OURS"} {
+			fmt.Fprintf(w, " %10v", pick(rs, n).AvgSchedCostPerJob().Round(100*time.Nanosecond))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// Fig8Point is one sample of the user-action sweep.
+type Fig8Point struct {
+	Actions int
+	Cost    map[string]time.Duration // scheduler -> avg scheduling cost per job
+}
+
+// Fig8ActionSweep reproduces Fig. 8: scheduling cost per job versus number
+// of simultaneous user actions on 32 nodes with 16 datasets of 4 GB,
+// comparing OURS, FCFSL, and FCFSU.
+func Fig8ActionSweep(actionCounts []int, seconds int) []Fig8Point {
+	var out []Fig8Point
+	for _, n := range actionCounts {
+		point := Fig8Point{Actions: n, Cost: make(map[string]time.Duration)}
+		for _, name := range []string{"FCFSU", "FCFSL", "OURS"} {
+			sched, err := SchedulerByName(name)
+			if err != nil {
+				panic(err)
+			}
+			var policy volume.Decomposition = volume.MaxChunk{Chkmax: 512 * units.MB}
+			if o, ok := sched.(core.DecompositionOverrider); ok {
+				policy = o.Decomposition(32)
+			}
+			lib := volume.NewLibrary()
+			for i := 1; i <= 16; i++ {
+				lib.Add(volume.NewDataset(volume.DatasetID(i), fmt.Sprintf("ds-%d", i), 4*units.GB, policy))
+			}
+			eng := sim.New(sim.Config{
+				Nodes:     32,
+				MemQuota:  8 * units.GB,
+				Model:     core.System2CostModel(),
+				Scheduler: sched,
+				Library:   lib,
+				Jitter:    Jitter,
+				Seed:      int64(n),
+				Preload:   true,
+			})
+			wl := workload.Generate(workload.Spec{
+				Length:            units.Time(units.Duration(seconds) * units.Second),
+				Datasets:          16,
+				ContinuousActions: n,
+				Seed:              int64(1000 + n),
+			})
+			rep := eng.Run(wl, 0)
+			point.Cost[name] = rep.AvgSchedCostPerJob()
+		}
+		out = append(out, point)
+	}
+	return out
+}
+
+// WriteFig8 runs and prints the action sweep.
+func WriteFig8(w io.Writer, actionCounts []int, seconds int) {
+	PrintFig8(w, Fig8ActionSweep(actionCounts, seconds))
+}
+
+// PrintFig8 prints already-computed action-sweep points.
+func PrintFig8(w io.Writer, points []Fig8Point) {
+	fmt.Fprintln(w, "Fig 8 — scheduling cost vs number of user actions (32 nodes, 16x4GB datasets)")
+	fmt.Fprintf(w, "  %-8s %12s %12s %12s\n", "actions", "FCFSU", "FCFSL", "OURS")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-8d %12v %12v %12v\n",
+			p.Actions,
+			p.Cost["FCFSU"].Round(100*time.Nanosecond),
+			p.Cost["FCFSL"].Round(100*time.Nanosecond),
+			p.Cost["OURS"].Round(100*time.Nanosecond))
+	}
+	fmt.Fprintln(w)
+}
+
+// Fig9Point is one sample of the dataset sweep.
+type Fig9Point struct {
+	Datasets  int
+	Cost      time.Duration
+	Framerate float64
+	Latency   units.Duration
+}
+
+// Fig9DatasetSweep reproduces Fig. 9: OURS scheduling cost, interactive
+// framerate, and latency versus the number of 8 GB datasets in use on 16
+// nodes with mixed interactive and batch jobs. Past 16 datasets the data
+// exceeds the 128 GB total memory, the regime the bottom panels highlight.
+func Fig9DatasetSweep(datasetCounts []int, seconds int) []Fig9Point {
+	var out []Fig9Point
+	for _, n := range datasetCounts {
+		sched := core.NewLocalityScheduler(0)
+		policy := volume.MaxChunk{Chkmax: 512 * units.MB}
+		lib := volume.NewLibrary()
+		for i := 1; i <= n; i++ {
+			lib.Add(volume.NewDataset(volume.DatasetID(i), fmt.Sprintf("ds-%d", i), 8*units.GB, policy))
+		}
+		eng := sim.New(sim.Config{
+			Nodes:     16,
+			MemQuota:  8 * units.GB,
+			Model:     core.System2CostModel(),
+			Scheduler: sched,
+			Library:   lib,
+			Jitter:    Jitter,
+			Seed:      int64(n),
+			Preload:   true,
+		})
+		hot := n
+		if hot > 8 {
+			hot = 8
+		}
+		wl := workload.Generate(workload.Spec{
+			Length:            units.Time(units.Duration(seconds) * units.Second),
+			Datasets:          n,
+			ContinuousActions: 4,
+			TargetBatch:       40 * seconds,
+			BatchFramesMin:    20, BatchFramesMax: 60,
+			HotDatasets: hot, HotFraction: 0.95,
+			BatchUniform: true,
+			Seed:         int64(2000 + n),
+		})
+		rep := eng.Run(wl, 0)
+		out = append(out, Fig9Point{
+			Datasets:  n,
+			Cost:      rep.AvgSchedCostPerJob(),
+			Framerate: rep.MeanFramerate(),
+			Latency:   rep.Interactive.Latency.Mean(),
+		})
+	}
+	return out
+}
+
+// WriteFig9 runs and prints the dataset sweep.
+func WriteFig9(w io.Writer, datasetCounts []int, seconds int) {
+	PrintFig9(w, Fig9DatasetSweep(datasetCounts, seconds))
+}
+
+// PrintFig9 prints already-computed dataset-sweep points.
+func PrintFig9(w io.Writer, points []Fig9Point) {
+	fmt.Fprintln(w, "Fig 9 — OURS vs number of 8GB datasets (16 nodes, 128GB total memory)")
+	fmt.Fprintf(w, "  %-9s %12s %10s %12s\n", "datasets", "sched cost", "fps", "int-latency")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-9d %12v %10.2f %12v\n",
+			p.Datasets, p.Cost.Round(100*time.Nanosecond), p.Framerate,
+			p.Latency.Std().Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,234 @@
+// Package img provides the premultiplied-alpha float image used throughout
+// the rendering pipeline, the front-to-back "over" operator that both the
+// ray caster and the sort-last compositors rely on, and encoders to standard
+// image formats.
+//
+// All colors are premultiplied by alpha. Premultiplication is what makes
+// "over" associative — the property the binary-swap and 2-3-swap compositors
+// (and their tests) depend on.
+package img
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"os"
+)
+
+// RGBA is one premultiplied color sample.
+type RGBA struct {
+	R, G, B, A float32
+}
+
+// Over composites src over dst (both premultiplied) and returns the result.
+// This is the standard Porter-Duff over operator.
+func (dst RGBA) Under(src RGBA) RGBA { return src.Over(dst) }
+
+// Over returns c composited over bg.
+func (c RGBA) Over(bg RGBA) RGBA {
+	t := 1 - c.A
+	return RGBA{
+		R: c.R + bg.R*t,
+		G: c.G + bg.G*t,
+		B: c.B + bg.B*t,
+		A: c.A + bg.A*t,
+	}
+}
+
+// AccumulateFrontToBack adds a new sample behind the accumulated color, the
+// form used inside a ray marcher: acc += (1-acc.A)*sample.
+func (c *RGBA) AccumulateFrontToBack(sample RGBA) {
+	t := 1 - c.A
+	c.R += sample.R * t
+	c.G += sample.G * t
+	c.B += sample.B * t
+	c.A += sample.A * t
+}
+
+// Opaque reports whether the sample is (nearly) fully opaque, the early-ray-
+// termination test.
+func (c RGBA) Opaque() bool { return c.A >= 0.995 }
+
+// Image is a W×H premultiplied float RGBA image.
+type Image struct {
+	W, H int
+	Pix  []RGBA
+}
+
+// New allocates a transparent-black image.
+func New(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid size %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]RGBA, w*h)}
+}
+
+// At returns the pixel at (x,y); coordinates must be in range.
+func (m *Image) At(x, y int) RGBA { return m.Pix[y*m.W+x] }
+
+// Set stores p at (x,y).
+func (m *Image) Set(x, y int, p RGBA) { m.Pix[y*m.W+x] = p }
+
+// Clone returns a deep copy.
+func (m *Image) Clone() *Image {
+	c := New(m.W, m.H)
+	copy(c.Pix, m.Pix)
+	return c
+}
+
+// CompositeOver composites front over m in place, pixelwise. The images must
+// be the same size.
+func (m *Image) CompositeOver(front *Image) {
+	if front.W != m.W || front.H != m.H {
+		panic(fmt.Sprintf("img: size mismatch %dx%d over %dx%d", front.W, front.H, m.W, m.H))
+	}
+	for i := range m.Pix {
+		m.Pix[i] = front.Pix[i].Over(m.Pix[i])
+	}
+}
+
+// MaxDiff returns the largest absolute channel difference between two
+// equal-sized images, used by tests to compare compositing strategies.
+func MaxDiff(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("img: MaxDiff size mismatch")
+	}
+	var worst float64
+	for i := range a.Pix {
+		p, q := a.Pix[i], b.Pix[i]
+		for _, d := range []float32{p.R - q.R, p.G - q.G, p.B - q.B, p.A - q.A} {
+			if f := math.Abs(float64(d)); f > worst {
+				worst = f
+			}
+		}
+	}
+	return worst
+}
+
+// ToNRGBA converts to a standard library image, un-premultiplying and
+// compositing onto an opaque black background.
+func (m *Image) ToNRGBA() *image.NRGBA {
+	out := image.NewNRGBA(image.Rect(0, 0, m.W, m.H))
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			p := m.At(x, y).Over(RGBA{0, 0, 0, 1})
+			out.SetNRGBA(x, y, color.NRGBA{
+				R: to8(p.R),
+				G: to8(p.G),
+				B: to8(p.B),
+				A: 255,
+			})
+		}
+	}
+	return out
+}
+
+func to8(v float32) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return uint8(v*255 + 0.5)
+}
+
+// EncodePNG writes the image as PNG.
+func (m *Image) EncodePNG(w io.Writer) error {
+	return png.Encode(w, m.ToNRGBA())
+}
+
+// SavePNG writes the image to the named PNG file.
+func (m *Image) SavePNG(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.EncodePNG(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// EncodePPM writes the image as a binary P6 PPM — useful where a viewer
+// without PNG support inspects output, and as a second, trivially parseable
+// format for tests.
+func (m *Image) EncodePPM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", m.W, m.H); err != nil {
+		return err
+	}
+	row := make([]byte, m.W*3)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			p := m.At(x, y).Over(RGBA{0, 0, 0, 1})
+			row[x*3+0] = to8(p.R)
+			row[x*3+1] = to8(p.G)
+			row[x*3+2] = to8(p.B)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Luminance returns the mean luminance of the image composited on black,
+// a cheap scalar summary tests use to assert "something visible rendered".
+func (m *Image) Luminance() float64 {
+	var sum float64
+	for _, p := range m.Pix {
+		c := p.Over(RGBA{0, 0, 0, 1})
+		sum += 0.2126*float64(c.R) + 0.7152*float64(c.G) + 0.0722*float64(c.B)
+	}
+	return sum / float64(len(m.Pix))
+}
+
+// PSNR returns the peak signal-to-noise ratio between two equal-sized
+// images in decibels, computed over RGB composited on black — the standard
+// fidelity figure for comparing compositing strategies and codecs.
+// Identical images return +Inf.
+func PSNR(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("img: PSNR size mismatch")
+	}
+	var mse float64
+	for i := range a.Pix {
+		p := a.Pix[i].Over(RGBA{0, 0, 0, 1})
+		q := b.Pix[i].Over(RGBA{0, 0, 0, 1})
+		for _, d := range []float32{p.R - q.R, p.G - q.G, p.B - q.B} {
+			mse += float64(d) * float64(d)
+		}
+	}
+	mse /= float64(len(a.Pix) * 3)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(1/mse)
+}
+
+// Diff returns a heatmap image of per-pixel differences (red intensity ∝
+// max channel error), for debugging compositing or codec regressions.
+func Diff(a, b *Image) *Image {
+	if a.W != b.W || a.H != b.H {
+		panic("img: Diff size mismatch")
+	}
+	out := New(a.W, a.H)
+	for i := range a.Pix {
+		p, q := a.Pix[i], b.Pix[i]
+		var worst float32
+		for _, d := range []float32{p.R - q.R, p.G - q.G, p.B - q.B, p.A - q.A} {
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		out.Pix[i] = RGBA{R: worst, A: worst}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package img
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float32) bool { return math.Abs(float64(a-b)) < 1e-5 }
+
+func TestOverIdentities(t *testing.T) {
+	c := RGBA{0.2, 0.3, 0.4, 0.5}
+	clear := RGBA{}
+	opaque := RGBA{0.9, 0.1, 0.2, 1}
+	// Transparent over X = X.
+	got := clear.Over(c)
+	if !almost(got.R, c.R) || !almost(got.A, c.A) {
+		t.Errorf("clear over c = %+v", got)
+	}
+	// Opaque over X = opaque.
+	got = opaque.Over(c)
+	if got != opaque {
+		t.Errorf("opaque over c = %+v", got)
+	}
+}
+
+func randColor(rng *rand.Rand) RGBA {
+	a := rng.Float32()
+	// Premultiplied: channels never exceed alpha.
+	return RGBA{rng.Float32() * a, rng.Float32() * a, rng.Float32() * a, a}
+}
+
+// Property: over is associative for premultiplied colors.
+func TestQuickOverAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randColor(rng), randColor(rng), randColor(rng)
+		ab := a.Over(b)
+		bc := b.Over(c)
+		l := ab.Over(c)
+		r := a.Over(bc)
+		return almost(l.R, r.R) && almost(l.G, r.G) && almost(l.B, r.B) && almost(l.A, r.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: front-to-back accumulation equals a chain of Over operations.
+func TestQuickAccumulateMatchesOver(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]RGBA, int(n%8)+1)
+		for i := range samples {
+			samples[i] = randColor(rng)
+		}
+		var acc RGBA
+		for _, s := range samples {
+			acc.AccumulateFrontToBack(s)
+		}
+		// Back-to-front: composite from the last sample backwards.
+		over := samples[len(samples)-1]
+		for i := len(samples) - 2; i >= 0; i-- {
+			over = samples[i].Over(over)
+		}
+		return almost(acc.R, over.R) && almost(acc.G, over.G) && almost(acc.B, over.B) && almost(acc.A, over.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpaque(t *testing.T) {
+	if (RGBA{A: 0.9}).Opaque() {
+		t.Error("0.9 alpha reported opaque")
+	}
+	if !(RGBA{A: 0.999}).Opaque() {
+		t.Error("0.999 alpha not opaque")
+	}
+}
+
+func TestImageSetAtAndClone(t *testing.T) {
+	m := New(4, 3)
+	p := RGBA{0.1, 0.2, 0.3, 0.4}
+	m.Set(2, 1, p)
+	if m.At(2, 1) != p {
+		t.Error("Set/At roundtrip failed")
+	}
+	c := m.Clone()
+	c.Set(2, 1, RGBA{})
+	if m.At(2, 1) != p {
+		t.Error("Clone aliases storage")
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestCompositeOverWholeImage(t *testing.T) {
+	back := New(2, 2)
+	for i := range back.Pix {
+		back.Pix[i] = RGBA{0, 0.5, 0, 0.5}
+	}
+	front := New(2, 2)
+	front.Set(0, 0, RGBA{1, 0, 0, 1})
+	back.CompositeOver(front)
+	if got := back.At(0, 0); got != (RGBA{1, 0, 0, 1}) {
+		t.Errorf("opaque front pixel = %+v", got)
+	}
+	if got := back.At(1, 1); !almost(got.G, 0.5) {
+		t.Errorf("transparent front pixel = %+v", got)
+	}
+}
+
+func TestCompositeOverSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(2, 2).CompositeOver(New(3, 3))
+}
+
+func TestMaxDiff(t *testing.T) {
+	a, b := New(2, 2), New(2, 2)
+	if MaxDiff(a, b) != 0 {
+		t.Error("identical images differ")
+	}
+	b.Set(1, 1, RGBA{0, 0, 0.25, 0})
+	if d := MaxDiff(a, b); math.Abs(d-0.25) > 1e-9 {
+		t.Errorf("MaxDiff = %v, want 0.25", d)
+	}
+}
+
+func TestPNGEncode(t *testing.T) {
+	m := New(8, 8)
+	m.Set(3, 3, RGBA{1, 0, 0, 1})
+	var buf bytes.Buffer
+	if err := m.EncodePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 8 || decoded.Bounds().Dy() != 8 {
+		t.Errorf("bounds = %v", decoded.Bounds())
+	}
+	r, _, _, _ := decoded.At(3, 3).RGBA()
+	if r < 0xf000 {
+		t.Errorf("red pixel = %#x", r)
+	}
+}
+
+func TestSavePNG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.png")
+	if err := New(4, 4).SavePNG(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPPMEncode(t *testing.T) {
+	m := New(3, 2)
+	m.Set(0, 0, RGBA{1, 1, 1, 1})
+	var buf bytes.Buffer
+	if err := m.EncodePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "P6\n3 2\n255\n"
+	if got := buf.String()[:len(want)]; got != want {
+		t.Errorf("header = %q", got)
+	}
+	if buf.Len() != len(want)+3*2*3 {
+		t.Errorf("payload length = %d", buf.Len())
+	}
+	body := buf.Bytes()[len(want):]
+	if body[0] != 255 || body[1] != 255 || body[2] != 255 {
+		t.Errorf("first pixel = %v", body[:3])
+	}
+	if body[3] != 0 {
+		t.Errorf("second pixel R = %v", body[3])
+	}
+}
+
+func TestLuminance(t *testing.T) {
+	black := New(4, 4)
+	if black.Luminance() != 0 {
+		t.Error("black image has nonzero luminance")
+	}
+	white := New(4, 4)
+	for i := range white.Pix {
+		white.Pix[i] = RGBA{1, 1, 1, 1}
+	}
+	if l := white.Luminance(); math.Abs(l-1) > 1e-4 {
+		t.Errorf("white luminance = %v", l)
+	}
+}
+
+func TestPSNRAndDiff(t *testing.T) {
+	a := New(8, 8)
+	for i := range a.Pix {
+		a.Pix[i] = RGBA{R: 0.5, G: 0.25, B: 0.75, A: 1}
+	}
+	if p := PSNR(a, a.Clone()); !math.IsInf(p, 1) {
+		t.Errorf("identical PSNR = %v, want +Inf", p)
+	}
+	b := a.Clone()
+	b.Set(0, 0, RGBA{R: 0.6, G: 0.25, B: 0.75, A: 1})
+	p := PSNR(a, b)
+	if p < 30 || math.IsInf(p, 1) {
+		t.Errorf("one-pixel PSNR = %v, want high but finite", p)
+	}
+	// Larger error → lower PSNR.
+	c := a.Clone()
+	for i := range c.Pix {
+		c.Pix[i].R += 0.2
+	}
+	if PSNR(a, c) >= p {
+		t.Error("PSNR not monotone in error")
+	}
+	d := Diff(a, b)
+	if d.At(0, 0).R == 0 {
+		t.Error("Diff missed the changed pixel")
+	}
+	if d.At(3, 3).R != 0 {
+		t.Error("Diff flagged an identical pixel")
+	}
+}
+
+func TestPSNRSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PSNR(New(2, 2), New(3, 3))
+}

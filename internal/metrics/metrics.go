@@ -1,0 +1,262 @@
+// Package metrics collects and summarizes the quantities the paper's
+// evaluation reports: per-class job latency (Definition 3), per-action
+// framerate (Definition 4), batch working time (Definition 2), data-reuse
+// hit rate, and scheduling cost (Table III). All aggregation is streaming —
+// scenario 4 completes 400k+ jobs and storing per-job samples would
+// dominate memory.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vizsched/internal/units"
+)
+
+// Running accumulates count/mean/min/max of a duration-valued stream.
+type Running struct {
+	N         int64
+	sum       float64
+	Min, Max  units.Duration
+	populated bool
+}
+
+// Add folds one observation in.
+func (r *Running) Add(d units.Duration) {
+	r.N++
+	r.sum += float64(d)
+	if !r.populated || d < r.Min {
+		r.Min = d
+	}
+	if !r.populated || d > r.Max {
+		r.Max = d
+	}
+	r.populated = true
+}
+
+// Mean returns the average, or zero with no observations.
+func (r *Running) Mean() units.Duration {
+	if r.N == 0 {
+		return 0
+	}
+	return units.Duration(r.sum / float64(r.N))
+}
+
+// ActionStat tracks one action's framerate per Definition 4: over the n
+// completed jobs of the action, framerate = (n−1)/(JF(n)−JF(1)).
+type ActionStat struct {
+	Completed   int64
+	FirstFinish units.Time
+	LastFinish  units.Time
+}
+
+// Finish folds one job completion in. Finish times from a DES arrive in
+// nondecreasing order, so first/last tracking suffices.
+func (a *ActionStat) Finish(at units.Time) {
+	if a.Completed == 0 {
+		a.FirstFinish = at
+	}
+	a.LastFinish = at
+	a.Completed++
+}
+
+// Framerate returns the achieved frames per second, or zero when fewer than
+// two jobs completed.
+func (a *ActionStat) Framerate() float64 {
+	if a.Completed < 2 {
+		return 0
+	}
+	span := a.LastFinish.Sub(a.FirstFinish).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(a.Completed-1) / span
+}
+
+// ClassStats aggregates one job class.
+type ClassStats struct {
+	Issued    int64
+	Completed int64
+	Latency   Running // JF − JI
+	Working   Running // JF − JS (the paper's batch "working time")
+	// LatencyHist captures the latency distribution for tail analysis.
+	LatencyHist Histogram
+}
+
+// Report is the full result of one scenario run under one scheduler — one
+// bar group of Figs. 4–7 plus one row of Table III.
+type Report struct {
+	Scheduler string
+	Horizon   units.Time
+
+	Interactive ClassStats
+	Batch       ClassStats
+	// actions tracks per-action framerates for interactive actions.
+	actions map[int]*ActionStat
+
+	// Hits and Misses count task accesses by actual cache residency.
+	Hits, Misses int64
+	// Loads counts disk loads performed; equal to Misses in the serial node
+	// model, but smaller under overlapped I/O where waiting tasks coalesce
+	// onto one load.
+	Loads int64
+	// Evictions counts actual cache evictions across all nodes (swap volume).
+	Evictions int64
+
+	// SchedWall is real wall-clock time spent inside Schedule calls;
+	// SchedInvocations counts calls; JobsScheduled counts distinct jobs that
+	// received at least one assignment.
+	SchedWall        time.Duration
+	SchedInvocations int64
+	JobsScheduled    int64
+
+	// BusyNodeTime accumulates node-seconds of task execution for the
+	// utilization figure.
+	BusyNodeTime units.Duration
+	Nodes        int
+}
+
+// NewReport returns an empty report for the named scheduler.
+func NewReport(scheduler string, nodes int) *Report {
+	return &Report{Scheduler: scheduler, Nodes: nodes, actions: make(map[int]*ActionStat)}
+}
+
+// JobIssued records a job entering the system.
+func (r *Report) JobIssued(interactive bool) {
+	if interactive {
+		r.Interactive.Issued++
+	} else {
+		r.Batch.Issued++
+	}
+}
+
+// JobCompleted records a finished job.
+func (r *Report) JobCompleted(interactive bool, action int, issued, started, finished units.Time) {
+	cs := &r.Batch
+	if interactive {
+		cs = &r.Interactive
+	}
+	cs.Completed++
+	cs.Latency.Add(finished.Sub(issued))
+	cs.LatencyHist.Add(finished.Sub(issued))
+	cs.Working.Add(finished.Sub(started))
+	if interactive {
+		a := r.actions[action]
+		if a == nil {
+			a = &ActionStat{}
+			r.actions[action] = a
+		}
+		a.Finish(finished)
+	}
+}
+
+// TaskAccess records a cache hit or miss.
+func (r *Report) TaskAccess(hit bool) {
+	if hit {
+		r.Hits++
+	} else {
+		r.Misses++
+	}
+}
+
+// BusyAdd accumulates node busy time.
+func (r *Report) BusyAdd(d units.Duration) { r.BusyNodeTime += d }
+
+// EvictionsAdd accumulates cache evictions.
+func (r *Report) EvictionsAdd(n int) { r.Evictions += int64(n) }
+
+// LoadAdd records one disk load.
+func (r *Report) LoadAdd() { r.Loads++ }
+
+// TaskExecuted records one serial task execution's cache outcome and node
+// time in one call.
+func (r *Report) TaskExecuted(hit bool, exec units.Duration, evictions int) {
+	r.TaskAccess(hit)
+	r.EvictionsAdd(evictions)
+	r.BusyAdd(exec)
+}
+
+// ScheduleCall records one scheduler invocation.
+func (r *Report) ScheduleCall(wall time.Duration, jobsAssigned int) {
+	r.SchedWall += wall
+	r.SchedInvocations++
+	r.JobsScheduled += int64(jobsAssigned)
+}
+
+// HitRate returns hits/(hits+misses), or zero with no executions.
+func (r *Report) HitRate() float64 {
+	total := r.Hits + r.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// MeanFramerate averages the per-action framerates over interactive actions
+// that completed at least two jobs — the bar heights of Figs. 4–7.
+func (r *Report) MeanFramerate() float64 {
+	var sum float64
+	var n int
+	for _, a := range r.actions {
+		if f := a.Framerate(); f > 0 {
+			sum += f
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MinFramerate returns the worst per-action framerate (fairness floor).
+func (r *Report) MinFramerate() float64 {
+	min := math.Inf(1)
+	any := false
+	for _, a := range r.actions {
+		if f := a.Framerate(); f > 0 {
+			any = true
+			if f < min {
+				min = f
+			}
+		}
+	}
+	if !any {
+		return 0
+	}
+	return min
+}
+
+// ActionCount returns the number of interactive actions observed.
+func (r *Report) ActionCount() int { return len(r.actions) }
+
+// AvgSchedCostPerJob is Table III's "avg. cost": wall time per scheduled job.
+func (r *Report) AvgSchedCostPerJob() time.Duration {
+	if r.JobsScheduled == 0 {
+		return 0
+	}
+	return r.SchedWall / time.Duration(r.JobsScheduled)
+}
+
+// Utilization returns mean node busy fraction over the horizon.
+func (r *Report) Utilization() float64 {
+	if r.Nodes == 0 || r.Horizon == 0 {
+		return 0
+	}
+	return r.BusyNodeTime.Seconds() / (float64(r.Nodes) * r.Horizon.Seconds())
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"%-6s fps=%6.2f  int-lat=%9v  batch-lat=%9v  work=%9v  hit=%6.2f%%  sched=%7v/job  util=%4.0f%%",
+		r.Scheduler, r.MeanFramerate(),
+		r.Interactive.Latency.Mean().Std().Round(time.Millisecond),
+		r.Batch.Latency.Mean().Std().Round(time.Millisecond),
+		r.Batch.Working.Mean().Std().Round(time.Millisecond),
+		100*r.HitRate(),
+		r.AvgSchedCostPerJob().Round(100*time.Nanosecond),
+		100*r.Utilization(),
+	)
+}

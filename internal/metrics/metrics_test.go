@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vizsched/internal/units"
+)
+
+func TestRunningStats(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 {
+		t.Error("empty mean not zero")
+	}
+	r.Add(2 * units.Second)
+	r.Add(4 * units.Second)
+	r.Add(6 * units.Second)
+	if r.N != 3 {
+		t.Errorf("N = %d", r.N)
+	}
+	if r.Mean() != 4*units.Second {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+	if r.Min != 2*units.Second || r.Max != 6*units.Second {
+		t.Errorf("Min/Max = %v/%v", r.Min, r.Max)
+	}
+}
+
+// Property: mean lies within [min, max] for any observation set.
+func TestQuickRunningBounds(t *testing.T) {
+	f := func(xs []uint32) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var r Running
+		for _, x := range xs {
+			r.Add(units.Duration(x))
+		}
+		m := r.Mean()
+		return m >= r.Min && m <= r.Max && r.N == int64(len(xs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActionFramerate(t *testing.T) {
+	var a ActionStat
+	if a.Framerate() != 0 {
+		t.Error("empty action framerate not zero")
+	}
+	// 4 jobs finishing at 0, 30, 60, 90 ms: (4-1)/(0.09s) = 33.33 fps.
+	for i := 0; i < 4; i++ {
+		a.Finish(units.Time(units.Duration(i) * 30 * units.Millisecond))
+	}
+	if f := a.Framerate(); math.Abs(f-33.333) > 0.01 {
+		t.Errorf("Framerate = %v, want 33.33", f)
+	}
+	// Single completion: undefined → zero.
+	var b ActionStat
+	b.Finish(units.Time(units.Second))
+	if b.Framerate() != 0 {
+		t.Error("single-job framerate not zero")
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	r := NewReport("OURS", 8)
+	r.Horizon = units.Time(60 * units.Second)
+	r.JobIssued(true)
+	r.JobIssued(true)
+	r.JobIssued(false)
+
+	r.JobCompleted(true, 1, 0, units.Time(5*units.Millisecond), units.Time(20*units.Millisecond))
+	r.JobCompleted(true, 1, units.Time(30*units.Millisecond), units.Time(32*units.Millisecond), units.Time(50*units.Millisecond))
+	r.JobCompleted(false, 2, 0, units.Time(units.Second), units.Time(3*units.Second))
+
+	if r.Interactive.Completed != 2 || r.Batch.Completed != 1 {
+		t.Errorf("completed = %d/%d", r.Interactive.Completed, r.Batch.Completed)
+	}
+	if r.Interactive.Latency.Mean() != 20*units.Millisecond {
+		t.Errorf("interactive latency = %v", r.Interactive.Latency.Mean())
+	}
+	if r.Batch.Working.Mean() != 2*units.Second {
+		t.Errorf("batch working = %v", r.Batch.Working.Mean())
+	}
+	if r.ActionCount() != 1 {
+		t.Errorf("actions = %d", r.ActionCount())
+	}
+	// Framerate for action 1: 1 interval of 30ms → 33.3fps.
+	if f := r.MeanFramerate(); math.Abs(f-33.333) > 0.01 {
+		t.Errorf("mean framerate = %v", f)
+	}
+	if f := r.MinFramerate(); math.Abs(f-33.333) > 0.01 {
+		t.Errorf("min framerate = %v", f)
+	}
+}
+
+func TestHitRateAndUtilization(t *testing.T) {
+	r := NewReport("X", 2)
+	r.Horizon = units.Time(10 * units.Second)
+	if r.HitRate() != 0 {
+		t.Error("empty hit rate not zero")
+	}
+	r.TaskExecuted(true, 2*units.Second, 0)
+	r.TaskExecuted(true, 2*units.Second, 1)
+	r.TaskExecuted(false, 6*units.Second, 2)
+	if hr := r.HitRate(); math.Abs(hr-2.0/3) > 1e-9 {
+		t.Errorf("hit rate = %v", hr)
+	}
+	if r.Evictions != 3 {
+		t.Errorf("evictions = %d", r.Evictions)
+	}
+	// 10 node-seconds busy over 2 nodes × 10 s = 50%.
+	if u := r.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestSchedulingCost(t *testing.T) {
+	r := NewReport("X", 1)
+	if r.AvgSchedCostPerJob() != 0 {
+		t.Error("empty cost not zero")
+	}
+	r.ScheduleCall(100_000, 2) // 100µs for 2 jobs
+	r.ScheduleCall(300_000, 2)
+	if got := r.AvgSchedCostPerJob(); got != 100_000 {
+		t.Errorf("avg cost = %v, want 100µs", got)
+	}
+	if r.SchedInvocations != 2 || r.JobsScheduled != 4 {
+		t.Error("invocation accounting wrong")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := NewReport("FCFS", 4)
+	r.Horizon = units.Time(units.Second)
+	if s := r.String(); len(s) == 0 {
+		t.Error("empty String")
+	}
+}

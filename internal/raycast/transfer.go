@@ -1,0 +1,157 @@
+package raycast
+
+import (
+	"vizsched/internal/img"
+)
+
+// TransferFunc maps a normalized scalar value in [0,1] to a *straight*
+// (non-premultiplied) color and opacity; the renderer premultiplies after
+// opacity correction.
+type TransferFunc interface {
+	Lookup(v float32) (r, g, b, a float32)
+}
+
+// ControlPoint anchors a piecewise-linear transfer function.
+type ControlPoint struct {
+	V          float32 // scalar value in [0,1]
+	R, G, B, A float32
+}
+
+// Piecewise is a piecewise-linear transfer function over sorted control
+// points, the classic editor-style TF scientists use.
+type Piecewise struct {
+	Points []ControlPoint
+}
+
+// Lookup implements TransferFunc by linear interpolation between the
+// bracketing control points; values outside the range clamp to the ends.
+func (p Piecewise) Lookup(v float32) (r, g, b, a float32) {
+	pts := p.Points
+	if len(pts) == 0 {
+		return 0, 0, 0, 0
+	}
+	if v <= pts[0].V {
+		c := pts[0]
+		return c.R, c.G, c.B, c.A
+	}
+	last := pts[len(pts)-1]
+	if v >= last.V {
+		return last.R, last.G, last.B, last.A
+	}
+	for i := 1; i < len(pts); i++ {
+		if v <= pts[i].V {
+			lo, hi := pts[i-1], pts[i]
+			span := hi.V - lo.V
+			t := float32(0)
+			if span > 0 {
+				t = (v - lo.V) / span
+			}
+			return lo.R + (hi.R-lo.R)*t,
+				lo.G + (hi.G-lo.G)*t,
+				lo.B + (hi.B-lo.B)*t,
+				lo.A + (hi.A-lo.A)*t
+		}
+	}
+	return last.R, last.G, last.B, last.A
+}
+
+// LUT is a precomputed 256-entry lookup table, the form a GPU shader would
+// sample; Bake converts any TransferFunc into one.
+type LUT struct {
+	table [256][4]float32
+}
+
+// Bake samples tf into a LUT.
+func Bake(tf TransferFunc) *LUT {
+	l := &LUT{}
+	for i := 0; i < 256; i++ {
+		r, g, b, a := tf.Lookup(float32(i) / 255)
+		l.table[i] = [4]float32{r, g, b, a}
+	}
+	return l
+}
+
+// Lookup implements TransferFunc with nearest-entry sampling.
+func (l *LUT) Lookup(v float32) (r, g, b, a float32) {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	e := l.table[int(v*255+0.5)]
+	return e[0], e[1], e[2], e[3]
+}
+
+// Preset transfer functions for the Fig. 10 analogue datasets. Opacities are
+// kept low in the "air" range so internal structure shows through, as in the
+// paper's images.
+var presets = map[string]Piecewise{
+	"plume": {Points: []ControlPoint{
+		{V: 0.00, A: 0},
+		{V: 0.15, A: 0},
+		{V: 0.3, R: 0.1, G: 0.25, B: 0.8, A: 0.03},
+		{V: 0.55, R: 0.2, G: 0.75, B: 0.9, A: 0.12},
+		{V: 0.8, R: 0.95, G: 0.9, B: 0.5, A: 0.35},
+		{V: 1.0, R: 1, G: 1, B: 1, A: 0.6},
+	}},
+	"combustion": {Points: []ControlPoint{
+		{V: 0.00, A: 0},
+		{V: 0.2, A: 0},
+		{V: 0.4, R: 0.4, G: 0.05, B: 0.02, A: 0.05},
+		{V: 0.65, R: 0.95, G: 0.45, B: 0.05, A: 0.25},
+		{V: 0.85, R: 1, G: 0.85, B: 0.3, A: 0.5},
+		{V: 1.0, R: 1, G: 1, B: 0.9, A: 0.7},
+	}},
+	"supernova": {Points: []ControlPoint{
+		{V: 0.00, A: 0},
+		{V: 0.18, A: 0},
+		{V: 0.35, R: 0.25, G: 0.05, B: 0.45, A: 0.04},
+		{V: 0.6, R: 0.85, G: 0.25, B: 0.35, A: 0.18},
+		{V: 0.82, R: 1, G: 0.7, B: 0.25, A: 0.45},
+		{V: 1.0, R: 1, G: 1, B: 0.85, A: 0.75},
+	}},
+}
+
+// DefaultTF is a generic grayscale-to-fire ramp used when no preset exists.
+var DefaultTF = Piecewise{Points: []ControlPoint{
+	{V: 0.0, A: 0},
+	{V: 0.25, R: 0.2, G: 0.1, B: 0.4, A: 0.02},
+	{V: 0.55, R: 0.8, G: 0.35, B: 0.1, A: 0.15},
+	{V: 0.8, R: 1, G: 0.8, B: 0.3, A: 0.4},
+	{V: 1.0, R: 1, G: 1, B: 1, A: 0.65},
+}}
+
+// PresetTF returns the transfer function for a named dataset, falling back
+// to DefaultTF.
+func PresetTF(name string) TransferFunc {
+	if p, ok := presets[name]; ok {
+		return p
+	}
+	return DefaultTF
+}
+
+// classify converts a straight-alpha TF sample into a premultiplied,
+// opacity-corrected sample for the given step length relative to the
+// reference step. Opacity correction keeps images stable when the step size
+// changes: a' = 1-(1-a)^(step/ref).
+func classify(tf TransferFunc, v float32, stepRatio float64) img.RGBA {
+	r, g, b, a := tf.Lookup(v)
+	if a <= 0 {
+		return img.RGBA{}
+	}
+	corrected := float32(1 - pow1m(float64(a), stepRatio))
+	return img.RGBA{R: r * corrected, G: g * corrected, B: b * corrected, A: corrected}
+}
+
+// pow1m computes (1-a)^e with guards for the endpoints.
+func pow1m(a, e float64) float64 {
+	base := 1 - a
+	if base <= 0 {
+		return 0
+	}
+	if base >= 1 {
+		return 1
+	}
+	return powFast(base, e)
+}

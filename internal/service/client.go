@@ -1,0 +1,196 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"image/png"
+	"sync"
+	"time"
+
+	"vizsched/internal/core"
+	"vizsched/internal/transport"
+	"vizsched/internal/units"
+)
+
+// RenderResult is a completed render as seen by a client.
+type RenderResult struct {
+	Image   image.Image
+	PNG     []byte
+	Elapsed time.Duration
+	// Hits and Misses report how many of the job's chunks were already
+	// resident on their workers.
+	Hits, Misses int
+}
+
+// Client issues render requests to a head node over any transport. It is
+// safe for concurrent use; requests are correlated by message ID so several
+// renders (for instance, a batch animation) can be in flight at once.
+type Client struct {
+	conn transport.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Outcome
+	readErr error
+	started bool
+}
+
+// Outcome is the resolution of an asynchronous render.
+type Outcome struct {
+	Result RenderResult
+	Err    error
+}
+
+// NewClient wraps a connection to a head node.
+func NewClient(conn transport.Conn) *Client {
+	return &Client{conn: conn, pending: make(map[uint64]chan Outcome)}
+}
+
+// DialTCP connects a client to a head node's TCP address.
+func DialTCP(addr string) (*Client, error) {
+	conn, err := transport.DialTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// readLoop delivers responses to their waiting requests.
+func (c *Client) readLoop() {
+	for {
+		msg, err := c.conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				ch <- Outcome{Err: fmt.Errorf("service: connection lost: %w", err)}
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[msg.ID]
+		delete(c.pending, msg.ID)
+		c.mu.Unlock()
+		if ch == nil {
+			continue
+		}
+		switch msg.Kind {
+		case transport.KindResult:
+			var body ResultBody
+			if err := transport.Decode(msg.Body, &body); err != nil {
+				ch <- Outcome{Err: err}
+				continue
+			}
+			decoded, err := png.Decode(bytes.NewReader(body.PNG))
+			if err != nil {
+				ch <- Outcome{Err: fmt.Errorf("service: decoding result: %w", err)}
+				continue
+			}
+			ch <- Outcome{Result: RenderResult{
+				Image:   decoded,
+				PNG:     body.PNG,
+				Elapsed: time.Duration(body.ElapsedNanos),
+				Hits:    body.Hits,
+				Misses:  body.Misses,
+			}}
+		case transport.KindError:
+			var body ErrorBody
+			_ = transport.Decode(msg.Body, &body)
+			ch <- Outcome{Err: fmt.Errorf("service: %s", body.Msg)}
+		}
+	}
+}
+
+// Render issues one request and waits for its image.
+func (c *Client) Render(req RenderBody) (RenderResult, error) {
+	ch, err := c.RenderAsync(req)
+	if err != nil {
+		return RenderResult{}, err
+	}
+	r := <-ch
+	return r.Result, r.Err
+}
+
+// RenderAsync issues a request and returns a channel that will receive the
+// outcome — how a viewer pipelines interactive frames.
+func (c *Client) RenderAsync(req RenderBody) (<-chan Outcome, error) {
+	c.mu.Lock()
+	if !c.started {
+		c.started = true
+		go c.readLoop()
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan Outcome, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := send(c.conn, transport.KindRender, id, req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Cluster is an in-process deployment: a head plus n workers wired over
+// channel transports — the single-binary form used by the quickstart
+// example and the tests. Production deployments use cmd/vizserver and TCP.
+type Cluster struct {
+	Head    *Head
+	workers []*Worker
+	wg      sync.WaitGroup
+}
+
+// StartCluster builds and starts an in-process service over the catalog.
+func StartCluster(sched core.Scheduler, catalog *Catalog, nodes int, quota units.Bytes) (*Cluster, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("service: need at least one node")
+	}
+	head := NewHead(sched, catalog, quota, core.DefaultCostModel())
+	head.Logf = func(string, ...any) {} // quiet by default; callers can reassign
+	cl := &Cluster{Head: head}
+	for i := 0; i < nodes; i++ {
+		w := NewWorker(fmt.Sprintf("worker-%d", i), catalog, quota)
+		w.Logf = head.Logf
+		headSide, workerSide := transport.Pipe()
+		cl.workers = append(cl.workers, w)
+		cl.wg.Add(1)
+		go func() {
+			defer cl.wg.Done()
+			_ = w.Serve(workerSide)
+		}()
+		if err := head.AddWorker(headSide); err != nil {
+			return nil, err
+		}
+	}
+	if err := head.Start(); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// Connect returns a client attached to the in-process head.
+func (cl *Cluster) Connect() *Client {
+	clientSide, headSide := transport.Pipe()
+	go cl.Head.HandleClient(headSide)
+	return NewClient(clientSide)
+}
+
+// Stop shuts down the head and waits for the workers to exit.
+func (cl *Cluster) Stop() {
+	cl.Head.Stop()
+	cl.wg.Wait()
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"vizsched/internal/img"
+)
+
+// Fragment pixel codecs. Volume-rendered fragments are mostly transparent
+// (rays that miss the brick), so even byte-oriented DEFLATE shrinks them
+// several-fold — the compression leg of Ma & Camp's latency-hiding
+// pipeline [14].
+const (
+	// CodecRaw ships float32 RGBA samples as-is.
+	CodecRaw = 0
+	// CodecFlate quantizes to 16-bit channels and DEFLATEs.
+	CodecFlate = 1
+)
+
+// encodePixels serializes an image under the codec.
+func encodePixels(m *img.Image, codec int) ([]byte, error) {
+	switch codec {
+	case CodecRaw:
+		buf := make([]byte, 0, len(m.Pix)*16)
+		var scratch [4]byte
+		for _, p := range m.Pix {
+			for _, v := range [4]float32{p.R, p.G, p.B, p.A} {
+				binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(v))
+				buf = append(buf, scratch[:]...)
+			}
+		}
+		return buf, nil
+	case CodecFlate:
+		quant := make([]byte, len(m.Pix)*8)
+		for i, p := range m.Pix {
+			binary.LittleEndian.PutUint16(quant[i*8+0:], quant16(p.R))
+			binary.LittleEndian.PutUint16(quant[i*8+2:], quant16(p.G))
+			binary.LittleEndian.PutUint16(quant[i*8+4:], quant16(p.B))
+			binary.LittleEndian.PutUint16(quant[i*8+6:], quant16(p.A))
+		}
+		var out bytes.Buffer
+		zw, err := flate.NewWriter(&out, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := zw.Write(quant); err != nil {
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+		return out.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("service: unknown pixel codec %d", codec)
+	}
+}
+
+// decodePixels rebuilds an image from its wire form.
+func decodePixels(w, h int, codec int, data []byte) (*img.Image, error) {
+	m := img.New(w, h)
+	switch codec {
+	case CodecRaw:
+		if len(data) != len(m.Pix)*16 {
+			return nil, fmt.Errorf("service: raw payload is %d bytes, want %d", len(data), len(m.Pix)*16)
+		}
+		for i := range m.Pix {
+			m.Pix[i] = img.RGBA{
+				R: math.Float32frombits(binary.LittleEndian.Uint32(data[i*16+0:])),
+				G: math.Float32frombits(binary.LittleEndian.Uint32(data[i*16+4:])),
+				B: math.Float32frombits(binary.LittleEndian.Uint32(data[i*16+8:])),
+				A: math.Float32frombits(binary.LittleEndian.Uint32(data[i*16+12:])),
+			}
+		}
+		return m, nil
+	case CodecFlate:
+		quant, err := io.ReadAll(flate.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return nil, fmt.Errorf("service: inflating fragment: %w", err)
+		}
+		if len(quant) != len(m.Pix)*8 {
+			return nil, fmt.Errorf("service: inflated payload is %d bytes, want %d", len(quant), len(m.Pix)*8)
+		}
+		for i := range m.Pix {
+			m.Pix[i] = img.RGBA{
+				R: dequant16(binary.LittleEndian.Uint16(quant[i*8+0:])),
+				G: dequant16(binary.LittleEndian.Uint16(quant[i*8+2:])),
+				B: dequant16(binary.LittleEndian.Uint16(quant[i*8+4:])),
+				A: dequant16(binary.LittleEndian.Uint16(quant[i*8+6:])),
+			}
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("service: unknown pixel codec %d", codec)
+	}
+}
+
+func quant16(v float32) uint16 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return math.MaxUint16
+	}
+	return uint16(v*math.MaxUint16 + 0.5)
+}
+
+func dequant16(q uint16) float32 {
+	return float32(q) / math.MaxUint16
+}

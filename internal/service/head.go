@@ -1,0 +1,570 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"vizsched/internal/compositing"
+	"vizsched/internal/core"
+	"vizsched/internal/img"
+	"vizsched/internal/transport"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// liveJob is one in-flight render: the scheduler-facing job plus everything
+// needed to assemble and deliver the final image.
+type liveJob struct {
+	job   *core.Job
+	req   RenderBody
+	frags []*FragmentBody
+	got   int
+	// nodes records which worker each task went to, for failure cleanup.
+	nodes []core.NodeID
+	// reply delivers the outcome to the issuing client connection.
+	conn  transport.Conn
+	msgID uint64
+	wall  time.Time
+}
+
+// workerEvent is anything a worker-reader goroutine feeds the dispatcher.
+type workerEvent struct {
+	node core.NodeID
+	msg  transport.Message
+	err  error
+}
+
+// clientEvent is a job arrival from a client connection.
+type clientEvent struct {
+	lj *liveJob
+}
+
+// sender decouples the dispatcher from worker connections with an
+// unbounded queue and a writer goroutine. Without it, the dispatcher could
+// block sending a task to a worker whose fragment replies are themselves
+// waiting on the dispatcher — a classic two-channel deadlock.
+type sender struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []transport.Message
+	closed bool
+}
+
+func newSender(conn transport.Conn, onErr func(error)) *sender {
+	s := &sender{}
+	s.cond = sync.NewCond(&s.mu)
+	go func() {
+		for {
+			s.mu.Lock()
+			for len(s.queue) == 0 && !s.closed {
+				s.cond.Wait()
+			}
+			if s.closed && len(s.queue) == 0 {
+				s.mu.Unlock()
+				return
+			}
+			m := s.queue[0]
+			s.queue = s.queue[1:]
+			s.mu.Unlock()
+			if err := conn.Send(m); err != nil {
+				onErr(err)
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Send enqueues without blocking the caller.
+func (s *sender) Send(m transport.Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return transport.ErrClosed
+	}
+	s.queue = append(s.queue, m)
+	s.cond.Signal()
+	return nil
+}
+
+// Close stops the writer after the queue drains.
+func (s *sender) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// Head is the master node: it owns the job queue, the scheduler and its
+// prediction tables, and the worker connections. One dispatcher goroutine
+// owns all mutable state; listening goroutines feed it through channels —
+// the listening/dispatching thread pair of the paper's design (§III-A).
+type Head struct {
+	sched    core.Scheduler
+	state    *core.HeadState
+	catalog  *Catalog
+	model    core.CostModel
+	memQuota units.Bytes
+
+	// dsIDs/dsNames map between catalog names and scheduler dataset IDs.
+	dsIDs   map[string]volume.DatasetID
+	dsNames map[volume.DatasetID]string
+
+	workers []transport.Conn
+	senders []*sender
+	start   time.Time
+
+	jobCh   chan clientEvent
+	workCh  chan workerEvent
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	started bool
+
+	mu        sync.Mutex
+	nextJobID core.JobID
+
+	stats headStats
+
+	// DropStale, when set before Start, supersedes queued-but-undispatched
+	// interactive frames when a newer frame of the same action arrives —
+	// what a real viewer wants under lag: the latest view, not every view.
+	// The superseded request receives an error reply.
+	DropStale bool
+
+	// Logf receives diagnostics; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// NewHead builds a head node for the catalog. memQuota must match what the
+// workers dedicate to their caches, since the head's tables predict them.
+func NewHead(sched core.Scheduler, catalog *Catalog, memQuota units.Bytes, model core.CostModel) *Head {
+	h := &Head{
+		sched:   sched,
+		catalog: catalog,
+		model:   model,
+		dsIDs:   make(map[string]volume.DatasetID),
+		dsNames: make(map[volume.DatasetID]string),
+		jobCh:   make(chan clientEvent, 64),
+		workCh:  make(chan workerEvent, 256),
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+		Logf:    log.Printf,
+	}
+	for i, name := range catalog.Names() {
+		id := volume.DatasetID(i + 1)
+		h.dsIDs[name] = id
+		h.dsNames[id] = name
+	}
+	h.memQuota = memQuota
+	return h
+}
+
+// AddWorker registers a connected worker. It must be called before Start;
+// the worker's hello message is consumed here.
+func (h *Head) AddWorker(conn transport.Conn) error {
+	if h.started {
+		return fmt.Errorf("service: AddWorker after Start")
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("service: worker hello: %w", err)
+	}
+	if msg.Kind != transport.KindHello {
+		return fmt.Errorf("service: expected hello, got %v", msg.Kind)
+	}
+	var hello HelloBody
+	if err := transport.Decode(msg.Body, &hello); err != nil {
+		return err
+	}
+	h.workers = append(h.workers, conn)
+	return nil
+}
+
+// Start launches the dispatcher and worker readers. At least one worker
+// must have been added.
+func (h *Head) Start() error {
+	if len(h.workers) == 0 {
+		return fmt.Errorf("service: no workers")
+	}
+	h.state = core.NewHeadState(len(h.workers), h.memQuota, h.model)
+	h.start = time.Now()
+	h.started = true
+	for i, conn := range h.workers {
+		node := core.NodeID(i)
+		conn := conn
+		h.senders = append(h.senders, newSender(conn, func(err error) {
+			h.workCh <- workerEvent{node: node, err: err}
+		}))
+		go func() {
+			for {
+				msg, err := conn.Recv()
+				if err != nil {
+					h.workCh <- workerEvent{node: node, err: err}
+					return
+				}
+				h.workCh <- workerEvent{node: node, msg: msg}
+			}
+		}()
+	}
+	go h.dispatch()
+	return nil
+}
+
+// Stop shuts the service down and waits for the dispatcher to exit. A head
+// that was never started stops trivially.
+func (h *Head) Stop() {
+	if !h.started {
+		return
+	}
+	close(h.stopCh)
+	<-h.doneCh
+}
+
+// now returns service-relative time for the scheduler's tables.
+func (h *Head) now() units.Time { return units.Time(time.Since(h.start)) }
+
+// dispatch is the single goroutine owning the queue, tables, and in-flight
+// job state.
+func (h *Head) dispatch() {
+	defer close(h.doneCh)
+	queue := make([]*liveJob, 0, 64)
+	inflight := make(map[core.JobID]*liveJob)
+
+	cycle := h.sched.Cycle()
+	var tick <-chan time.Time
+	if h.sched.Trigger() == core.Periodic {
+		t := time.NewTicker(cycle.Std())
+		defer t.Stop()
+		tick = t.C
+	}
+
+	runSched := func() {
+		if len(queue) == 0 {
+			return
+		}
+		jobs := make([]*core.Job, len(queue))
+		for i, lj := range queue {
+			jobs[i] = lj.job
+		}
+		assignments := h.sched.Schedule(h.now(), jobs, h.state)
+		for _, a := range assignments {
+			lj := inflight[a.Task.Job.ID]
+			lj.nodes[a.Task.Index] = a.Node
+			body := TaskBody{
+				JobID:     uint64(lj.job.ID),
+				TaskIndex: a.Task.Index,
+				Dataset:   h.dsNames[lj.job.Dataset],
+				Chunk:     a.Task.Index,
+				Render:    lj.req,
+			}
+			a.Task.Job.Remaining--
+			raw, err := transport.Encode(body)
+			if err != nil {
+				h.Logf("head: encoding task: %v", err)
+				continue
+			}
+			if err := h.senders[a.Node].Send(transport.Message{
+				Kind: transport.KindTask, ID: uint64(lj.job.ID), Body: raw,
+			}); err != nil {
+				h.Logf("head: send to node %d failed: %v", a.Node, err)
+			}
+		}
+		live := queue[:0]
+		for _, lj := range queue {
+			if lj.job.Remaining > 0 {
+				live = append(live, lj)
+			}
+		}
+		queue = live
+	}
+
+	fail := func(lj *liveJob, msg string) {
+		h.stats.jobsFailed.Add(1)
+		delete(inflight, lj.job.ID)
+		// Drop it from the queue too: a failed job must never reach the
+		// scheduler again.
+		for i, q := range queue {
+			if q == lj {
+				queue = append(queue[:i], queue[i+1:]...)
+				break
+			}
+		}
+		if err := send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: msg}); err != nil {
+			h.Logf("head: error reply failed: %v", err)
+		}
+	}
+
+	for {
+		select {
+		case <-h.stopCh:
+			for i, w := range h.workers {
+				_ = h.senders[i].Send(transport.Message{Kind: transport.KindShutdown})
+				h.senders[i].Close()
+				w.Close()
+			}
+			return
+
+		case ev := <-h.jobCh:
+			lj := ev.lj
+			if h.DropStale && lj.job.Class == core.Interactive {
+				for i, old := range queue {
+					if old.job.Class == core.Interactive &&
+						old.job.Action == lj.job.Action &&
+						old.job.Remaining == len(old.job.Tasks) {
+						queue = append(queue[:i], queue[i+1:]...)
+						fail(old, "superseded by a newer frame")
+						break
+					}
+				}
+			}
+			inflight[lj.job.ID] = lj
+			queue = append(queue, lj)
+			if h.sched.Trigger() == core.OnArrival {
+				runSched()
+			}
+
+		case <-tick:
+			runSched()
+
+		case ev := <-h.workCh:
+			if ev.err != nil {
+				h.nodeDown(ev.node, inflight, &queue)
+				continue
+			}
+			switch ev.msg.Kind {
+			case transport.KindFragment:
+				var frag FragmentBody
+				if err := transport.Decode(ev.msg.Body, &frag); err != nil {
+					h.Logf("head: bad fragment from node %d: %v", ev.node, err)
+					continue
+				}
+				lj := inflight[core.JobID(frag.JobID)]
+				if lj == nil {
+					continue // job already failed
+				}
+				h.correct(lj, ev.node, &frag)
+				if lj.frags[frag.TaskIndex] == nil {
+					lj.frags[frag.TaskIndex] = &frag
+					lj.got++
+				}
+				if lj.got == len(lj.frags) {
+					delete(inflight, lj.job.ID)
+					go h.finalize(lj)
+				}
+			case transport.KindError:
+				var eb ErrorBody
+				_ = transport.Decode(ev.msg.Body, &eb)
+				if lj := inflight[core.JobID(ev.msg.ID)]; lj != nil {
+					fail(lj, eb.Msg)
+				}
+			default:
+				h.Logf("head: unexpected %v from node %d", ev.msg.Kind, ev.node)
+			}
+		}
+	}
+}
+
+// correct feeds a fragment's execution facts back into the tables (§V-B).
+func (h *Head) correct(lj *liveJob, node core.NodeID, frag *FragmentBody) {
+	task := &lj.job.Tasks[frag.TaskIndex]
+	evicted := make([]volume.ChunkID, 0, len(frag.Evicted))
+	for _, ev := range frag.Evicted {
+		if id, ok := h.dsIDs[ev.Dataset]; ok {
+			evicted = append(evicted, volume.ChunkID{Dataset: id, Index: ev.Index})
+		}
+	}
+	h.state.Correct(core.TaskResult{
+		Task:      task,
+		Node:      node,
+		Hit:       frag.Hit,
+		Exec:      units.Duration(frag.ExecNanos),
+		Predicted: task.PredictedExec,
+		Evicted:   evicted,
+		Finished:  h.now(),
+	}, h.now())
+	if frag.Hit {
+		h.stats.hits.Add(1)
+	} else {
+		h.stats.misses.Add(1)
+	}
+	h.stats.renderNanos.Add(frag.ExecNanos)
+}
+
+// nodeDown handles a worker connection failure: mark it failed and requeue
+// the unfinished tasks it held (§VI-D).
+func (h *Head) nodeDown(node core.NodeID, inflight map[core.JobID]*liveJob, queue *[]*liveJob) {
+	if !h.state.Alive(node) {
+		return
+	}
+	h.Logf("head: node %d down; re-scheduling its tasks", node)
+	h.stats.workersDown.Add(1)
+	h.state.MarkFailed(node)
+	for _, lj := range inflight {
+		requeued := false
+		for i := range lj.job.Tasks {
+			t := &lj.job.Tasks[i]
+			if t.Assigned && lj.frags[i] == nil && lj.nodes[i] == node {
+				t.Assigned = false
+				t.PredictedExec = 0
+				if lj.job.Remaining == 0 {
+					requeued = true
+				}
+				lj.job.Remaining++
+			}
+		}
+		if requeued {
+			*queue = append(*queue, lj)
+		}
+	}
+}
+
+// finalize composites a completed job's fragments and replies to the client.
+// It runs outside the dispatcher: the job is complete, so nothing else
+// touches it.
+func (h *Head) finalize(lj *liveJob) {
+	images := make([]*img.Image, len(lj.frags))
+	depths := make([]float64, len(lj.frags))
+	hits, misses := 0, 0
+	for i, f := range lj.frags {
+		m, err := decodePixels(f.W, f.H, f.Codec, f.Data)
+		if err != nil {
+			_ = send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: err.Error()})
+			return
+		}
+		images[i] = m
+		depths[i] = f.Depth
+		if f.Hit {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	layers := compositing.ByDepth(images, depths)
+	// The head composites with real goroutine parallelism; the swap
+	// algorithms in internal/compositing model the distributed exchange the
+	// workers would perform and are verified equal to this result.
+	final, _ := compositing.Concurrent{}.Composite(layers)
+
+	var buf bytes.Buffer
+	if err := final.EncodePNG(&buf); err != nil {
+		_ = send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: err.Error()})
+		return
+	}
+	res := ResultBody{
+		Width:        final.W,
+		Height:       final.H,
+		PNG:          buf.Bytes(),
+		ElapsedNanos: time.Since(lj.wall).Nanoseconds(),
+		Hits:         hits,
+		Misses:       misses,
+	}
+	if err := send(lj.conn, transport.KindResult, lj.msgID, res); err != nil {
+		h.Logf("head: result reply failed: %v", err)
+	}
+	h.stats.jobsCompleted.Add(1)
+	if lj.req.Batch {
+		h.stats.batchCompleted.Add(1)
+	}
+}
+
+// KillWorker forcibly closes the connection to worker k — a failure
+// injection hook for tests and demonstrations of §VI-D's fault tolerance.
+func (h *Head) KillWorker(k core.NodeID) {
+	if int(k) < 0 || int(k) >= len(h.workers) {
+		return
+	}
+	h.workers[k].Close()
+}
+
+// submit builds a liveJob from a render request and hands it to the
+// dispatcher.
+func (h *Head) submit(conn transport.Conn, msgID uint64, req RenderBody) error {
+	m := h.catalog.Get(req.Dataset)
+	if m == nil {
+		return fmt.Errorf("unknown dataset %q", req.Dataset)
+	}
+	if req.Width <= 0 || req.Width > 4096 || req.Height <= 0 || req.Height > 4096 {
+		return fmt.Errorf("bad image size %dx%d", req.Width, req.Height)
+	}
+	h.mu.Lock()
+	h.nextJobID++
+	id := h.nextJobID
+	h.mu.Unlock()
+
+	class := core.Interactive
+	if req.Batch {
+		class = core.Batch
+	}
+	dsID := h.dsIDs[req.Dataset]
+	job := &core.Job{
+		ID:      id,
+		Class:   class,
+		Action:  core.ActionID(req.Action),
+		Dataset: dsID,
+		Issued:  h.now(),
+	}
+	job.Tasks = make([]core.Task, len(m.Chunks))
+	for i, c := range m.Chunks {
+		job.Tasks[i] = core.Task{
+			Job:   job,
+			Index: i,
+			Chunk: volume.ChunkID{Dataset: dsID, Index: i},
+			Size:  c.SizeBytes,
+		}
+	}
+	job.Remaining = len(job.Tasks)
+	h.stats.jobsIssued.Add(1)
+	if req.Batch {
+		h.stats.batchIssued.Add(1)
+	}
+	h.jobCh <- clientEvent{lj: &liveJob{
+		job:   job,
+		req:   req,
+		frags: make([]*FragmentBody, len(job.Tasks)),
+		nodes: make([]core.NodeID, len(job.Tasks)),
+		conn:  conn,
+		msgID: msgID,
+		wall:  time.Now(),
+	}}
+	return nil
+}
+
+// HandleClient serves one client connection: each render request becomes a
+// job; results flow back asynchronously with the request's message ID.
+func (h *Head) HandleClient(conn transport.Conn) {
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Kind {
+		case transport.KindRender:
+			var req RenderBody
+			if err := transport.Decode(msg.Body, &req); err != nil {
+				_ = send(conn, transport.KindError, msg.ID, ErrorBody{Msg: err.Error()})
+				continue
+			}
+			if err := h.submit(conn, msg.ID, req); err != nil {
+				_ = send(conn, transport.KindError, msg.ID, ErrorBody{Msg: err.Error()})
+			}
+		case transport.KindShutdown:
+			return
+		default:
+			_ = send(conn, transport.KindError, msg.ID, ErrorBody{Msg: "unexpected " + msg.Kind.String()})
+		}
+	}
+}
+
+// ServeClients accepts client connections until the listener closes.
+func (h *Head) ServeClients(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go h.HandleClient(conn)
+	}
+}

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"vizsched/internal/transport"
+)
+
+// HelloBody introduces a worker to the head.
+type HelloBody struct {
+	Name     string
+	MemQuota int64 // bytes the worker will dedicate to its brick cache
+}
+
+// RenderBody is a client's rendering request: a camera over a named dataset.
+type RenderBody struct {
+	Dataset string
+	// Camera orbit parameters (radians, radians, distance in unit-cube
+	// multiples) — the interaction parameters a viewer would send.
+	Angle, Elevation, Dist float64
+	Width, Height          int
+	// Mode selects the render mode (raycast.ModeComposite, ModeMIP,
+	// ModeIso) and IsoValue its threshold.
+	Mode     int
+	IsoValue float32
+	// Batch marks the request deferrable (animation frame) rather than
+	// interactive.
+	Batch bool
+	// Action groups requests of one user session for scheduling fairness.
+	Action int
+}
+
+// TaskBody assigns one chunk of a render job to a worker.
+type TaskBody struct {
+	JobID     uint64
+	TaskIndex int
+	Dataset   string
+	Chunk     int
+	Render    RenderBody
+}
+
+// ChunkRef names a chunk on the wire.
+type ChunkRef struct {
+	Dataset string
+	Index   int
+}
+
+// FragmentBody returns one rendered fragment plus execution facts the head
+// uses to correct its tables.
+type FragmentBody struct {
+	JobID     uint64
+	TaskIndex int
+	W, H      int
+	// Codec selects the pixel encoding of Data (CodecRaw or CodecFlate).
+	Codec     int
+	Data      []byte
+	Depth     float64
+	Hit       bool
+	ExecNanos int64
+	// Evicted lists bricks the worker's cache dropped to make room.
+	Evicted []ChunkRef
+}
+
+// ResultBody returns the final composited image to the client.
+type ResultBody struct {
+	Width, Height int
+	PNG           []byte
+	ElapsedNanos  int64
+	Hits, Misses  int
+}
+
+// ErrorBody reports a failed request.
+type ErrorBody struct {
+	Msg string
+}
+
+// send encodes body and ships it with the given kind and id.
+func send(c transport.Conn, kind transport.Kind, id uint64, body any) error {
+	raw, err := transport.Encode(body)
+	if err != nil {
+		return err
+	}
+	return c.Send(transport.Message{Kind: kind, ID: id, Body: raw})
+}

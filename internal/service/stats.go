@@ -1,0 +1,128 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// headStats holds the service's operational counters; all fields are
+// atomics because the dispatcher writes while HTTP handlers read.
+type headStats struct {
+	jobsIssued     atomic.Int64
+	jobsCompleted  atomic.Int64
+	jobsFailed     atomic.Int64
+	batchIssued    atomic.Int64
+	batchCompleted atomic.Int64
+	hits           atomic.Int64
+	misses         atomic.Int64
+	renderNanos    atomic.Int64
+	workersDown    atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time view of the service counters.
+type StatsSnapshot struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	JobsIssued     int64   `json:"jobs_issued"`
+	JobsCompleted  int64   `json:"jobs_completed"`
+	JobsFailed     int64   `json:"jobs_failed"`
+	BatchIssued    int64   `json:"batch_issued"`
+	BatchCompleted int64   `json:"batch_completed"`
+	ChunkHits      int64   `json:"chunk_hits"`
+	ChunkMisses    int64   `json:"chunk_misses"`
+	HitRatePct     float64 `json:"hit_rate_pct"`
+	MeanTaskMillis float64 `json:"mean_task_ms"`
+	Workers        int     `json:"workers"`
+	WorkersDown    int64   `json:"workers_down"`
+}
+
+// Stats returns the service counters. Valid after Start.
+func (h *Head) Stats() StatsSnapshot {
+	s := StatsSnapshot{
+		JobsIssued:     h.stats.jobsIssued.Load(),
+		JobsCompleted:  h.stats.jobsCompleted.Load(),
+		JobsFailed:     h.stats.jobsFailed.Load(),
+		BatchIssued:    h.stats.batchIssued.Load(),
+		BatchCompleted: h.stats.batchCompleted.Load(),
+		ChunkHits:      h.stats.hits.Load(),
+		ChunkMisses:    h.stats.misses.Load(),
+		Workers:        len(h.workers),
+		WorkersDown:    h.stats.workersDown.Load(),
+	}
+	if h.started {
+		s.UptimeSeconds = time.Since(h.start).Seconds()
+	}
+	if total := s.ChunkHits + s.ChunkMisses; total > 0 {
+		s.HitRatePct = 100 * float64(s.ChunkHits) / float64(total)
+		s.MeanTaskMillis = float64(h.stats.renderNanos.Load()) / float64(total) / 1e6
+	}
+	return s
+}
+
+// StatsHandler serves the counters as JSON (GET /) and in Prometheus text
+// exposition format (GET /metrics) — what an operator points monitoring at:
+//
+//	mux := http.NewServeMux()
+//	mux.Handle("/", head.StatsHandler())
+//	go http.ListenAndServe(":8080", mux)
+func (h *Head) StatsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h.Stats())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := h.Stats()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		write := func(name string, v float64) {
+			_, _ = w.Write([]byte("vizsched_" + name + " "))
+			_, _ = w.Write(appendFloat(nil, v))
+			_, _ = w.Write([]byte("\n"))
+		}
+		write("jobs_issued_total", float64(s.JobsIssued))
+		write("jobs_completed_total", float64(s.JobsCompleted))
+		write("jobs_failed_total", float64(s.JobsFailed))
+		write("batch_issued_total", float64(s.BatchIssued))
+		write("batch_completed_total", float64(s.BatchCompleted))
+		write("chunk_hits_total", float64(s.ChunkHits))
+		write("chunk_misses_total", float64(s.ChunkMisses))
+		write("workers", float64(s.Workers))
+		write("workers_down", float64(s.WorkersDown))
+		write("uptime_seconds", s.UptimeSeconds)
+	})
+	return mux
+}
+
+// appendFloat formats v compactly for the exposition format.
+func appendFloat(dst []byte, v float64) []byte {
+	if v == float64(int64(v)) {
+		return appendInt(dst, int64(v))
+	}
+	return []byte(jsonNumber(v))
+}
+
+func appendInt(dst []byte, v int64) []byte {
+	if v == 0 {
+		return append(dst, '0')
+	}
+	if v < 0 {
+		dst = append(dst, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(dst, tmp[i:]...)
+}
+
+func jsonNumber(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vizsched/internal/core"
+	"vizsched/internal/units"
+)
+
+func TestStatsCountersAndHandler(t *testing.T) {
+	cat := testCatalog(t, 2)
+	cl, err := StartCluster(core.NewLocalityScheduler(5*units.Millisecond), cat, 2, 64*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	client := cl.Connect()
+	defer client.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := client.Render(RenderBody{
+			Dataset: "plume", Angle: float64(i), Dist: 2.4,
+			Width: 16, Height: 16, Batch: i == 2,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := cl.Head.Stats()
+	if s.JobsIssued != 3 || s.JobsCompleted != 3 {
+		t.Errorf("issued/completed = %d/%d, want 3/3", s.JobsIssued, s.JobsCompleted)
+	}
+	if s.BatchIssued != 1 || s.BatchCompleted != 1 {
+		t.Errorf("batch = %d/%d, want 1/1", s.BatchIssued, s.BatchCompleted)
+	}
+	// 2 chunks per job × 3 jobs = 6 accesses; first job loads both.
+	if s.ChunkHits+s.ChunkMisses != 6 {
+		t.Errorf("accesses = %d, want 6", s.ChunkHits+s.ChunkMisses)
+	}
+	if s.ChunkMisses != 2 {
+		t.Errorf("misses = %d, want 2", s.ChunkMisses)
+	}
+	if s.HitRatePct < 60 || s.MeanTaskMillis <= 0 || s.Workers != 2 {
+		t.Errorf("derived stats wrong: %+v", s)
+	}
+
+	// JSON endpoint.
+	rec := httptest.NewRecorder()
+	cl.Head.StatsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	var decoded StatsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if decoded.JobsCompleted != 3 {
+		t.Errorf("JSON completed = %d", decoded.JobsCompleted)
+	}
+
+	// Prometheus endpoint.
+	rec = httptest.NewRecorder()
+	cl.Head.StatsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"vizsched_jobs_issued_total 3",
+		"vizsched_chunk_misses_total 2",
+		"vizsched_workers 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestStatsCountsFailures(t *testing.T) {
+	cat := testCatalog(t, 2)
+	cl, err := StartCluster(core.NewLocalityScheduler(5*units.Millisecond), cat, 1, 64*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	client := cl.Connect()
+	defer client.Close()
+	if _, err := client.Render(RenderBody{Dataset: "nope", Width: 8, Height: 8, Dist: 2}); err == nil {
+		t.Fatal("want error")
+	}
+	// Unknown-dataset requests are rejected before issue, so failed jobs
+	// stay zero — verify nothing leaked into the counters.
+	s := cl.Head.Stats()
+	if s.JobsIssued != 0 || s.JobsFailed != 0 {
+		t.Errorf("rejected request leaked into stats: %+v", s)
+	}
+}
+
+func TestDropStaleSupersedesQueuedFrames(t *testing.T) {
+	cat := testCatalog(t, 2)
+	// A half-second cycle keeps the first frame queued long enough for the
+	// second to supersede it.
+	cl, err := StartCluster(core.NewLocalityScheduler(500*units.Millisecond), cat, 1, 64*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Head.DropStale = true
+	defer cl.Stop()
+	client := cl.Connect()
+	defer client.Close()
+
+	req := RenderBody{Dataset: "plume", Dist: 2.4, Width: 16, Height: 16, Action: 1}
+	ch1, err := client.RenderAsync(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Angle = 0.5
+	ch2, err := client.RenderAsync(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := <-ch1
+	o2 := <-ch2
+	if o1.Err == nil {
+		t.Error("stale frame was not superseded")
+	}
+	if o2.Err != nil {
+		t.Errorf("fresh frame failed: %v", o2.Err)
+	}
+}
+
+// A burst far larger than any channel buffer: before the unbounded
+// per-worker sender existed, the dispatcher deadlocked against the
+// fragment path at ~64 outstanding tasks.
+func TestLargeBurstDoesNotDeadlock(t *testing.T) {
+	cat := testCatalog(t, 2)
+	cl, err := StartCluster(core.NewLocalityScheduler(2*units.Millisecond), cat, 1, 64*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	client := cl.Connect()
+	defer client.Close()
+
+	const frames = 300
+	chans := make([]<-chan Outcome, 0, frames)
+	for f := 0; f < frames; f++ {
+		ch, err := client.RenderAsync(RenderBody{
+			Dataset: "plume", Angle: float64(f) * 0.01, Dist: 2.4,
+			Width: 8, Height: 8, Batch: true, Action: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, ch := range chans {
+			if o := <-ch; o.Err != nil {
+				t.Error(o.Err)
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("burst deadlocked")
+	}
+}

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vizsched/internal/cache"
+	"vizsched/internal/raycast"
+	"vizsched/internal/transport"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// Worker is one rendering node of the live service: it executes assigned
+// tasks FIFO, keeps loaded bricks in an LRU-managed memory budget, renders
+// with the software ray caster, and streams fragments back to the head —
+// the render/communication thread split of the paper's implementation
+// (§V-C) maps onto its executor and network goroutines.
+type Worker struct {
+	Name    string
+	catalog *Catalog
+	quota   units.Bytes
+
+	// lru tracks residency accounting; bricks holds the payloads.
+	lru    *cache.LRU
+	bricks map[volume.ChunkID]*raycast.Brick
+	// datasetIDs gives each dataset name a stable local ID for cache keys.
+	datasetIDs map[string]volume.DatasetID
+
+	// Codec selects the fragment pixel encoding (CodecFlate by default:
+	// volume fragments are mostly transparent and compress well).
+	Codec int
+
+	// Logf receives diagnostics; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// NewWorker returns a worker serving the catalog within the memory quota.
+func NewWorker(name string, catalog *Catalog, quota units.Bytes) *Worker {
+	if quota <= 0 {
+		panic("service: worker needs a positive memory quota")
+	}
+	return &Worker{
+		Name:       name,
+		catalog:    catalog,
+		quota:      quota,
+		lru:        cache.NewLRU(quota),
+		bricks:     make(map[volume.ChunkID]*raycast.Brick),
+		datasetIDs: make(map[string]volume.DatasetID),
+		Codec:      CodecFlate,
+		Logf:       log.Printf,
+	}
+}
+
+// chunkID maps a wire chunk reference to a local cache key.
+func (w *Worker) chunkID(dataset string, chunk int) volume.ChunkID {
+	id, ok := w.datasetIDs[dataset]
+	if !ok {
+		id = volume.DatasetID(len(w.datasetIDs) + 1)
+		w.datasetIDs[dataset] = id
+	}
+	return volume.ChunkID{Dataset: id, Index: chunk}
+}
+
+// datasetName inverts chunkID's mapping for eviction reports.
+func (w *Worker) datasetName(id volume.DatasetID) string {
+	for name, d := range w.datasetIDs {
+		if d == id {
+			return name
+		}
+	}
+	return ""
+}
+
+// loadBrick returns the brick for the task, loading from disk on a miss.
+// It reports whether the access hit and what was evicted.
+func (w *Worker) loadBrick(dataset string, chunk int) (*raycast.Brick, bool, []ChunkRef, error) {
+	cid := w.chunkID(dataset, chunk)
+	if w.lru.Touch(cid) {
+		return w.bricks[cid], true, nil, nil
+	}
+	m := w.catalog.Get(dataset)
+	if m == nil {
+		return nil, false, nil, fmt.Errorf("service: unknown dataset %q", dataset)
+	}
+	brick, err := m.LoadBrick(chunk)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	evictedIDs := w.lru.Insert(cid, brick.Grid.SizeBytes())
+	var evicted []ChunkRef
+	for _, ev := range evictedIDs {
+		delete(w.bricks, ev)
+		evicted = append(evicted, ChunkRef{Dataset: w.datasetName(ev.Dataset), Index: ev.Index})
+	}
+	w.bricks[cid] = brick
+	return brick, false, evicted, nil
+}
+
+// execute runs one task and builds its fragment.
+func (w *Worker) execute(t TaskBody) (FragmentBody, error) {
+	start := time.Now()
+	brick, hit, evicted, err := w.loadBrick(t.Dataset, t.Chunk)
+	if err != nil {
+		return FragmentBody{}, err
+	}
+	cam := raycast.NewCamera(t.Render.Angle, t.Render.Elevation, t.Render.Dist)
+	tf := raycast.PresetTF(w.catalog.Get(t.Dataset).TF)
+	frag := raycast.RenderBrick(brick, cam, tf, raycast.Options{
+		Width:    t.Render.Width,
+		Height:   t.Render.Height,
+		Mode:     raycast.Mode(t.Render.Mode),
+		IsoValue: t.Render.IsoValue,
+		Parallel: true,
+	})
+	data, err := encodePixels(frag.Image, w.Codec)
+	if err != nil {
+		return FragmentBody{}, err
+	}
+	return FragmentBody{
+		JobID:     t.JobID,
+		TaskIndex: t.TaskIndex,
+		W:         frag.Image.W, H: frag.Image.H,
+		Codec:     w.Codec,
+		Data:      data,
+		Depth:     frag.Depth,
+		Hit:       hit,
+		ExecNanos: time.Since(start).Nanoseconds(),
+		Evicted:   evicted,
+	}, nil
+}
+
+// Serve processes messages from the head until the connection closes or a
+// shutdown message arrives. Tasks execute strictly FIFO.
+func (w *Worker) Serve(conn transport.Conn) error {
+	if err := send(conn, transport.KindHello, 0, HelloBody{Name: w.Name, MemQuota: int64(w.quota)}); err != nil {
+		return err
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			if err == transport.ErrClosed {
+				return nil
+			}
+			return err
+		}
+		switch msg.Kind {
+		case transport.KindShutdown:
+			return nil
+		case transport.KindTask:
+			var t TaskBody
+			if err := transport.Decode(msg.Body, &t); err != nil {
+				w.Logf("worker %s: bad task: %v", w.Name, err)
+				continue
+			}
+			frag, err := w.execute(t)
+			if err != nil {
+				w.Logf("worker %s: task J%d/T%d failed: %v", w.Name, t.JobID, t.TaskIndex, err)
+				if serr := send(conn, transport.KindError, msg.ID, ErrorBody{Msg: err.Error()}); serr != nil {
+					return serr
+				}
+				continue
+			}
+			if err := send(conn, transport.KindFragment, msg.ID, frag); err != nil {
+				return err
+			}
+		default:
+			w.Logf("worker %s: unexpected %v message", w.Name, msg.Kind)
+		}
+	}
+}
+
+// CachedChunks reports the worker's resident chunk count, for tests.
+func (w *Worker) CachedChunks() int { return w.lru.Len() }

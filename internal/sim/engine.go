@@ -1,0 +1,668 @@
+// Package sim is the discrete-event execution engine that plays a workload
+// against a scheduler on a modeled GPU cluster — the experimental apparatus
+// behind every figure and table in the paper's evaluation (§VI).
+//
+// All rendering dynamics (disk I/O, GPU upload, ray casting, compositing,
+// FIFO queueing at nodes, memory management) advance a virtual clock via
+// internal/des, so a 600-second scenario runs in seconds of wall time. The
+// scheduler code itself is the real artifact: its invocations are timed with
+// the wall clock, which is what Table III's "avg. cost" column reports.
+//
+// The node model defaults to the paper's cost model (Definition 1: a task
+// serially occupies its node for tio + trender + tcomposite). Three
+// extensions the paper names as future work are available as options:
+// overlapped I/O (OverlapIO — the three-thread latency hiding of §V-C),
+// a two-level main-memory/GPU-memory hierarchy (GPUCache), and multi-GPU
+// nodes (GPUsPerNode — System 2 has two GPUs per node). The eviction policy
+// is pluggable for the ablation benchmarks.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vizsched/internal/cache"
+	"vizsched/internal/core"
+	"vizsched/internal/des"
+	"vizsched/internal/metrics"
+	"vizsched/internal/trace"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+	"vizsched/internal/workload"
+)
+
+// Failure injects a node crash (and optional repair) into a run — the
+// fault-tolerance behaviour §VI-D describes.
+type Failure struct {
+	At   units.Time
+	Node core.NodeID
+	// RepairAt returns the node to service (with cold caches); zero means
+	// it stays down.
+	RepairAt units.Time
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Nodes is the rendering-node count p.
+	Nodes int
+	// MemQuota is each node's main-memory budget for cached chunks.
+	MemQuota units.Bytes
+	// GPUMem, when positive, validates that no chunk exceeds it (§III-C's
+	// Chkmax constraint).
+	GPUMem units.Bytes
+	// Model prices the pipeline stages.
+	Model core.CostModel
+	// Scheduler is the policy under test.
+	Scheduler core.Scheduler
+	// Library holds the datasets, already decomposed. Build it with the
+	// scheduler's preferred policy (see core.DecompositionOverrider).
+	Library *volume.Library
+	// Jitter perturbs actual execution times by ±Jitter fraction to exercise
+	// the head node's prediction-correction path. Zero disables.
+	Jitter float64
+	// Seed drives the jitter stream (and random eviction, if selected).
+	Seed int64
+	// BatchWindow caps how many queued batch jobs are presented to the
+	// scheduler per invocation (interactive jobs are always presented).
+	// Zero selects a default of 256. Purely an efficiency bound; deferred
+	// batch work is presented oldest-first.
+	BatchWindow int
+	// Preload warms every node's cache round-robin with the library's
+	// chunks (as far as quotas allow) and tells the head about it. The
+	// paper's scenarios measure a running service, not a cold boot; without
+	// preloading, initial disk loads dominate short runs.
+	Preload bool
+	// EvictionPolicy selects the node caches' replacement strategy;
+	// defaults to LRU, the paper's choice.
+	EvictionPolicy cache.Policy
+	// GPUCache, when positive, models video memory as a second cache level:
+	// a main-memory hit still pays the PCIe upload unless the chunk is also
+	// GPU-resident. Zero folds the upload into the miss path (Definition 1).
+	GPUCache units.Bytes
+	// OverlapIO lets a node keep rendering resident chunks while a missing
+	// chunk loads on its I/O channel, instead of blocking (Definition 1).
+	OverlapIO bool
+	// GPUsPerNode runs up to this many tasks concurrently per node;
+	// zero/one is the serial default.
+	GPUsPerNode int
+	// Trace, when non-nil, records scheduling and execution events for CSV
+	// or Gantt export. Cap it (trace.New(n)) on large runs.
+	Trace *trace.Log
+	// Failures to inject.
+	Failures []Failure
+}
+
+// node is the actual state of one rendering node.
+type node struct {
+	id   core.NodeID
+	mem  cache.Chunks
+	gpu  cache.Chunks // nil unless the two-level hierarchy is enabled
+	gpus int
+
+	// fifo is the serial-mode task queue, or the ready queue in overlap
+	// mode. head gives amortized O(1) pops.
+	fifo []*core.Task
+	head int
+
+	// running maps executing tasks to their completion timers so a crash
+	// can abort them.
+	running map[*core.Task]*des.Timer
+
+	// Overlap-mode I/O channel: one load at a time; tasks whose chunk is in
+	// flight wait in waiters.
+	loadq      []volume.ChunkID
+	loadHead   int
+	waiters    map[volume.ChunkID][]*core.Task
+	loadTimer  *des.Timer
+	loadActive bool
+	// missLoad remembers, per waiting task, the load duration it should
+	// report (only the load-triggering task carries it).
+	missLoad map[*core.Task]units.Duration
+
+	failed bool
+}
+
+func (n *node) push(t *core.Task) { n.fifo = append(n.fifo, t) }
+
+func (n *node) pop() *core.Task {
+	if n.head >= len(n.fifo) {
+		return nil
+	}
+	t := n.fifo[n.head]
+	n.fifo[n.head] = nil
+	n.head++
+	if n.head > 1024 && n.head*2 > len(n.fifo) {
+		n.fifo = append(n.fifo[:0], n.fifo[n.head:]...)
+		n.head = 0
+	}
+	return t
+}
+
+func (n *node) popLoad() (volume.ChunkID, bool) {
+	if n.loadHead >= len(n.loadq) {
+		return volume.ChunkID{}, false
+	}
+	c := n.loadq[n.loadHead]
+	n.loadHead++
+	if n.loadHead > 256 && n.loadHead*2 > len(n.loadq) {
+		n.loadq = append(n.loadq[:0], n.loadq[n.loadHead:]...)
+		n.loadHead = 0
+	}
+	return c, true
+}
+
+// Engine runs one scenario.
+type Engine struct {
+	cfg    Config
+	sim    *des.Simulator
+	head   *core.HeadState
+	nodes  []*node
+	queue  []*core.Job
+	report *metrics.Report
+	rng    *rand.Rand
+
+	nextJob  core.JobID
+	started  map[core.JobID]units.Time // JS per in-flight job
+	finished map[core.JobID]int        // completed-task counts
+	// pendingEvictions carries evictions from an overlap-mode load to the
+	// triggering task's completion report.
+	pendingEvictions map[*core.Task][]volume.ChunkID
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) *Engine {
+	if cfg.Nodes <= 0 {
+		panic("sim: need at least one node")
+	}
+	if cfg.Library == nil || cfg.Library.Len() == 0 {
+		panic("sim: need a dataset library")
+	}
+	if cfg.Scheduler == nil {
+		panic("sim: need a scheduler")
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = 256
+	}
+	if cfg.GPUsPerNode <= 0 {
+		cfg.GPUsPerNode = 1
+	}
+	for _, d := range cfg.Library.All() {
+		for _, c := range d.Chunks {
+			if cfg.GPUMem > 0 && c.Size > cfg.GPUMem {
+				panic(fmt.Sprintf("sim: chunk %v (%v) exceeds GPU memory %v", c.ID, c.Size, cfg.GPUMem))
+			}
+			if cfg.GPUCache > 0 && c.Size > cfg.GPUCache {
+				panic(fmt.Sprintf("sim: chunk %v (%v) exceeds GPU cache %v", c.ID, c.Size, cfg.GPUCache))
+			}
+			if c.Size > cfg.MemQuota {
+				panic(fmt.Sprintf("sim: chunk %v (%v) exceeds node memory quota %v", c.ID, c.Size, cfg.MemQuota))
+			}
+		}
+	}
+	e := &Engine{
+		cfg:      cfg,
+		sim:      des.New(),
+		head:     core.NewHeadState(cfg.Nodes, cfg.MemQuota, cfg.Model),
+		report:   metrics.NewReport(cfg.Scheduler.Name(), cfg.Nodes),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		started:  make(map[core.JobID]units.Time),
+		finished: make(map[core.JobID]int),
+
+		pendingEvictions: make(map[*core.Task][]volume.ChunkID),
+	}
+	for k := 0; k < cfg.Nodes; k++ {
+		e.nodes = append(e.nodes, e.newNode(core.NodeID(k)))
+	}
+	if cfg.Preload {
+		e.preload()
+	}
+	return e
+}
+
+// newNode builds a node with fresh caches per the configuration.
+func (e *Engine) newNode(id core.NodeID) *node {
+	n := &node{
+		id:       id,
+		mem:      cache.NewStore(e.cfg.EvictionPolicy, e.cfg.MemQuota, e.cfg.Seed+int64(id)*101),
+		gpus:     e.cfg.GPUsPerNode,
+		running:  make(map[*core.Task]*des.Timer),
+		waiters:  make(map[volume.ChunkID][]*core.Task),
+		missLoad: make(map[*core.Task]units.Duration),
+	}
+	if e.cfg.GPUCache > 0 {
+		n.gpu = cache.NewStore(e.cfg.EvictionPolicy, e.cfg.GPUCache, e.cfg.Seed+int64(id)*131+7)
+	}
+	return n
+}
+
+// preload distributes the library's chunks round-robin across nodes, warming
+// both the actual caches and the head's predictions. Datasets are inserted
+// in reverse ID order so that when the data exceeds total memory, LRU keeps
+// the low-ID datasets — the popular end under the workload generator's
+// popularity conventions — matching the steady state a running service
+// would be in.
+func (e *Engine) preload() {
+	idx := 0
+	all := e.cfg.Library.All()
+	for i := len(all) - 1; i >= 0; i-- {
+		for _, c := range all[i].Chunks {
+			k := idx % e.cfg.Nodes
+			e.nodes[k].mem.Insert(c.ID, c.Size)
+			e.head.Caches[k].Insert(c.ID, c.Size)
+			idx++
+		}
+	}
+}
+
+// Run plays the workload until the given horizon of virtual time (zero
+// selects the workload's own length) and returns the collected metrics.
+func (e *Engine) Run(wl *workload.Schedule, horizon units.Time) *metrics.Report {
+	if horizon <= 0 {
+		horizon = wl.Length
+	}
+	for i := range wl.Requests {
+		req := wl.Requests[i]
+		e.sim.At(req.At, func(s *des.Simulator) { e.arrive(req) })
+	}
+	if e.cfg.Scheduler.Trigger() == core.Periodic {
+		e.sim.Every(e.cfg.Scheduler.Cycle(), func(s *des.Simulator) { e.invokeScheduler() })
+	}
+	for _, f := range e.cfg.Failures {
+		f := f
+		e.sim.At(f.At, func(s *des.Simulator) { e.fail(f.Node) })
+		if f.RepairAt > f.At {
+			e.sim.At(f.RepairAt, func(s *des.Simulator) { e.repair(f.Node) })
+		}
+	}
+	e.report.Horizon = horizon
+	e.sim.Run(horizon)
+	return e.report
+}
+
+// arrive turns a request into a decomposed job and queues it.
+func (e *Engine) arrive(req workload.Request) {
+	ds := e.cfg.Library.Get(req.Dataset)
+	if ds == nil {
+		panic(fmt.Sprintf("sim: request for unknown dataset %d", req.Dataset))
+	}
+	e.nextJob++
+	j := &core.Job{
+		ID:      e.nextJob,
+		Class:   req.Class,
+		Action:  req.Action,
+		Dataset: req.Dataset,
+		Issued:  e.sim.Now(),
+	}
+	j.Tasks = make([]core.Task, len(ds.Chunks))
+	for i, c := range ds.Chunks {
+		j.Tasks[i] = core.Task{Job: j, Index: i, Chunk: c.ID, Size: c.Size}
+	}
+	j.Remaining = len(j.Tasks)
+	e.queue = append(e.queue, j)
+	e.report.JobIssued(req.Class == core.Interactive)
+	e.emit(trace.Event{Kind: trace.JobArrive, Job: j.ID, Class: j.Class})
+	if e.cfg.Scheduler.Trigger() == core.OnArrival {
+		e.invokeScheduler()
+	}
+}
+
+// invokeScheduler presents the queue (interactive fully; batch up to the
+// window) to the scheduler, timing the call with the wall clock, then
+// executes the returned assignments.
+func (e *Engine) invokeScheduler() {
+	if len(e.queue) == 0 {
+		return
+	}
+	present := e.queue
+	if len(e.queue) > e.cfg.BatchWindow {
+		present = make([]*core.Job, 0, e.cfg.BatchWindow+16)
+		batch := 0
+		for _, j := range e.queue {
+			if j.Class == core.Interactive {
+				present = append(present, j)
+			} else if batch < e.cfg.BatchWindow {
+				present = append(present, j)
+				batch++
+			}
+		}
+	}
+
+	start := time.Now()
+	assignments := e.cfg.Scheduler.Schedule(e.sim.Now(), present, e.head)
+	wall := time.Since(start)
+
+	jobsTouched := make(map[core.JobID]struct{})
+	for _, a := range assignments {
+		t := a.Task
+		if !t.Assigned {
+			panic(fmt.Sprintf("sim: scheduler %s returned unmarked assignment %v", e.cfg.Scheduler.Name(), t))
+		}
+		t.Job.Remaining--
+		if t.Job.Remaining < 0 {
+			panic(fmt.Sprintf("sim: task %v assigned twice", t))
+		}
+		jobsTouched[t.Job.ID] = struct{}{}
+		e.emit(trace.Event{Kind: trace.Assign, Job: t.Job.ID, Class: t.Job.Class, Task: t.Index, Node: a.Node, Chunk: t.Chunk})
+		n := e.nodes[a.Node]
+		if n.failed {
+			// A scheduler placing work on a known-failed node is a policy
+			// bug; the head state exposes liveness.
+			panic(fmt.Sprintf("sim: scheduler %s assigned %v to failed node %d", e.cfg.Scheduler.Name(), t, a.Node))
+		}
+		e.enqueue(n, t)
+	}
+	e.report.ScheduleCall(wall, len(jobsTouched))
+
+	// Compact: drop fully assigned jobs from the queue.
+	live := e.queue[:0]
+	for _, j := range e.queue {
+		if j.Remaining > 0 {
+			live = append(live, j)
+		}
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+}
+
+// enqueue routes an assigned task into the node's execution machinery.
+func (e *Engine) enqueue(n *node, t *core.Task) {
+	if !e.cfg.OverlapIO {
+		n.push(t)
+		e.startSerial(n)
+		return
+	}
+	// Overlap mode: residency decides between the ready queue and the I/O
+	// channel. The hit/miss metric is recorded at access, as on a real node.
+	if _, seen := e.started[t.Job.ID]; !seen {
+		e.started[t.Job.ID] = e.sim.Now()
+	}
+	if n.mem.Touch(t.Chunk) {
+		e.report.TaskAccess(true)
+		n.push(t)
+		e.startOverlap(n)
+		return
+	}
+	e.report.TaskAccess(false)
+	n.missLoad[t] = 0 // marks the task as a miss; the trigger carries the load time
+	if ws, loading := n.waiters[t.Chunk]; loading {
+		n.waiters[t.Chunk] = append(ws, t)
+		return
+	}
+	n.waiters[t.Chunk] = []*core.Task{t}
+	n.loadq = append(n.loadq, t.Chunk)
+	e.kickLoad(n)
+}
+
+// emit records a trace event when tracing is enabled.
+func (e *Engine) emit(ev trace.Event) {
+	if e.cfg.Trace != nil {
+		ev.At = e.sim.Now()
+		e.cfg.Trace.Add(ev)
+	}
+}
+
+// jitter perturbs a duration by the configured noise fraction.
+func (e *Engine) jitter(d units.Duration) units.Duration {
+	if e.cfg.Jitter <= 0 {
+		return d
+	}
+	f := 1 + e.cfg.Jitter*(2*e.rng.Float64()-1)
+	return units.Duration(float64(d) * f)
+}
+
+// renderCost is the executor-side cost of a task whose chunk is in main
+// memory: overhead + (upload if the two-level GPU cache misses) + render +
+// composite.
+func (e *Engine) renderCost(n *node, t *core.Task) units.Duration {
+	m := e.cfg.Model
+	exec := m.TaskOverhead + m.RenderTime(t.Size) + m.CompositeTime(t.Job.GroupSize())
+	if n.gpu != nil && !n.gpu.Touch(t.Chunk) {
+		exec += m.PCIeRate.TimeFor(t.Size)
+		n.gpu.Insert(t.Chunk, t.Size)
+	}
+	return exec
+}
+
+// startSerial begins queued tasks on an idle serial-mode node (Definition
+// 1: a miss occupies the node for the whole of tio + trender + tcomposite).
+func (e *Engine) startSerial(n *node) {
+	for !n.failed && len(n.running) < n.gpus {
+		t := n.pop()
+		if t == nil {
+			return
+		}
+		now := e.sim.Now()
+		hit := n.mem.Touch(t.Chunk)
+		var evicted []volume.ChunkID
+		if !hit {
+			evicted = n.mem.Insert(t.Chunk, t.Size)
+		}
+		exec := e.renderCost(n, t)
+		if !hit {
+			if n.gpu != nil {
+				// Two-level: the load brings the chunk to main memory; the
+				// upload was already charged by renderCost's GPU miss.
+				exec += e.cfg.Model.DiskRate.TimeFor(t.Size)
+			} else {
+				exec += e.cfg.Model.IOTime(t.Size)
+			}
+		}
+		exec = e.jitter(exec)
+		if _, seen := e.started[t.Job.ID]; !seen {
+			e.started[t.Job.ID] = now
+		}
+		e.report.TaskExecuted(hit, exec, len(evicted))
+		if !hit {
+			e.report.LoadAdd()
+		}
+		res := core.TaskResult{
+			Task: t, Node: n.id, Hit: hit,
+			Exec: exec, Predicted: t.PredictedExec,
+			Evicted: evicted,
+		}
+		n.running[t] = e.sim.After(exec, func(s *des.Simulator) { e.complete(n, res) })
+	}
+}
+
+// kickLoad starts the overlap-mode I/O channel if it is idle.
+func (e *Engine) kickLoad(n *node) {
+	if n.loadActive || n.failed {
+		return
+	}
+	c, ok := n.popLoad()
+	if !ok {
+		return
+	}
+	ws := n.waiters[c]
+	if len(ws) == 0 {
+		// All waiters were requeued by a failure; skip the load.
+		delete(n.waiters, c)
+		e.kickLoad(n)
+		return
+	}
+	size := ws[0].Size
+	dur := e.cfg.Model.IOTime(size)
+	if n.gpu != nil {
+		dur = e.cfg.Model.DiskRate.TimeFor(size) // upload deferred to render
+	}
+	dur = e.jitter(dur)
+	n.loadActive = true
+	n.loadTimer = e.sim.After(dur, func(s *des.Simulator) {
+		n.loadActive = false
+		n.loadTimer = nil
+		evicted := n.mem.Insert(c, size)
+		e.report.EvictionsAdd(len(evicted))
+		e.report.LoadAdd()
+		e.emit(trace.Event{Kind: trace.Load, Node: n.id, Chunk: c, Dur: dur})
+		ws := n.waiters[c]
+		delete(n.waiters, c)
+		for i, t := range ws {
+			if i == 0 {
+				// The trigger task reports the load in its execution time
+				// and carries the evictions to the head's correction.
+				n.missLoad[t] = dur
+				e.pendingEvictions[t] = evicted
+			}
+			n.push(t)
+		}
+		e.startOverlap(n)
+		e.kickLoad(n)
+	})
+}
+
+// startOverlap begins ready tasks on an overlap-mode node.
+func (e *Engine) startOverlap(n *node) {
+	for !n.failed && len(n.running) < n.gpus {
+		t := n.pop()
+		if t == nil {
+			return
+		}
+		n.mem.Touch(t.Chunk)
+		exec := e.jitter(e.renderCost(n, t))
+		// Utilization in overlap mode counts executor occupancy only: the
+		// whole point of the three-thread design is that loads do not hold
+		// the GPU.
+		e.report.BusyAdd(exec)
+		loadDur, wasMiss := n.missLoad[t]
+		delete(n.missLoad, t)
+		evicted := e.pendingEvictions[t]
+		delete(e.pendingEvictions, t)
+		res := core.TaskResult{
+			Task: t, Node: n.id, Hit: !wasMiss,
+			Exec: exec + loadDur, Predicted: t.PredictedExec,
+			Evicted: evicted,
+		}
+		n.running[t] = e.sim.After(exec, func(s *des.Simulator) { e.complete(n, res) })
+	}
+}
+
+// complete finishes a task: correct the head tables, account job progress,
+// and start the node's next task.
+func (e *Engine) complete(n *node, res core.TaskResult) {
+	now := e.sim.Now()
+	res.Finished = now
+	delete(n.running, res.Task)
+	e.head.Correct(res, now)
+	e.emit(trace.Event{
+		Kind: trace.TaskDone, Job: res.Task.Job.ID, Class: res.Task.Job.Class,
+		Task: res.Task.Index, Node: n.id, Chunk: res.Task.Chunk,
+		Dur: res.Exec, Hit: res.Hit,
+	})
+
+	j := res.Task.Job
+	e.finished[j.ID]++
+	if e.finished[j.ID] == len(j.Tasks) {
+		e.report.JobCompleted(j.Class == core.Interactive, int(j.Action), j.Issued, e.started[j.ID], now)
+		e.emit(trace.Event{Kind: trace.JobDone, Job: j.ID, Class: j.Class, Dur: now.Sub(j.Issued)})
+		delete(e.finished, j.ID)
+		delete(e.started, j.ID)
+	}
+	if e.cfg.OverlapIO {
+		e.startOverlap(n)
+	} else {
+		e.startSerial(n)
+	}
+}
+
+// fail crashes a node: its queued, loading, and running tasks return to the
+// head queue for re-scheduling, and its memory contents are lost.
+func (e *Engine) fail(k core.NodeID) {
+	n := e.nodes[k]
+	if n.failed {
+		return
+	}
+	n.failed = true
+	e.head.MarkFailed(k)
+	e.emit(trace.Event{Kind: trace.NodeFail, Node: k})
+
+	requeue := func(t *core.Task) {
+		t.Assigned = false
+		t.PredictedExec = 0
+		delete(e.pendingEvictions, t)
+		if t.Job.Remaining == 0 {
+			// The job had left the queue; put it back.
+			e.queue = append(e.queue, t.Job)
+		}
+		t.Job.Remaining++
+	}
+	for t, timer := range n.running {
+		timer.Cancel()
+		requeue(t)
+		delete(n.running, t)
+	}
+	if n.loadTimer != nil {
+		n.loadTimer.Cancel()
+		n.loadTimer = nil
+		n.loadActive = false
+	}
+	for t := n.pop(); t != nil; t = n.pop() {
+		requeue(t)
+	}
+	for c, ws := range n.waiters {
+		for _, t := range ws {
+			requeue(t)
+		}
+		delete(n.waiters, c)
+	}
+	n.loadq = nil
+	n.loadHead = 0
+	fresh := e.newNode(k)
+	fresh.failed = true
+	e.nodes[k] = fresh
+	if e.cfg.Scheduler.Trigger() == core.OnArrival {
+		e.invokeScheduler()
+	}
+}
+
+// repair returns a failed node to service with cold caches.
+func (e *Engine) repair(k core.NodeID) {
+	n := e.nodes[k]
+	if !n.failed {
+		return
+	}
+	n.failed = false
+	e.head.MarkRepaired(k, e.sim.Now())
+	e.emit(trace.Event{Kind: trace.NodeRepair, Node: k})
+}
+
+// QueueLen exposes the number of jobs still holding unassigned tasks,
+// used by tests.
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// ScenarioEngineConfig builds the engine configuration for a Table II
+// scenario under the given scheduler: the library is decomposed per the
+// scheduler's policy, the cost model matches the scenario's testbed, and
+// caches start warm. Callers may adjust the result (tracing, node-model
+// extensions) before New.
+func ScenarioEngineConfig(cfg workload.ScenarioConfig, sched core.Scheduler, jitter float64) Config {
+	var policy volume.Decomposition = volume.MaxChunk{Chkmax: cfg.Chkmax}
+	if o, ok := sched.(core.DecompositionOverrider); ok {
+		policy = o.Decomposition(cfg.Nodes)
+	}
+	model := core.System2CostModel()
+	if cfg.System1 {
+		model = core.System1CostModel()
+	}
+	return Config{
+		Nodes:     cfg.Nodes,
+		MemQuota:  cfg.MemQuota,
+		Model:     model,
+		Scheduler: sched,
+		Library:   cfg.Library(policy),
+		Jitter:    jitter,
+		Seed:      int64(cfg.ID) * 7919,
+		Preload:   true,
+	}
+}
+
+// RunScenario is the one-call harness the experiments and benchmarks use:
+// build the library with the scheduler's decomposition, wire the engine, and
+// play the scenario's workload.
+func RunScenario(cfg workload.ScenarioConfig, sched core.Scheduler, jitter float64) *metrics.Report {
+	eng := New(ScenarioEngineConfig(cfg, sched, jitter))
+	wl := workload.Generate(cfg.Spec)
+	return eng.Run(wl, 0)
+}

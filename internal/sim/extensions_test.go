@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+
+	"vizsched/internal/baselines"
+	"vizsched/internal/cache"
+	"vizsched/internal/core"
+	"vizsched/internal/metrics"
+	"vizsched/internal/units"
+	"vizsched/internal/workload"
+)
+
+// coldConfig is smallConfig without preloading, so miss handling dominates.
+func coldConfig(sched core.Scheduler, nDatasets int) Config {
+	cfg := smallConfig(sched, nDatasets)
+	cfg.Preload = false
+	return cfg
+}
+
+// TestOverlapIOBeatsSerialOnColdStart: with overlapped I/O, a node keeps
+// rendering resident chunks while others load, so a cold-start mixed
+// workload completes more jobs in the same window.
+func TestOverlapIOBeatsSerialOnColdStart(t *testing.T) {
+	run := func(overlap bool) *metrics.Report {
+		cfg := coldConfig(core.NewLocalityScheduler(0), 4)
+		cfg.OverlapIO = overlap
+		eng := New(cfg)
+		wl := steadyWorkload(4, units.Time(15*units.Second))
+		return eng.Run(wl, 0)
+	}
+	serial := run(false)
+	overlap := run(true)
+	if overlap.Interactive.Completed <= serial.Interactive.Completed {
+		t.Errorf("overlap completed %d ≤ serial %d; latency hiding had no effect",
+			overlap.Interactive.Completed, serial.Interactive.Completed)
+	}
+	// Hit/miss totals must still account for every executed task's access.
+	if overlap.Hits+overlap.Misses == 0 {
+		t.Error("overlap mode recorded no accesses")
+	}
+}
+
+func TestOverlapIOCoalescesLoads(t *testing.T) {
+	// Many jobs over one dataset arrive together on a cold cache: the load
+	// of each chunk must happen once, with followers waiting, not once per
+	// task.
+	cfg := coldConfig(core.NewLocalityScheduler(0), 1)
+	cfg.OverlapIO = true
+	eng := New(cfg)
+	wl := workload.Generate(workload.Spec{
+		Length:            units.Time(20 * units.Second),
+		Datasets:          1,
+		ContinuousActions: 3,
+		Seed:              2,
+	})
+	rep := eng.Run(wl, 0)
+	if rep.Interactive.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	// 4 chunks → exactly 4 loads would be ideal; allow a few replicas from
+	// load balancing but not one load per waiting task.
+	if rep.Loads > 12 {
+		t.Errorf("loads = %d; loads were not coalesced", rep.Loads)
+	}
+	if rep.Misses <= rep.Loads {
+		t.Errorf("misses (%d) should exceed loads (%d): waiters coalesce", rep.Misses, rep.Loads)
+	}
+}
+
+func TestGPUCacheChargesUploads(t *testing.T) {
+	// A GPU cache smaller than the working set forces repeated PCIe uploads
+	// even though main memory holds everything; throughput must sit between
+	// "all GPU-resident" and "reload from disk".
+	run := func(gpuCache units.Bytes) *metrics.Report {
+		cfg := smallConfig(core.NewLocalityScheduler(0), 2)
+		cfg.GPUCache = gpuCache
+		eng := New(cfg)
+		wl := steadyWorkload(2, units.Time(10*units.Second))
+		return eng.Run(wl, 0)
+	}
+	roomy := run(2 * units.GB)   // whole working set fits in video memory
+	tight := run(300 * units.MB) // one 256MB chunk at a time: upload thrash
+	if tight.BusyNodeTime <= roomy.BusyNodeTime {
+		t.Errorf("tight GPU cache busy %v ≤ roomy %v; uploads not charged",
+			tight.BusyNodeTime, roomy.BusyNodeTime)
+	}
+	if roomy.Interactive.Completed < tight.Interactive.Completed {
+		t.Error("roomy GPU cache completed fewer jobs than tight")
+	}
+}
+
+func TestMultiGPUNodesIncreaseThroughput(t *testing.T) {
+	// Overload 2 nodes with 4 users; doubling GPUs per node must raise
+	// completions.
+	run := func(gpus int) *metrics.Report {
+		cfg := smallConfig(core.NewLocalityScheduler(0), 4)
+		cfg.Nodes = 2
+		cfg.GPUsPerNode = gpus
+		eng := New(cfg)
+		wl := steadyWorkload(4, units.Time(10*units.Second))
+		return eng.Run(wl, 0)
+	}
+	one := run(1)
+	two := run(2)
+	if two.Interactive.Completed <= one.Interactive.Completed {
+		t.Errorf("2 GPUs completed %d ≤ 1 GPU %d", two.Interactive.Completed, one.Interactive.Completed)
+	}
+}
+
+func TestEvictionPoliciesRun(t *testing.T) {
+	for _, p := range []cache.Policy{cache.PolicyLRU, cache.PolicyFIFO, cache.PolicyRandom, cache.PolicyLFU} {
+		cfg := smallConfig(core.NewLocalityScheduler(0), 6)
+		cfg.MemQuota = units.GB // tight: forces evictions
+		cfg.EvictionPolicy = p
+		eng := New(cfg)
+		wl := steadyWorkload(6, units.Time(6*units.Second))
+		rep := eng.Run(wl, 0)
+		if rep.Interactive.Completed == 0 {
+			t.Errorf("policy %v completed nothing", p)
+		}
+	}
+}
+
+func TestOverlapWithFailure(t *testing.T) {
+	cfg := coldConfig(core.NewLocalityScheduler(0), 2)
+	cfg.OverlapIO = true
+	cfg.Failures = []Failure{{At: units.Time(500 * units.Millisecond), Node: 0}}
+	eng := New(cfg)
+	wl := steadyWorkload(2, units.Time(12*units.Second))
+	rep := eng.Run(wl, 0)
+	// The node died mid-load; its waiters must be rescheduled elsewhere.
+	if rep.Interactive.Completed < rep.Interactive.Issued/2 {
+		t.Errorf("completed %d of %d with a mid-load failure",
+			rep.Interactive.Completed, rep.Interactive.Issued)
+	}
+}
+
+func TestOverlapDeterministic(t *testing.T) {
+	run := func() *metrics.Report {
+		cfg := coldConfig(baselines.FCFSL{}, 3)
+		cfg.OverlapIO = true
+		cfg.Jitter = 0.1
+		eng := New(cfg)
+		wl := steadyWorkload(3, units.Time(8*units.Second))
+		return eng.Run(wl, 0)
+	}
+	a, b := run(), run()
+	if a.Interactive.Completed != b.Interactive.Completed || a.Misses != b.Misses {
+		t.Error("overlap mode not deterministic")
+	}
+}
+
+func TestLatencyHistogramPopulated(t *testing.T) {
+	eng := New(smallConfig(core.NewLocalityScheduler(0), 2))
+	wl := steadyWorkload(2, units.Time(5*units.Second))
+	rep := eng.Run(wl, 0)
+	if rep.Interactive.LatencyHist.N() != rep.Interactive.Completed {
+		t.Errorf("histogram n = %d, completed = %d",
+			rep.Interactive.LatencyHist.N(), rep.Interactive.Completed)
+	}
+	if rep.Interactive.LatencyHist.P99() < rep.Interactive.LatencyHist.P50() {
+		t.Error("p99 < p50")
+	}
+}

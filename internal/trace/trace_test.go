@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"vizsched/internal/core"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+func sampleLog() *Log {
+	l := New(0)
+	l.Add(Event{At: 0, Kind: JobArrive, Job: 1, Class: core.Interactive})
+	l.Add(Event{At: units.Time(5 * units.Millisecond), Kind: Assign, Job: 1, Task: 0, Node: 2,
+		Chunk: volume.ChunkID{Dataset: 1, Index: 0}})
+	l.Add(Event{At: units.Time(20 * units.Millisecond), Kind: TaskDone, Job: 1, Task: 0, Node: 2,
+		Chunk: volume.ChunkID{Dataset: 1, Index: 0}, Dur: 15 * units.Millisecond, Hit: true})
+	l.Add(Event{At: units.Time(25 * units.Millisecond), Kind: JobDone, Job: 1, Dur: 25 * units.Millisecond})
+	l.Add(Event{At: units.Time(30 * units.Millisecond), Kind: NodeFail, Node: 1})
+	l.Add(Event{At: units.Time(40 * units.Millisecond), Kind: Load, Node: 0,
+		Chunk: volume.ChunkID{Dataset: 2, Index: 1}, Dur: 8 * units.Millisecond})
+	l.Add(Event{At: units.Time(50 * units.Millisecond), Kind: TaskDone, Job: 2, Class: core.Batch,
+		Task: 1, Node: 0, Dur: 5 * units.Millisecond})
+	return l
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{JobArrive, Assign, Load, TaskDone, JobDone, NodeFail, NodeRepair} {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(42).String(), "kind(") {
+		t.Error("unknown kind should fall back")
+	}
+}
+
+func TestCapDropsBeyondCapacity(t *testing.T) {
+	l := New(2)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{Kind: Assign})
+	}
+	if l.Len() != 2 || l.Dropped != 3 {
+		t.Errorf("len=%d dropped=%d", l.Len(), l.Dropped)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleLog().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 8 { // header + 7 events
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "at_us" || recs[0][1] != "kind" {
+		t.Errorf("header = %v", recs[0])
+	}
+	if recs[3][1] != "task-done" || recs[3][8] != "true" {
+		t.Errorf("task-done row = %v", recs[3])
+	}
+}
+
+func TestGanttSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleLog().GanttSVG(&buf, 3, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "R0", "R2", "#4878cf", "#e8853b", "#999999", "#cc2222"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestGanttSVGEmptyRangeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(0).GanttSVG(&buf, 2, 0, 0); err == nil {
+		t.Error("empty log rendered without error")
+	}
+}

@@ -1,0 +1,294 @@
+// Package transport provides the message-passing substrate for the live
+// (non-simulated) visualization service: an in-process channel transport
+// for single-binary deployments and tests, and a TCP transport with a
+// gob-framed wire protocol standing in for the paper's MPI layer.
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Kind tags a message's role in the service protocol.
+type Kind int
+
+// Protocol message kinds.
+const (
+	// KindHello introduces a worker to the head (payload: HelloBody).
+	KindHello Kind = iota + 1
+	// KindRender carries a render request from a client to the head.
+	KindRender
+	// KindTask carries one task assignment from the head to a worker.
+	KindTask
+	// KindFragment returns a rendered fragment from a worker.
+	KindFragment
+	// KindResult returns a final image to a client.
+	KindResult
+	// KindError reports a failure for a specific request.
+	KindError
+	// KindShutdown asks the receiver to stop.
+	KindShutdown
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindRender:
+		return "render"
+	case KindTask:
+		return "task"
+	case KindFragment:
+		return "fragment"
+	case KindResult:
+		return "result"
+	case KindError:
+		return "error"
+	case KindShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Message is one framed protocol unit. Body holds a gob-encoded struct
+// appropriate to the Kind; ID correlates requests with responses.
+type Message struct {
+	Kind Kind
+	ID   uint64
+	Body []byte
+}
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is a bidirectional ordered message pipe. Send and Recv are each safe
+// for one concurrent caller; the service uses one reader and one writer
+// goroutine per connection.
+type Conn interface {
+	Send(m Message) error
+	Recv() (Message, error)
+	Close() error
+}
+
+// Listener accepts incoming connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr returns the dialable address of this listener.
+	Addr() string
+}
+
+// --- In-process transport ---
+
+// chanConn is one end of a paired in-process connection.
+type chanConn struct {
+	out  chan<- Message
+	in   <-chan Message
+	done chan struct{}
+	once sync.Once
+	// peerDone observes the other end's closure.
+	peerDone chan struct{}
+}
+
+// Pipe returns two connected in-process ends.
+func Pipe() (Conn, Conn) {
+	ab := make(chan Message, 64)
+	ba := make(chan Message, 64)
+	da := make(chan struct{})
+	db := make(chan struct{})
+	a := &chanConn{out: ab, in: ba, done: da, peerDone: db}
+	b := &chanConn{out: ba, in: ab, done: db, peerDone: da}
+	return a, b
+}
+
+// Send implements Conn.
+func (c *chanConn) Send(m Message) error {
+	// Check closure first: a select with a ready buffered channel and a
+	// closed done channel picks randomly, which would let sends to a dead
+	// peer "succeed" half the time.
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-c.peerDone:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-c.peerDone:
+		return ErrClosed
+	case c.out <- m:
+		return nil
+	}
+}
+
+// Recv implements Conn.
+func (c *chanConn) Recv() (Message, error) {
+	select {
+	case <-c.done:
+		return Message{}, ErrClosed
+	case m := <-c.in:
+		return m, nil
+	case <-c.peerDone:
+		// Drain anything the peer sent before closing.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+// Close implements Conn.
+func (c *chanConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// ChanListener hands out in-process connections to dialers that hold a
+// reference to it.
+type ChanListener struct {
+	mu     sync.Mutex
+	queue  chan Conn
+	closed bool
+}
+
+// NewChanListener returns an in-process listener.
+func NewChanListener() *ChanListener {
+	return &ChanListener{queue: make(chan Conn, 16)}
+}
+
+// Dial creates a connection pair, queues the server end for Accept, and
+// returns the client end.
+func (l *ChanListener) Dial() (Conn, error) {
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	client, server := Pipe()
+	l.queue <- server
+	return client, nil
+}
+
+// Accept implements Listener.
+func (l *ChanListener) Accept() (Conn, error) {
+	c, ok := <-l.queue
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Close implements Listener.
+func (l *ChanListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.queue)
+	}
+	return nil
+}
+
+// Addr implements Listener.
+func (l *ChanListener) Addr() string { return "inproc" }
+
+// --- TCP transport ---
+
+// tcpConn frames Messages with gob over a net.Conn.
+type tcpConn struct {
+	nc   net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+	once sync.Once
+}
+
+func newTCPConn(nc net.Conn) *tcpConn {
+	return &tcpConn{nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
+}
+
+// Send implements Conn.
+func (c *tcpConn) Send(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(m)
+}
+
+// Recv implements Conn.
+func (c *tcpConn) Recv() (Message, error) {
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error {
+	var err error
+	c.once.Do(func() { err = c.nc.Close() })
+	return err
+}
+
+// tcpListener wraps a net.Listener.
+type tcpListener struct {
+	nl net.Listener
+}
+
+// ListenTCP starts a TCP listener on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+// Accept implements Listener.
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+// Close implements Listener.
+func (l *tcpListener) Close() error { return l.nl.Close() }
+
+// Addr implements Listener.
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
+
+// DialTCP connects to a TCP listener.
+func DialTCP(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+// Encode gob-encodes a body struct for a Message.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes a Message body into v.
+func Decode(body []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+}

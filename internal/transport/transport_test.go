@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+func testConnPair(t *testing.T, a, b Conn) {
+	t.Helper()
+	// Round trip both directions.
+	want := Message{Kind: KindRender, ID: 42, Body: []byte("payload")}
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != want.Kind || got.ID != want.ID || string(got.Body) != "payload" {
+		t.Fatalf("got %+v", got)
+	}
+	if err := b.Send(Message{Kind: KindResult, ID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = a.Recv(); err != nil || got.Kind != KindResult {
+		t.Fatalf("reply: %+v err=%v", got, err)
+	}
+	// Ordering is preserved.
+	for i := uint64(0); i < 10; i++ {
+		if err := a.Send(Message{Kind: KindTask, ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		m, err := b.Recv()
+		if err != nil || m.ID != i {
+			t.Fatalf("order broken at %d: %+v err=%v", i, m, err)
+		}
+	}
+	// Close propagates.
+	a.Close()
+	if _, err := b.Recv(); err == nil {
+		t.Error("Recv on closed peer did not error")
+	}
+	if err := b.Send(Message{}); err == nil {
+		// TCP may buffer one write after peer close; a second must fail.
+		if err2 := b.Send(Message{}); err2 == nil {
+			t.Error("Send to closed peer never errored")
+		}
+	}
+	b.Close()
+}
+
+func TestPipeConn(t *testing.T) {
+	a, b := Pipe()
+	testConnPair(t, a, b)
+}
+
+func TestTCPConn(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var server Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, _ = l.Accept()
+	}()
+	client, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	testConnPair(t, client, server)
+}
+
+func TestChanListener(t *testing.T) {
+	l := NewChanListener()
+	var accepted Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		accepted, _ = l.Accept()
+	}()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := c.Send(Message{Kind: KindHello}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := accepted.Recv(); err != nil || m.Kind != KindHello {
+		t.Fatalf("accept side got %+v err=%v", m, err)
+	}
+	l.Close()
+	if _, err := l.Dial(); err == nil {
+		t.Error("Dial after Close did not error")
+	}
+	if _, err := l.Accept(); err == nil {
+		t.Error("Accept after Close did not error")
+	}
+}
+
+func TestPipeDrainsBufferedAfterPeerClose(t *testing.T) {
+	a, b := Pipe()
+	a.Send(Message{Kind: KindResult, ID: 7})
+	a.Close()
+	m, err := b.Recv()
+	if err != nil || m.ID != 7 {
+		t.Fatalf("buffered message lost: %+v err=%v", m, err)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	type payload struct {
+		Name  string
+		Count int
+		Data  []float32
+	}
+	in := payload{Name: "x", Count: 3, Data: []float32{1, 2, 3}}
+	raw, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Decode(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Count != in.Count || len(out.Data) != 3 {
+		t.Fatalf("roundtrip mismatch: %+v", out)
+	}
+	// Corrupt payload errors rather than panics.
+	if err := Decode([]byte{1, 2, 3}, &out); err == nil {
+		t.Error("corrupt decode did not error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindTask.String() != "task" || Kind(99).String() == "" {
+		t.Error("Kind.String broken")
+	}
+}
+
+func TestConcurrentSendersOnTCP(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		done <- c
+	}()
+	client, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-done
+
+	const n = 50
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := client.Send(Message{Kind: KindTask}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	got := 0
+	for got < 4*n {
+		if _, err := server.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	wg.Wait()
+	client.Close()
+	server.Close()
+}

@@ -1,0 +1,197 @@
+package volume
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// A FieldFunc evaluates a synthetic scalar field at normalized coordinates
+// in [0,1]³ and returns a value in [0,1]. The generators below are analytic
+// stand-ins for the paper's three science datasets (Fig. 10): a plume
+// simulation (252×252×1024), a combustion simulation (2025×1600×400), and a
+// supernova simulation (864³). They are not the science data, but they have
+// the same qualitative structure — a rising turbulent column, a thin wrinkled
+// flame sheet, and a radiating shell — so the renderer and transfer functions
+// are exercised the same way.
+type FieldFunc func(x, y, z float64) float64
+
+// Plume is a buoyant-plume analogue: a vertical Gaussian column whose radius
+// grows with height, perturbed by swirling harmonics.
+func Plume(x, y, z float64) float64 {
+	dx, dy := x-0.5, y-0.5
+	r := math.Sqrt(dx*dx + dy*dy)
+	// Column radius widens from 0.06 at the base to 0.25 at the top.
+	radius := 0.06 + 0.19*z
+	core := math.Exp(-(r * r) / (2 * radius * radius))
+	// Swirl: azimuthal ripples advected upward.
+	theta := math.Atan2(dy, dx)
+	swirl := 0.5 + 0.5*math.Sin(5*theta+18*z)
+	ripple := 0.5 + 0.5*math.Sin(40*z+6*math.Cos(3*theta))
+	v := core * (0.55 + 0.3*swirl*ripple)
+	// Fade in at the base so the plume appears to detach from an inlet.
+	v *= smooth01(z / 0.08)
+	return clamp01(v)
+}
+
+// Combustion is a flame-sheet analogue: a thin, wrinkled iso-surface layer
+// (mimicking a premixed flame front in a turbulent jet) embedded in cooler
+// surroundings.
+func Combustion(x, y, z float64) float64 {
+	// The flame sheet is the zero level set of a wrinkled implicit surface.
+	wrinkle := 0.08*math.Sin(9*math.Pi*x)*math.Cos(7*math.Pi*z) +
+		0.05*math.Sin(15*math.Pi*x+5*math.Pi*z) +
+		0.03*math.Sin(23*math.Pi*z)
+	sheet := y - (0.5 + wrinkle)
+	// Intensity decays away from the sheet; hotter pockets near x center.
+	hot := math.Exp(-sheet * sheet / (2 * 0.02 * 0.02))
+	jet := math.Exp(-(x - 0.5) * (x - 0.5) / (2 * 0.3 * 0.3))
+	cool := 0.12 * math.Exp(-(y-0.25)*(y-0.25)/(2*0.2*0.2))
+	return clamp01(hot*jet*0.9 + cool)
+}
+
+// Supernova is a radiating-shell analogue: an expanding spherical shock
+// shell with angular instabilities and a dense core remnant.
+func Supernova(x, y, z float64) float64 {
+	dx, dy, dz := x-0.5, y-0.5, z-0.5
+	r := math.Sqrt(dx*dx+dy*dy+dz*dz) * 2 // 0 at center, ~1 at corner faces
+	theta := math.Acos(clampRange(dz*2/math.Max(r, 1e-9), -1, 1))
+	phi := math.Atan2(dy, dx)
+	// Rayleigh–Taylor-like fingers perturb the shell radius.
+	finger := 0.05*math.Sin(6*phi)*math.Sin(5*theta) + 0.03*math.Sin(11*phi+3*theta)
+	shellR := 0.62 + finger
+	shell := math.Exp(-(r - shellR) * (r - shellR) / (2 * 0.035 * 0.035))
+	core := 0.8 * math.Exp(-r*r/(2*0.12*0.12))
+	return clamp01(shell*0.85 + core)
+}
+
+// Turbulence is a generic multi-octave value-noise field used by tests and
+// the ablation workloads; seed selects the noise table.
+func Turbulence(seed int64) FieldFunc {
+	n := newValueNoise(seed)
+	return func(x, y, z float64) float64 {
+		var sum, amp, freq = 0.0, 0.5, 4.0
+		for o := 0; o < 4; o++ {
+			sum += amp * n.at(x*freq, y*freq, z*freq)
+			amp /= 2
+			freq *= 2
+		}
+		return clamp01(sum)
+	}
+}
+
+// Fields maps the canonical dataset names to their generators.
+var Fields = map[string]FieldFunc{
+	"plume":      Plume,
+	"combustion": Combustion,
+	"supernova":  Supernova,
+}
+
+// FieldByName returns the named generator; unknown names fall back to a
+// seeded turbulence field derived from the name, so arbitrary scenario
+// dataset names always render something deterministic.
+func FieldByName(name string) FieldFunc {
+	if f, ok := Fields[name]; ok {
+		return f
+	}
+	var seed int64
+	for _, r := range name {
+		seed = seed*131 + int64(r)
+	}
+	return Turbulence(seed)
+}
+
+// Generate fills a new grid by sampling f at voxel centers mapped to
+// normalized [0,1]³ coordinates.
+func Generate(f FieldFunc, nx, ny, nz int) *Grid {
+	g := NewGrid(nx, ny, nz)
+	sx := 1.0 / float64(max(nx-1, 1))
+	sy := 1.0 / float64(max(ny-1, 1))
+	sz := 1.0 / float64(max(nz-1, 1))
+	for z := 0; z < nz; z++ {
+		fz := float64(z) * sz
+		for y := 0; y < ny; y++ {
+			fy := float64(y) * sy
+			base := g.Index(0, y, z)
+			for x := 0; x < nx; x++ {
+				g.Data[base+x] = float32(f(float64(x)*sx, fy, fz))
+			}
+		}
+	}
+	return g
+}
+
+// valueNoise is trilinearly interpolated lattice noise with a permuted
+// hash, sufficient for deterministic synthetic turbulence without any
+// external dependency.
+type valueNoise struct {
+	perm [512]int
+	vals [256]float64
+}
+
+func newValueNoise(seed int64) *valueNoise {
+	rng := rand.New(rand.NewSource(seed))
+	n := &valueNoise{}
+	p := rng.Perm(256)
+	for i := 0; i < 256; i++ {
+		n.perm[i] = p[i]
+		n.perm[i+256] = p[i]
+		n.vals[i] = rng.Float64()
+	}
+	return n
+}
+
+func (n *valueNoise) lattice(ix, iy, iz int) float64 {
+	return n.vals[n.perm[n.perm[n.perm[ix&255]+(iy&255)]+(iz&255)]]
+}
+
+func (n *valueNoise) at(x, y, z float64) float64 {
+	x0, y0, z0 := int(math.Floor(x)), int(math.Floor(y)), int(math.Floor(z))
+	fx, fy, fz := smooth01(x-float64(x0)), smooth01(y-float64(y0)), smooth01(z-float64(z0))
+	lerp := func(a, b, t float64) float64 { return a + (b-a)*t }
+	c00 := lerp(n.lattice(x0, y0, z0), n.lattice(x0+1, y0, z0), fx)
+	c10 := lerp(n.lattice(x0, y0+1, z0), n.lattice(x0+1, y0+1, z0), fx)
+	c01 := lerp(n.lattice(x0, y0, z0+1), n.lattice(x0+1, y0, z0+1), fx)
+	c11 := lerp(n.lattice(x0, y0+1, z0+1), n.lattice(x0+1, y0+1, z0+1), fx)
+	return lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz)
+}
+
+func clamp01(v float64) float64 { return clampRange(v, 0, 1) }
+
+func clampRange(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// smooth01 is the smoothstep ramp clamped to [0,1].
+func smooth01(t float64) float64 {
+	t = clamp01(t)
+	return t * t * (3 - 2*t)
+}
+
+// FigureDims gives the paper's Fig. 10 dataset dimensions, downscaled by
+// factor (≥1) so the analogues render at laptop scale while keeping the
+// originals' aspect ratios.
+func FigureDims(name string, factor int) ([3]int, error) {
+	if factor < 1 {
+		factor = 1
+	}
+	full := map[string][3]int{
+		"plume":      {252, 252, 1024},
+		"combustion": {2025, 1600, 400},
+		"supernova":  {864, 864, 864},
+	}
+	d, ok := full[name]
+	if !ok {
+		return [3]int{}, fmt.Errorf("volume: unknown figure dataset %q", name)
+	}
+	for i := range d {
+		d[i] = max(d[i]/factor, 8)
+	}
+	return d, nil
+}

@@ -1,0 +1,85 @@
+package volume
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The on-disk format is a minimal self-describing raw volume:
+//
+//	magic "VSVOL1\n" | nx,ny,nz uint32 LE | nx*ny*nz float32 LE
+//
+// It exists so the real service path (volgen → disk → render node cache →
+// ray caster) exercises genuine file I/O, the cost the paper's scheduler is
+// built to avoid repeating.
+
+const magic = "VSVOL1\n"
+
+// WriteGrid writes g to w in VSVOL1 format.
+func WriteGrid(w io.Writer, g *Grid) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	hdr := [3]uint32{uint32(g.Dims[0]), uint32(g.Dims[1]), uint32(g.Dims[2])}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Data); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadGrid reads a VSVOL1 volume from r.
+func ReadGrid(r io.Reader) (*Grid, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("volume: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("volume: bad magic %q", got)
+	}
+	var hdr [3]uint32
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("volume: reading header: %w", err)
+	}
+	const maxDim = 1 << 14
+	for _, d := range hdr {
+		if d == 0 || d > maxDim {
+			return nil, fmt.Errorf("volume: unreasonable dimension %d", d)
+		}
+	}
+	g := NewGrid(int(hdr[0]), int(hdr[1]), int(hdr[2]))
+	if err := binary.Read(br, binary.LittleEndian, g.Data); err != nil {
+		return nil, fmt.Errorf("volume: reading voxels: %w", err)
+	}
+	return g, nil
+}
+
+// SaveGrid writes g to the named file.
+func SaveGrid(path string, g *Grid) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteGrid(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadGrid reads a volume from the named file.
+func LoadGrid(path string) (*Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGrid(f)
+}

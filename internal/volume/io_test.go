@@ -1,0 +1,80 @@
+package volume
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGridRoundTrip(t *testing.T) {
+	g := Generate(Supernova, 12, 10, 14)
+	var buf bytes.Buffer
+	if err := WriteGrid(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGrid(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dims != g.Dims {
+		t.Fatalf("dims = %v, want %v", got.Dims, g.Dims)
+	}
+	for i := range g.Data {
+		if got.Data[i] != g.Data[i] {
+			t.Fatalf("voxel %d mismatch", i)
+		}
+	}
+}
+
+func TestReadGridRejectsBadMagic(t *testing.T) {
+	if _, err := ReadGrid(strings.NewReader("NOTVOL\nxxxx")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadGridRejectsTruncated(t *testing.T) {
+	g := Generate(Plume, 8, 8, 8)
+	var buf bytes.Buffer
+	if err := WriteGrid(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadGrid(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated volume accepted")
+	}
+}
+
+func TestReadGridRejectsHugeDims(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	// nx = 1<<20: unreasonable.
+	buf.Write([]byte{0, 0, 16, 0, 1, 0, 0, 0, 1, 0, 0, 0})
+	if _, err := ReadGrid(&buf); err == nil {
+		t.Error("huge dims accepted")
+	}
+}
+
+func TestSaveLoadGrid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.vsvol")
+	g := Generate(Combustion, 10, 10, 6)
+	if err := SaveGrid(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGrid(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dims != g.Dims {
+		t.Fatalf("dims = %v", got.Dims)
+	}
+	if got.At(5, 5, 3) != g.At(5, 5, 3) {
+		t.Error("voxel mismatch after file roundtrip")
+	}
+}
+
+func TestLoadGridMissingFile(t *testing.T) {
+	if _, err := LoadGrid(filepath.Join(t.TempDir(), "missing.vsvol")); err == nil {
+		t.Error("missing file did not error")
+	}
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save serializes the schedule (gzip-compressed gob) so a generated
+// workload can be archived and replayed bit-identically — useful when
+// comparing scheduler changes against a frozen request stream rather than
+// a re-generated one.
+func (s *Schedule) Save(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(s); err != nil {
+		return fmt.Errorf("workload: encoding schedule: %w", err)
+	}
+	return zw.Close()
+}
+
+// LoadSchedule reads a schedule written by Save.
+func LoadSchedule(r io.Reader) (*Schedule, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: opening schedule: %w", err)
+	}
+	defer zr.Close()
+	s := &Schedule{}
+	if err := gob.NewDecoder(zr).Decode(s); err != nil {
+		return nil, fmt.Errorf("workload: decoding schedule: %w", err)
+	}
+	if len(s.Requests) == 0 {
+		return nil, fmt.Errorf("workload: schedule is empty")
+	}
+	return s, nil
+}
+
+// SaveFile writes the schedule to the named file.
+func (s *Schedule) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadScheduleFile reads a schedule from the named file.
+func LoadScheduleFile(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSchedule(f)
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vizsched/internal/units"
+)
+
+func TestScheduleSaveLoadRoundTrip(t *testing.T) {
+	orig := Generate(Spec{
+		Length: units.Time(10 * units.Second), Datasets: 4,
+		TargetInteractive: 500, TargetBatch: 80, Seed: 11,
+	})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(orig.Requests) || got.Length != orig.Length {
+		t.Fatalf("shape mismatch: %d vs %d requests", len(got.Requests), len(orig.Requests))
+	}
+	for i := range orig.Requests {
+		if got.Requests[i] != orig.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+	if len(got.Actions) != len(orig.Actions) || len(got.Submissions) != len(orig.Submissions) {
+		t.Error("descriptors lost")
+	}
+}
+
+func TestScheduleSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.gob.gz")
+	orig := Generate(Spec{
+		Length: units.Time(2 * units.Second), Datasets: 2,
+		ContinuousActions: 2, Seed: 3,
+	})
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScheduleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.InteractiveCount() != orig.InteractiveCount() {
+		t.Error("counts differ after file roundtrip")
+	}
+}
+
+func TestLoadScheduleRejectsGarbage(t *testing.T) {
+	if _, err := LoadSchedule(strings.NewReader("not gzip")); err == nil {
+		t.Error("garbage accepted")
+	}
+	var empty Schedule
+	var buf bytes.Buffer
+	if err := empty.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSchedule(&buf); err == nil {
+		t.Error("empty schedule accepted")
+	}
+}
+
+func TestLoadScheduleFileMissing(t *testing.T) {
+	if _, err := LoadScheduleFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

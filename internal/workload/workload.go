@@ -1,0 +1,442 @@
+// Package workload generates the multi-user request streams of the paper's
+// four experiment scenarios (Table II): continuous and short interactive
+// user actions issuing one rendering request per frame period, and batch
+// submissions that drop bursts of animation-frame jobs into the queue.
+// Everything is driven by an explicit seed, so a scenario regenerates
+// identically run after run.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"vizsched/internal/core"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// Request is one rendering job arrival, before decomposition into tasks.
+type Request struct {
+	At      units.Time
+	Class   core.Class
+	Action  core.ActionID
+	Dataset volume.DatasetID
+}
+
+// Action is one continuous interactive session: from Start to End the user
+// issues one request every Period.
+type Action struct {
+	ID      core.ActionID
+	Dataset volume.DatasetID
+	Start   units.Time
+	End     units.Time
+	Period  units.Duration
+}
+
+// Requests expands the action into its per-frame requests, issued every
+// Period from Start through End inclusive (a 60 s action at 30 ms issues
+// 2001 requests, which is how Table II's 12006 = 6×2001 comes about).
+func (a Action) Requests() []Request {
+	var out []Request
+	for t := a.Start; !t.After(a.End); t = t.Add(a.Period) {
+		out = append(out, Request{At: t, Class: core.Interactive, Action: a.ID, Dataset: a.Dataset})
+	}
+	return out
+}
+
+// BatchSubmission is one batch request: Frames animation-frame jobs, all
+// entering the queue at At. An animation renders one dataset from many
+// angles; a time-varying sweep (the paper's "visualizing time-varying
+// data") renders consecutive datasets — one per timestep — which touches
+// Frames times the data.
+type BatchSubmission struct {
+	ID      core.ActionID
+	Dataset volume.DatasetID
+	At      units.Time
+	Frames  int
+	// TimeSeries makes frame i use dataset Dataset+i (wrapping at
+	// Datasets), modeling timestep files of one simulation.
+	TimeSeries bool
+	// Datasets is the wrap bound for TimeSeries (the library size).
+	Datasets int
+}
+
+// Requests expands the submission into its frame jobs.
+func (b BatchSubmission) Requests() []Request {
+	out := make([]Request, b.Frames)
+	for i := range out {
+		ds := b.Dataset
+		if b.TimeSeries && b.Datasets > 0 {
+			ds = volume.DatasetID((int(b.Dataset)-1+i)%b.Datasets + 1)
+		}
+		out[i] = Request{At: b.At, Class: core.Batch, Action: b.ID, Dataset: ds}
+	}
+	return out
+}
+
+// Schedule is a complete generated workload: the request stream sorted by
+// arrival time plus the descriptors it came from.
+type Schedule struct {
+	Requests    []Request
+	Actions     []Action
+	Submissions []BatchSubmission
+	Length      units.Time
+}
+
+// InteractiveCount returns the number of interactive requests.
+func (s *Schedule) InteractiveCount() int {
+	n := 0
+	for _, r := range s.Requests {
+		if r.Class == core.Interactive {
+			n++
+		}
+	}
+	return n
+}
+
+// BatchCount returns the number of batch requests.
+func (s *Schedule) BatchCount() int { return len(s.Requests) - s.InteractiveCount() }
+
+// Spec describes a scenario's workload shape.
+type Spec struct {
+	// Length is the simulated duration.
+	Length units.Time
+	// Datasets is the number of datasets users pick from.
+	Datasets int
+	// Period is the interactive frame period (30 ms for the paper's
+	// 33.33 fps target).
+	Period units.Duration
+	// ContinuousActions, when positive, creates exactly this many actions
+	// spanning the full length (Scenario 1's six steady users), one per
+	// dataset round-robin.
+	ContinuousActions int
+	// TargetInteractive, when positive, creates randomized short actions
+	// until approximately this many interactive requests exist.
+	TargetInteractive int
+	// ShortActionMin/Max bound the random short-action durations.
+	ShortActionMin, ShortActionMax units.Duration
+	// DatasetZipf skews dataset popularity: dataset r is picked with weight
+	// 1/r^s. Zero or negative selects uniform. Multi-user archives have hot
+	// datasets; without skew every action switch forces a full reload and
+	// the disk dominates every policy equally.
+	DatasetZipf float64
+	// HotDatasets/HotFraction define a two-tier popularity instead: with
+	// probability HotFraction a pick is uniform over datasets 1..HotDatasets,
+	// otherwise uniform over the remainder. This is the regime of the
+	// paper's Scenario 2: a hot working set that exceeds any single node's
+	// memory quota but fits cluster-wide — exactly where locality-aware
+	// placement pays and blind placement thrashes. Takes precedence over
+	// DatasetZipf when HotDatasets > 0.
+	HotDatasets int
+	HotFraction float64
+	// TargetBatch, when positive, creates batch submissions totalling
+	// approximately this many frame jobs.
+	TargetBatch int
+	// BatchFramesMin/Max bound the frames per batch submission.
+	BatchFramesMin, BatchFramesMax int
+	// BatchUniform makes batch submissions pick datasets uniformly instead
+	// of following the interactive popularity shape. Batch renders (archive
+	// animations, time-series sweeps) target cold data as often as hot —
+	// which is precisely what forces the data swapping the paper's
+	// Scenario 2 studies.
+	BatchUniform bool
+	// BatchTimeSeries makes every batch submission sweep consecutive
+	// datasets (timesteps) instead of orbiting one — the paper's
+	// time-varying-data use case and the worst case for locality.
+	BatchTimeSeries bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Generate expands a spec into a concrete schedule.
+func Generate(spec Spec) *Schedule {
+	if spec.Period <= 0 {
+		spec.Period = 30 * units.Millisecond
+	}
+	if spec.Datasets <= 0 {
+		panic("workload: spec needs datasets")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	pick := datasetPicker(spec)
+	batchPick := pick
+	if spec.BatchUniform {
+		uniform := spec
+		uniform.HotDatasets = 0
+		uniform.DatasetZipf = 0
+		batchPick = datasetPicker(uniform)
+	}
+	s := &Schedule{Length: spec.Length}
+	nextAction := core.ActionID(1)
+
+	for i := 0; i < spec.ContinuousActions; i++ {
+		a := Action{
+			ID:      nextAction,
+			Dataset: volume.DatasetID(i%spec.Datasets + 1),
+			Start:   0,
+			End:     spec.Length,
+			Period:  spec.Period,
+		}
+		nextAction++
+		s.Actions = append(s.Actions, a)
+	}
+
+	if spec.TargetInteractive > 0 {
+		minD, maxD := spec.ShortActionMin, spec.ShortActionMax
+		if minD <= 0 {
+			minD = 2 * units.Second
+		}
+		if maxD < minD {
+			maxD = minD * 4
+		}
+		generated := 0
+		for generated < spec.TargetInteractive {
+			dur := minD + units.Duration(rng.Int63n(int64(maxD-minD)+1))
+			frames := int(dur / spec.Period)
+			if frames < 1 {
+				frames = 1
+			}
+			if over := generated + frames - spec.TargetInteractive; over > 0 {
+				frames -= over
+				dur = units.Duration(frames) * spec.Period
+			}
+			latest := int64(spec.Length) - int64(dur)
+			if latest < 0 {
+				latest = 0
+			}
+			start := units.Time(rng.Int63n(latest + 1))
+			a := Action{
+				ID:      nextAction,
+				Dataset: pick(rng),
+				Start:   start,
+				End:     start.Add(units.Duration(frames-1) * spec.Period),
+				Period:  spec.Period,
+			}
+			nextAction++
+			s.Actions = append(s.Actions, a)
+			generated += frames
+		}
+	}
+
+	if spec.TargetBatch > 0 {
+		minF, maxF := spec.BatchFramesMin, spec.BatchFramesMax
+		if minF <= 0 {
+			minF = 20
+		}
+		if maxF < minF {
+			maxF = minF * 5
+		}
+		generated := 0
+		for generated < spec.TargetBatch {
+			frames := minF + rng.Intn(maxF-minF+1)
+			if over := generated + frames - spec.TargetBatch; over > 0 {
+				frames -= over
+			}
+			if frames < 1 {
+				frames = 1
+			}
+			b := BatchSubmission{
+				ID:         nextAction,
+				Dataset:    batchPick(rng),
+				At:         units.Time(rng.Int63n(int64(spec.Length))),
+				Frames:     frames,
+				TimeSeries: spec.BatchTimeSeries,
+				Datasets:   spec.Datasets,
+			}
+			nextAction++
+			s.Submissions = append(s.Submissions, b)
+			generated += frames
+		}
+	}
+
+	for _, a := range s.Actions {
+		s.Requests = append(s.Requests, a.Requests()...)
+	}
+	for _, b := range s.Submissions {
+		s.Requests = append(s.Requests, b.Requests()...)
+	}
+	sort.SliceStable(s.Requests, func(i, j int) bool { return s.Requests[i].At < s.Requests[j].At })
+	return s
+}
+
+// datasetPicker returns a sampler over dataset IDs 1..n per the spec's
+// popularity shape: two-tier when HotDatasets is set, else Zipf with
+// exponent DatasetZipf, else uniform.
+func datasetPicker(spec Spec) func(*rand.Rand) volume.DatasetID {
+	n := spec.Datasets
+	if hot := spec.HotDatasets; hot > 0 && hot < n {
+		f := spec.HotFraction
+		if f <= 0 || f > 1 {
+			f = 0.95
+		}
+		return func(rng *rand.Rand) volume.DatasetID {
+			if rng.Float64() < f {
+				return volume.DatasetID(rng.Intn(hot) + 1)
+			}
+			return volume.DatasetID(hot + rng.Intn(n-hot) + 1)
+		}
+	}
+	s := spec.DatasetZipf
+	if s <= 0 {
+		return func(rng *rand.Rand) volume.DatasetID {
+			return volume.DatasetID(rng.Intn(n) + 1)
+		}
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for r := 1; r <= n; r++ {
+		sum += 1 / math.Pow(float64(r), s)
+		cdf[r-1] = sum
+	}
+	return func(rng *rand.Rand) volume.DatasetID {
+		u := rng.Float64() * sum
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return volume.DatasetID(lo + 1)
+	}
+}
+
+// ScenarioID selects one of the paper's four experiments.
+type ScenarioID int
+
+// The paper's four scenarios (Table II).
+const (
+	Scenario1 ScenarioID = 1 + iota
+	Scenario2
+	Scenario3
+	Scenario4
+)
+
+// ScenarioConfig bundles everything Table II specifies for one scenario:
+// the cluster shape, the data population, and the workload spec.
+type ScenarioConfig struct {
+	ID           ScenarioID
+	Nodes        int
+	MemQuota     units.Bytes // per-node main-memory quota
+	DatasetSize  units.Bytes
+	DatasetCount int
+	Chkmax       units.Bytes
+	Spec         Spec
+	// System1 marks the 8-node GTX 285 cluster; otherwise the ANL system.
+	System1 bool
+}
+
+// TotalMemory returns the cluster-wide quota (Table II's "total memory").
+func (c ScenarioConfig) TotalMemory() units.Bytes {
+	return units.Bytes(c.Nodes) * c.MemQuota
+}
+
+// TotalData returns the combined dataset size (Table II's "total size").
+func (c ScenarioConfig) TotalData() units.Bytes {
+	return units.Bytes(c.DatasetCount) * c.DatasetSize
+}
+
+// Scenario returns the paper's configuration for the given scenario,
+// optionally scaled: scale ∈ (0,1] shrinks the run length and job targets
+// proportionally so unit tests finish quickly while benchmarks run the full
+// thing. The cluster and data shapes are never scaled — they are what the
+// scenario is about.
+func Scenario(id ScenarioID, scale float64) ScenarioConfig {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	scaleN := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	scaleT := func(t units.Time) units.Time {
+		v := units.Time(float64(t) * scale)
+		if min := units.Time(2 * units.Second); v < min {
+			v = min
+		}
+		return v
+	}
+	switch id {
+	case Scenario1:
+		length := scaleT(units.Time(60 * units.Second))
+		return ScenarioConfig{
+			ID: id, Nodes: 8, MemQuota: 2 * units.GB,
+			DatasetSize: 2 * units.GB, DatasetCount: 6, Chkmax: 512 * units.MB,
+			System1: true,
+			Spec: Spec{
+				Length: length, Datasets: 6,
+				ContinuousActions: 6,
+				Seed:              101,
+			},
+		}
+	case Scenario2:
+		length := scaleT(units.Time(120 * units.Second))
+		return ScenarioConfig{
+			ID: id, Nodes: 8, MemQuota: 2 * units.GB,
+			DatasetSize: 2 * units.GB, DatasetCount: 12, Chkmax: 512 * units.MB,
+			System1: true,
+			Spec: Spec{
+				Length: length, Datasets: 12,
+				TargetInteractive: scaleN(21011),
+				TargetBatch:       scaleN(2251),
+				ShortActionMin:    3 * units.Second,
+				ShortActionMax:    10 * units.Second,
+				HotDatasets:       6,
+				HotFraction:       0.985,
+				BatchUniform:      true,
+				BatchFramesMin:    10, BatchFramesMax: 60,
+				Seed: 102,
+			},
+		}
+	case Scenario3:
+		length := scaleT(units.Time(300 * units.Second))
+		return ScenarioConfig{
+			ID: id, Nodes: 64, MemQuota: 8 * units.GB,
+			DatasetSize: 8 * units.GB, DatasetCount: 32, Chkmax: 512 * units.MB,
+			Spec: Spec{
+				Length: length, Datasets: 32,
+				TargetInteractive: scaleN(160633),
+				TargetBatch:       scaleN(9844),
+				ShortActionMin:    3 * units.Second,
+				ShortActionMax:    12 * units.Second,
+				BatchFramesMin:    20, BatchFramesMax: 120,
+				Seed: 103,
+			},
+		}
+	case Scenario4:
+		length := scaleT(units.Time(600 * units.Second))
+		return ScenarioConfig{
+			ID: id, Nodes: 64, MemQuota: 8 * units.GB,
+			DatasetSize: 8 * units.GB, DatasetCount: 128, Chkmax: 512 * units.MB,
+			Spec: Spec{
+				Length: length, Datasets: 128,
+				TargetInteractive: scaleN(388481),
+				TargetBatch:       scaleN(35176),
+				ShortActionMin:    3 * units.Second,
+				ShortActionMax:    12 * units.Second,
+				BatchFramesMin:    20, BatchFramesMax: 120,
+				Seed: 104,
+			},
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown scenario %d", id))
+	}
+}
+
+// Library builds the scenario's dataset library under the given
+// decomposition policy (schedulers may override the policy; see
+// core.DecompositionOverrider).
+func (c ScenarioConfig) Library(policy volume.Decomposition) *volume.Library {
+	lib := volume.NewLibrary()
+	for i := 1; i <= c.DatasetCount; i++ {
+		name := fmt.Sprintf("dataset-%02d", i)
+		lib.Add(volume.NewDataset(volume.DatasetID(i), name, c.DatasetSize, policy))
+	}
+	return lib
+}
