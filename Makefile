@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with concurrency: the parallel
+# experiment runner, the DES kernel it drives, and the live service.
+race:
+	$(GO) test -race ./internal/experiments/ ./internal/des/ ./internal/sim/ ./internal/service/ ./internal/raycast/
+
+# Short benchmark smoke: verifies the DES kernel stays allocation-free and
+# the scheduler benchmarks still run. Not a performance measurement.
+bench:
+	$(GO) test -run xxx -bench 'DESKernel|SchedulerThroughput' -benchtime 10000x -benchmem .
+
+check: vet build test race

@@ -21,6 +21,7 @@ import (
 	"vizsched/internal/cache"
 	"vizsched/internal/compositing"
 	"vizsched/internal/core"
+	"vizsched/internal/des"
 	"vizsched/internal/experiments"
 	"vizsched/internal/img"
 	"vizsched/internal/metrics"
@@ -153,6 +154,7 @@ func BenchmarkTableIIISchedulingCost(b *testing.B) {
 	}
 	for _, name := range []string{"FS", "SF", "FCFS", "FCFSU", "FCFSL", "OURS"} {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			// FCFSU's uniform decomposition yields one task per node — four
 			// times the tasks of the Chkmax policies here, which is why the
 			// paper finds it the most expensive to schedule.
@@ -429,6 +431,7 @@ func BenchmarkLiveServiceFrame(b *testing.B) {
 func BenchmarkSchedulerThroughput(b *testing.B) {
 	for _, depth := range []int{1, 16, 256} {
 		b.Run(fmt.Sprintf("queue-%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				sched := core.NewLocalityScheduler(0)
@@ -450,6 +453,50 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDESKernel measures the raw discrete-event kernel under the two
+// access patterns the simulator produces: a steady self-perpetuating event
+// chain (the node/arrival loops) and a cancel-heavy mix (timeout timers
+// that almost always cancel, exercising lazy removal plus reaping). With
+// the slab/free-list queue, steady state must report ~0 allocs/op.
+func BenchmarkDESKernel(b *testing.B) {
+	b.Run("steady-chain", func(b *testing.B) {
+		b.ReportAllocs()
+		s := des.New()
+		n := 0
+		var step des.Event
+		step = func(sim *des.Simulator) {
+			n++
+			if n < b.N {
+				sim.After(units.Microsecond, step)
+			}
+		}
+		start := time.Now()
+		s.After(units.Microsecond, step)
+		s.Run(0)
+		b.ReportMetric(float64(n)/time.Since(start).Seconds(), "events/s")
+	})
+	b.Run("cancel-heavy", func(b *testing.B) {
+		b.ReportAllocs()
+		s := des.New()
+		n := 0
+		var step des.Event
+		step = func(sim *des.Simulator) {
+			n++
+			// Arm a far-future timeout and a near event; cancel the timeout
+			// as the common case (the engine's load/failure timers).
+			tmo := sim.After(units.Second, func(*des.Simulator) {})
+			if n < b.N {
+				sim.After(units.Microsecond, step)
+			}
+			tmo.Cancel()
+		}
+		start := time.Now()
+		s.After(units.Microsecond, step)
+		s.Run(0)
+		b.ReportMetric(float64(n)/time.Since(start).Seconds(), "events/s")
+	})
 }
 
 // BenchmarkAblationTimeSeries compares batch animation (many frames of one

@@ -9,6 +9,14 @@
 //	vizbench                  # everything at full scale (minutes)
 //	vizbench -scale 0.1       # everything, 10% workload scale (seconds)
 //	vizbench -only fig4,table3
+//	vizbench -parallel 1      # sequential: reference scheduling-cost numbers
+//
+// All simulation runs are independent, so -parallel N (default: one worker
+// per CPU) executes them concurrently. Virtual-time results — framerates,
+// latencies, hit rates — are bit-identical at any worker count; only the
+// wall-clock scheduling-cost columns (Table III, Figs. 8–9) can shift under
+// CPU contention, so record reference cost numbers with -parallel 1. See
+// EXPERIMENTS.md.
 package main
 
 import (
@@ -17,9 +25,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"vizsched/internal/experiments"
-	"vizsched/internal/metrics"
 	"vizsched/internal/workload"
 )
 
@@ -28,7 +36,18 @@ func main() {
 	only := flag.String("only", "all",
 		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9")
 	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
+	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
+		"max concurrent simulation runs; 1 = sequential (reference scheduling-cost numbers)")
 	flag.Parse()
+
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 {
+		fmt.Fprintf(os.Stderr, "vizbench: running up to %d simulations concurrently; "+
+			"wall-clock scheduling-cost columns may reflect CPU contention (use -parallel 1 for reference numbers)\n", workers)
+	}
 
 	writeCSV := func(name string, fn func(w *os.File) error) {
 		if *csvDir == "" {
@@ -56,6 +75,7 @@ func main() {
 	}
 	has := func(k string) bool { return want["all"] || want[k] }
 
+	start := time.Now()
 	out := os.Stdout
 	if has("fig2") {
 		experiments.WriteFig2(out)
@@ -64,20 +84,27 @@ func main() {
 		experiments.WriteTableII(out, *scale)
 	}
 
-	results := map[workload.ScenarioID][]*metrics.Report{}
 	scenarioFig := map[workload.ScenarioID]string{
 		workload.Scenario1: "fig4", workload.Scenario2: "fig5",
 		workload.Scenario3: "fig6", workload.Scenario4: "fig7",
 	}
 	needTable3 := has("table3")
+	var ids []workload.ScenarioID
 	for id := workload.Scenario1; id <= workload.Scenario4; id++ {
 		if has(scenarioFig[id]) || needTable3 {
-			results[id] = experiments.WriteScenario(out, id, *scale)
-			id := id
-			writeCSV(scenarioFig[id]+".csv", func(f *os.File) error {
-				return experiments.ScenarioCSV(f, id, results[id])
-			})
+			ids = append(ids, id)
 		}
+	}
+	// Compute every requested (scenario, scheduler) cell first — concurrently
+	// when workers > 1 — then print in canonical order, so the output matches
+	// a sequential run byte for byte.
+	results := experiments.RunScenarios(ids, *scale, workers)
+	for _, id := range ids {
+		experiments.PrintScenario(out, id, *scale, results[id])
+		id := id
+		writeCSV(scenarioFig[id]+".csv", func(f *os.File) error {
+			return experiments.ScenarioCSV(f, id, results[id])
+		})
 	}
 	if needTable3 {
 		experiments.WriteTableIII(out, results)
@@ -88,7 +115,7 @@ func main() {
 		if seconds < 2 {
 			seconds = 2
 		}
-		points := experiments.Fig8ActionSweep(actions, seconds)
+		points := experiments.Fig8ActionSweepN(actions, seconds, workers)
 		experiments.PrintFig8(out, points)
 		writeCSV("fig8.csv", func(f *os.File) error { return experiments.Fig8CSV(f, points) })
 	}
@@ -98,9 +125,9 @@ func main() {
 		if seconds < 2 {
 			seconds = 2
 		}
-		points := experiments.Fig9DatasetSweep(datasets, seconds)
+		points := experiments.Fig9DatasetSweepN(datasets, seconds, workers)
 		experiments.PrintFig9(out, points)
 		writeCSV("fig9.csv", func(f *os.File) error { return experiments.Fig9CSV(f, points) })
 	}
-	fmt.Fprintln(out, "done.")
+	fmt.Fprintf(out, "done. (%v, -parallel %d)\n", time.Since(start).Round(time.Millisecond), workers)
 }

@@ -17,7 +17,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -155,7 +155,7 @@ func main() {
 			fmt.Printf("user%-2d failed: %v\n", u, s.err)
 			continue
 		}
-		sort.Slice(s.latencies, func(a, b int) bool { return s.latencies[a] < s.latencies[b] })
+		slices.Sort(s.latencies)
 		pct := func(q float64) time.Duration {
 			if len(s.latencies) == 0 {
 				return 0

@@ -6,6 +6,12 @@
 //
 //	vizsim -scenario 1 -sched OURS
 //	vizsim -scenario 4 -sched all -scale 0.1
+//
+// With -sched all the per-scheduler runs are independent and execute
+// concurrently (-parallel, default one worker per CPU); results print in
+// the canonical scheduler order either way, and all virtual-time metrics
+// are identical to a sequential run. Wall-clock scheduling costs can shift
+// under contention — use -parallel 1 for reference numbers.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"os"
 
 	"vizsched/internal/experiments"
+	"vizsched/internal/metrics"
 	"vizsched/internal/sim"
 	"vizsched/internal/trace"
 	"vizsched/internal/units"
@@ -31,6 +38,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print latency histograms")
 	saveWL := flag.String("save-workload", "", "save the generated workload to this file and exit")
 	loadWL := flag.String("load-workload", "", "replay a workload saved with -save-workload")
+	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
+		"max concurrent runs with -sched all; 1 = sequential (reference scheduling-cost numbers)")
 	flag.Parse()
 
 	if *scenario < 1 || *scenario > 4 {
@@ -112,10 +121,22 @@ func main() {
 		return nil
 	}
 	if *sched == "all" {
-		for _, s := range experiments.Schedulers() {
-			if err := run(s.Name()); err != nil {
-				fmt.Fprintln(os.Stderr, "vizsim:", err)
-				os.Exit(1)
+		workers := *parallel
+		if workers < 1 {
+			workers = 1
+		}
+		// Each scheduler gets a fresh engine; the workload schedule is
+		// read-only during Engine.Run, so sharing wl across runs is safe.
+		// Compute concurrently, then print in canonical order.
+		scheds := experiments.Schedulers()
+		reports := make([]*metrics.Report, len(scheds))
+		experiments.ForEach(workers, len(scheds), func(i int) {
+			reports[i] = sim.New(sim.ScenarioEngineConfig(cfg, scheds[i], *jitter)).Run(wl, 0)
+		})
+		for _, rep := range reports {
+			fmt.Println(rep)
+			if *verbose {
+				fmt.Printf("interactive latency distribution:\n%s", rep.Interactive.LatencyHist.Render(12))
 			}
 		}
 		return

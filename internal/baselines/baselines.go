@@ -7,7 +7,8 @@
 package baselines
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"vizsched/internal/core"
 	"vizsched/internal/units"
@@ -179,7 +180,14 @@ func (s *SF) Cycle() units.Duration { return s.Window }
 
 // Schedule implements core.Scheduler.
 func (s *SF) Schedule(now units.Time, queue []*core.Job, head *core.HeadState) []core.Assignment {
-	est := func(j *core.Job) units.Duration {
+	// Estimate once per job up front: calling into the estimate table from
+	// inside a comparator would re-price every job O(n log n) times.
+	type jobEst struct {
+		j   *core.Job
+		est units.Duration
+	}
+	priced := make([]jobEst, 0, len(queue))
+	for _, j := range queue {
 		var sum units.Duration
 		for i := range j.Tasks {
 			t := &j.Tasks[i]
@@ -187,10 +195,13 @@ func (s *SF) Schedule(now units.Time, queue []*core.Job, head *core.HeadState) [
 				sum += head.Estimate(t.Chunk, t.Size, j.GroupSize())
 			}
 		}
-		return sum
+		priced = append(priced, jobEst{j, sum})
 	}
-	ordered := append([]*core.Job(nil), queue...)
-	sort.SliceStable(ordered, func(a, b int) bool { return est(ordered[a]) < est(ordered[b]) })
+	slices.SortStableFunc(priced, func(a, b jobEst) int { return cmp.Compare(a.est, b.est) })
+	ordered := make([]*core.Job, len(priced))
+	for i, p := range priced {
+		ordered[i] = p.j
+	}
 	return assignAll(now, ordered, head, func(*core.Task) (core.NodeID, bool) {
 		return greedyNode(head)
 	})
@@ -228,8 +239,8 @@ func (s *FS) Cycle() units.Duration { return s.Period }
 // Schedule implements core.Scheduler.
 func (s *FS) Schedule(now units.Time, queue []*core.Job, head *core.HeadState) []core.Assignment {
 	ordered := append([]*core.Job(nil), queue...)
-	sort.SliceStable(ordered, func(a, b int) bool {
-		return s.service[ordered[a].Action] < s.service[ordered[b].Action]
+	slices.SortStableFunc(ordered, func(a, b *core.Job) int {
+		return cmp.Compare(s.service[a.Action], s.service[b.Action])
 	})
 	var out []core.Assignment
 	for _, j := range ordered {

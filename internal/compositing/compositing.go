@@ -22,8 +22,9 @@
 package compositing
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"vizsched/internal/img"
 )
@@ -309,7 +310,7 @@ func ByDepth(images []*img.Image, depths []float64) []*img.Image {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return depths[idx[a]] < depths[idx[b]] })
+	slices.SortStableFunc(idx, func(a, b int) int { return cmp.Compare(depths[a], depths[b]) })
 	out := make([]*img.Image, len(images))
 	for i, j := range idx {
 		out[i] = images[j]

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"vizsched/internal/units"
 	"vizsched/internal/volume"
@@ -15,12 +16,28 @@ import (
 // scheduling time λ, and non-cached batch (which implies a long disk load)
 // is placed only on nodes that have served no interactive task for the
 // idle threshold ε = Estimate[c]/2.
+//
+// A scheduler instance keeps scratch buffers (the H_I/H_B hash tables, the
+// group slab, and the assignment output) that are recycled between cycles,
+// so a steady-state cycle allocates only when the queue outgrows every
+// previous cycle. Consequently an instance is not safe for concurrent use,
+// and the slice returned by Schedule is only valid until the next Schedule
+// call — both fine for the engine, which owns one instance per run and
+// consumes assignments synchronously.
 type LocalityScheduler struct {
 	cycle units.Duration
 	// DisableIdleGuard drops the ε idle-time condition on non-cached batch
 	// placement (ablation: batch loads may then interrupt interactive
 	// streams, the failure mode the guard exists to prevent).
 	DisableIdleGuard bool
+
+	// Per-cycle scratch, reused across Schedule calls.
+	byChunk                 map[volume.ChunkID]*chunkGroup
+	groupSlab               []*chunkGroup
+	usedGroups              int
+	hi, hb                  []*chunkGroup
+	cached, nonCached, rest []*chunkGroup
+	out                     []Assignment
 }
 
 // DefaultCycle is the ω used when none is specified: short enough that an
@@ -47,17 +64,39 @@ func (s *LocalityScheduler) Trigger() Trigger { return Periodic }
 func (s *LocalityScheduler) Cycle() units.Duration { return s.cycle }
 
 // chunkGroup is one entry of the H_I / H_B hash tables: the unassigned
-// tasks within this cycle that need the same chunk.
+// tasks within this cycle that need the same chunk, plus the sort keys
+// Schedule precomputes so its orderings never call into the head tables
+// from inside a comparator.
 type chunkGroup struct {
 	chunk volume.ChunkID
 	size  units.Bytes
 	tasks []*Task
+	// est caches Estimate[c] for the non-cached interactive ordering;
+	// replicas caches the predicted replica count for rarest-first batch.
+	est      units.Duration
+	replicas int
 }
 
-// groupByChunk buckets unassigned tasks of the given class by chunk and
-// returns the groups sorted by chunk ID for determinism.
-func groupByChunk(queue []*Job, class Class) []*chunkGroup {
-	byChunk := make(map[volume.ChunkID]*chunkGroup)
+// newGroup takes a recycled group from the slab (growing it on first use).
+func (s *LocalityScheduler) newGroup(c volume.ChunkID, size units.Bytes) *chunkGroup {
+	if s.usedGroups == len(s.groupSlab) {
+		s.groupSlab = append(s.groupSlab, new(chunkGroup))
+	}
+	g := s.groupSlab[s.usedGroups]
+	s.usedGroups++
+	g.chunk = c
+	g.size = size
+	g.tasks = g.tasks[:0]
+	g.est = 0
+	g.replicas = 0
+	return g
+}
+
+// groupByChunk buckets unassigned tasks of the given class by chunk into
+// dst and returns it sorted by chunk ID for determinism. The byChunk map is
+// cleared and reused between calls.
+func (s *LocalityScheduler) groupByChunk(queue []*Job, class Class, dst []*chunkGroup) []*chunkGroup {
+	clear(s.byChunk)
 	for _, j := range queue {
 		if j.Class != class {
 			continue
@@ -67,33 +106,36 @@ func groupByChunk(queue []*Job, class Class) []*chunkGroup {
 			if t.Assigned {
 				continue
 			}
-			g := byChunk[t.Chunk]
+			g := s.byChunk[t.Chunk]
 			if g == nil {
-				g = &chunkGroup{chunk: t.Chunk, size: t.Size}
-				byChunk[t.Chunk] = g
+				g = s.newGroup(t.Chunk, t.Size)
+				s.byChunk[t.Chunk] = g
 			}
 			g.tasks = append(g.tasks, t)
 		}
 	}
-	groups := make([]*chunkGroup, 0, len(byChunk))
-	for _, g := range byChunk {
-		groups = append(groups, g)
+	for _, g := range s.byChunk {
+		dst = append(dst, g)
 	}
-	sort.Slice(groups, func(a, b int) bool { return chunkLess(groups[a].chunk, groups[b].chunk) })
-	return groups
+	slices.SortFunc(dst, func(a, b *chunkGroup) int { return chunkCompare(a.chunk, b.chunk) })
+	return dst
 }
 
-func chunkLess(a, b volume.ChunkID) bool {
-	if a.Dataset != b.Dataset {
-		return a.Dataset < b.Dataset
+func chunkCompare(a, b volume.ChunkID) int {
+	if c := cmp.Compare(a.Dataset, b.Dataset); c != 0 {
+		return c
 	}
-	return a.Index < b.Index
+	return cmp.Compare(a.Index, b.Index)
 }
 
 // Schedule implements Algorithm 1.
 func (s *LocalityScheduler) Schedule(now units.Time, queue []*Job, head *HeadState) []Assignment {
 	lambda := now.Add(s.cycle) // λ: the next scheduling time
-	var out []Assignment
+	if s.byChunk == nil {
+		s.byChunk = make(map[volume.ChunkID]*chunkGroup)
+	}
+	s.usedGroups = 0
+	out := s.out[:0]
 	assign := func(t *Task, k NodeID) {
 		t.Assigned = true
 		head.CommitAssign(t, k, now)
@@ -101,39 +143,45 @@ func (s *LocalityScheduler) Schedule(now units.Time, queue []*Job, head *HeadSta
 	}
 
 	// Lines 2–7: decompose queued jobs into per-chunk task groups.
-	hi := groupByChunk(queue, Interactive)
-	hb := groupByChunk(queue, Batch)
+	hi := s.groupByChunk(queue, Interactive, s.hi[:0])
+	hb := s.groupByChunk(queue, Batch, s.hb[:0])
+	s.hi, s.hb = hi, hb
 
 	// Lines 8–9: split interactive groups into cached / non-cached; sort the
 	// non-cached by estimated execution time so cheap loads start first.
-	var cached, nonCached []*chunkGroup
+	cached, nonCached := s.cached[:0], s.nonCached[:0]
 	for _, g := range hi {
-		if len(head.CachedOn(g.chunk)) > 0 {
+		if head.ReplicaCount(g.chunk) > 0 {
 			cached = append(cached, g)
 		} else {
+			g.est = head.Estimate(g.chunk, g.size, g.tasks[0].Job.GroupSize())
 			nonCached = append(nonCached, g)
 		}
 	}
-	sort.SliceStable(nonCached, func(a, b int) bool {
-		ga, gb := nonCached[a], nonCached[b]
-		ea := head.Estimate(ga.chunk, ga.size, ga.tasks[0].Job.GroupSize())
-		eb := head.Estimate(gb.chunk, gb.size, gb.tasks[0].Job.GroupSize())
-		if ea != eb {
-			return ea < eb
+	s.cached, s.nonCached = cached, nonCached
+	slices.SortStableFunc(nonCached, func(a, b *chunkGroup) int {
+		if c := cmp.Compare(a.est, b.est); c != 0 {
+			return c
 		}
-		return chunkLess(ga.chunk, gb.chunk)
+		return chunkCompare(a.chunk, b.chunk)
 	})
 
 	// Lines 10–15: every interactive group goes, whole, to the node with the
 	// earliest predicted completion for its chunk.
-	for _, g := range append(cached, nonCached...) {
+	placeWhole := func(g *chunkGroup) {
 		k, ok := s.bestNode(now, g, head)
 		if !ok {
-			continue // no node alive; engine will retry next cycle
+			return // no node alive; engine will retry next cycle
 		}
 		for _, t := range g.tasks {
 			assign(t, k)
 		}
+	}
+	for _, g := range cached {
+		placeWhole(g)
+	}
+	for _, g := range nonCached {
+		placeWhole(g)
 	}
 
 	// Lines 16–22: cached batch tasks fill each node until its predicted
@@ -162,7 +210,7 @@ func (s *LocalityScheduler) Schedule(now units.Time, queue []*Job, head *HeadSta
 
 	// Lines 23–31: non-cached batch, rarest chunks first (fewest predicted
 	// replicas), placed only on nodes idle of interactive work for ε.
-	var rest []*chunkGroup
+	rest := s.rest[:0]
 	for _, g := range hb {
 		pending := g.tasks[:0]
 		for _, t := range g.tasks {
@@ -172,16 +220,16 @@ func (s *LocalityScheduler) Schedule(now units.Time, queue []*Job, head *HeadSta
 		}
 		g.tasks = pending
 		if len(g.tasks) > 0 {
+			g.replicas = head.ReplicaCount(g.chunk)
 			rest = append(rest, g)
 		}
 	}
-	sort.SliceStable(rest, func(a, b int) bool {
-		ca := len(head.CachedOn(rest[a].chunk))
-		cb := len(head.CachedOn(rest[b].chunk))
-		if ca != cb {
-			return ca < cb
+	s.rest = rest
+	slices.SortStableFunc(rest, func(a, b *chunkGroup) int {
+		if c := cmp.Compare(a.replicas, b.replicas); c != 0 {
+			return c
 		}
-		return chunkLess(rest[a].chunk, rest[b].chunk)
+		return chunkCompare(a.chunk, b.chunk)
 	})
 	gi := 0
 	for k := 0; k < head.Nodes() && gi < len(rest); k++ {
@@ -205,6 +253,7 @@ func (s *LocalityScheduler) Schedule(now units.Time, queue []*Job, head *HeadSta
 			g.tasks = g.tasks[1:]
 		}
 	}
+	s.out = out
 	return out
 }
 

@@ -127,6 +127,19 @@ func (h *HeadState) CachedOn(c volume.ChunkID) []NodeID {
 	return nodes
 }
 
+// ReplicaCount returns len(CachedOn(c)) without allocating the node list —
+// the form scheduler hot paths use, where only the predicted replica count
+// matters (cached/non-cached splits and rarest-first ordering).
+func (h *HeadState) ReplicaCount(c volume.ChunkID) int {
+	n := 0
+	for k := range h.Caches {
+		if !h.failed[k] && h.Caches[k].Contains(c) {
+			n++
+		}
+	}
+	return n
+}
+
 // hitKey buckets hit-cost observations.
 type hitKey struct {
 	size  units.Bytes

@@ -5,10 +5,16 @@
 // scheduled (FIFO tie-breaking by sequence number), which makes every run of
 // a seeded scenario bit-for-bit reproducible — a requirement for regenerating
 // the paper's figures.
+//
+// The queue is a hand-rolled 4-ary heap over a slab of items recycled
+// through a free list, so steady-state event dispatch performs zero heap
+// allocations: scheduling reuses a slab slot, firing returns it. Canceled
+// events are skipped lazily when popped, but once they outnumber the live
+// events the heap is compacted in one pass, so a burst of cancellations
+// cannot pin memory until its firing times are reached.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 
 	"vizsched/internal/units"
@@ -18,68 +24,76 @@ import (
 // itself so handlers can schedule follow-up events.
 type Event func(sim *Simulator)
 
-// item is a scheduled event in the kernel's heap.
+// item is a scheduled event in the kernel's slab.
 type item struct {
 	at  units.Time
 	seq uint64
 	fn  Event
-	// canceled events stay in the heap but are skipped when popped; this is
-	// cheaper than O(n) removal and the common case (timers that do fire)
-	// pays nothing.
+	// period is positive for Every timers, which re-arm in place: the same
+	// slab slot is pushed back with a fresh (time, seq), so a periodic timer
+	// never allocates after creation and its handle stays valid for its
+	// whole life.
+	period units.Duration
+	// gen distinguishes successive occupants of the slot; a Timer whose gen
+	// no longer matches is stale and cancels nothing.
+	gen uint32
+	// canceled events stay in the heap until popped or reaped; this keeps
+	// the common case (timers that do fire) free of removal costs.
 	canceled bool
-	index    int
+	// queued reports whether the item is currently in the heap (false while
+	// its callback is executing).
+	queued bool
 }
 
-// Timer is a handle to a scheduled event that can be canceled.
-type Timer struct{ it *item }
+// Timer is a cancelable handle to a scheduled event. Timers are small
+// values; the zero Timer is inert and Cancel on it is a no-op.
+type Timer struct {
+	s    *Simulator
+	slot int32
+	gen  uint32
+}
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled timer is a no-op. Cancel reports whether the event was
-// still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.it == nil || t.it.canceled {
+// still pending in the queue.
+func (t Timer) Cancel() bool {
+	if t.s == nil || int(t.slot) >= len(t.s.items) {
 		return false
 	}
-	pending := t.it.index >= 0
-	t.it.canceled = true
-	return pending
-}
-
-// eventHeap orders items by (time, sequence).
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	it := &t.s.items[t.slot]
+	if it.gen != t.gen || it.canceled {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	it.canceled = true
+	it.fn = nil // release the callback's captures immediately
+	if !it.queued {
+		// The event is firing right now (e.g. a periodic tick canceling
+		// itself); the run loop will see the flag and not re-arm it.
+		return false
+	}
+	t.s.nCanceled++
+	t.s.maybeReap()
+	return true
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	it := x.(*item)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
-}
+
+// arity is the heap branching factor. A 4-ary heap halves the tree depth of
+// a binary heap and keeps each node's children in one cache line of the
+// int32 index slice.
+const arity = 4
 
 // Simulator is the event loop. The zero value is not usable; call New.
 type Simulator struct {
-	now     units.Time
-	seq     uint64
-	queue   eventHeap
+	now units.Time
+	seq uint64
+
+	// items is the slab of all event slots; free lists recycled slots; heap
+	// holds the indices of queued items ordered by (time, sequence).
+	items []item
+	free  []int32
+	heap  []int32
+	// nCanceled counts canceled items still occupying heap slots.
+	nCanceled int
+
 	stopped bool
 	// fired counts events executed, exposed for tests and runaway detection.
 	fired uint64
@@ -98,47 +112,161 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events still queued (including canceled
 // events that have not yet been reaped).
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// alloc takes a slab slot for a new event and queues it.
+func (s *Simulator) alloc(at units.Time, fn Event, period units.Duration) int32 {
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.items = append(s.items, item{gen: 1})
+		idx = int32(len(s.items) - 1)
+	}
+	it := &s.items[idx]
+	it.at = at
+	it.seq = s.seq
+	s.seq++
+	it.fn = fn
+	it.period = period
+	it.canceled = false
+	s.push(idx)
+	return idx
+}
+
+// release returns a slot to the free list, invalidating outstanding handles.
+func (s *Simulator) release(idx int32) {
+	it := &s.items[idx]
+	it.gen++
+	it.fn = nil
+	it.period = 0
+	it.canceled = false
+	it.queued = false
+	s.free = append(s.free, idx)
+}
+
+// less orders queued items by (time, sequence).
+func (s *Simulator) less(a, b int32) bool {
+	ia, ib := &s.items[a], &s.items[b]
+	if ia.at != ib.at {
+		return ia.at < ib.at
+	}
+	return ia.seq < ib.seq
+}
+
+func (s *Simulator) push(idx int32) {
+	s.items[idx].queued = true
+	s.heap = append(s.heap, idx)
+	// Sift up.
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / arity
+		if !s.less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// siftDown restores heap order below position i.
+func (s *Simulator) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		first := arity*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		last := first + arity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !s.less(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// popRoot removes the earliest queued item and returns its slab index.
+func (s *Simulator) popRoot() int32 {
+	h := s.heap
+	idx := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	s.items[idx].queued = false
+	return idx
+}
+
+// maybeReap compacts the heap once canceled items outnumber live ones,
+// freeing their slots in one O(n) pass instead of waiting for each firing
+// time. Small heaps are left alone: the waste is bounded and the pass is
+// not.
+func (s *Simulator) maybeReap() {
+	if len(s.heap) < 64 || s.nCanceled <= len(s.heap)/2 {
+		return
+	}
+	live := s.heap[:0]
+	for _, idx := range s.heap {
+		if s.items[idx].canceled {
+			s.release(idx)
+		} else {
+			live = append(live, idx)
+		}
+	}
+	s.heap = live
+	for i := (len(live) - 2) / arity; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	s.nCanceled = 0
+}
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in the
 // past panics: it always indicates a logic error in the model, and silently
 // clamping would corrupt causality.
-func (s *Simulator) At(at units.Time, fn Event) *Timer {
+func (s *Simulator) At(at units.Time, fn Event) Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", at, s.now))
 	}
 	if fn == nil {
 		panic("des: nil event")
 	}
-	it := &item{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, it)
-	return &Timer{it: it}
+	idx := s.alloc(at, fn, 0)
+	return Timer{s: s, slot: idx, gen: s.items[idx].gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative
 // delays panic via At.
-func (s *Simulator) After(d units.Duration, fn Event) *Timer {
+func (s *Simulator) After(d units.Duration, fn Event) Timer {
 	return s.At(s.now.Add(d), fn)
 }
 
 // Every schedules fn to run now+d, then every d thereafter, until the
 // returned Timer is canceled or the simulation stops. fn observes the tick
 // time via sim.Now().
-func (s *Simulator) Every(d units.Duration, fn Event) *Timer {
+func (s *Simulator) Every(d units.Duration, fn Event) Timer {
 	if d <= 0 {
 		panic("des: Every requires a positive period")
 	}
-	t := &Timer{}
-	var tick Event
-	tick = func(sim *Simulator) {
-		fn(sim)
-		if !t.it.canceled {
-			t.it = sim.After(d, tick).it
-		}
+	if fn == nil {
+		panic("des: nil event")
 	}
-	t.it = s.After(d, tick).it
-	return t
+	idx := s.alloc(s.now.Add(d), fn, d)
+	return Timer{s: s, slot: idx, gen: s.items[idx].gen}
 }
 
 // Stop halts the event loop after the current event returns. Remaining
@@ -149,14 +277,17 @@ func (s *Simulator) Stop() { s.stopped = true }
 // or Stop is called. A zero horizon means "run to completion". Run returns
 // the virtual time at which it stopped.
 func (s *Simulator) Run(horizon units.Time) units.Time {
-	for len(s.queue) > 0 && !s.stopped {
-		it := s.queue[0]
-		if horizon > 0 && it.at > horizon {
+	for len(s.heap) > 0 && !s.stopped {
+		idx := s.heap[0]
+		if horizon > 0 && s.items[idx].at > horizon {
 			s.now = horizon
 			break
 		}
-		heap.Pop(&s.queue)
+		s.popRoot()
+		it := &s.items[idx]
 		if it.canceled {
+			s.nCanceled--
+			s.release(idx)
 			continue
 		}
 		if it.at < s.now {
@@ -164,11 +295,29 @@ func (s *Simulator) Run(horizon units.Time) units.Time {
 		}
 		s.now = it.at
 		s.fired++
-		it.fn(s)
+		fn := it.fn
+		fn(s)
+		// fn may have grown the slab; re-take the pointer before touching it.
+		it = &s.items[idx]
+		if it.period > 0 && !it.canceled && !s.stopped {
+			// Re-arm the periodic timer in place. The fresh sequence number
+			// is taken after fn ran, so follow-up events fn scheduled at the
+			// same instant keep firing before the next tick — the same order
+			// the old closure-based rescheduling produced.
+			it.at = s.now.Add(it.period)
+			it.seq = s.seq
+			s.seq++
+			s.push(idx)
+		} else {
+			s.release(idx)
+		}
 	}
 	if s.stopped {
 		// Drop whatever is left so a subsequent Run does not resurrect it.
-		s.queue = nil
+		s.heap = s.heap[:0]
+		s.items = nil
+		s.free = nil
+		s.nCanceled = 0
 	}
 	return s.now
 }

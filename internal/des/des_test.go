@@ -111,7 +111,7 @@ func TestTimerCancel(t *testing.T) {
 func TestEveryTicksAndCancel(t *testing.T) {
 	s := New()
 	var ticks []units.Time
-	var tm *Timer
+	var tm Timer
 	tm = s.Every(10*units.Millisecond, func(sim *Simulator) {
 		ticks = append(ticks, sim.Now())
 		if len(ticks) == 5 {
@@ -225,7 +225,123 @@ func TestQuickCancelProperty(t *testing.T) {
 	}
 }
 
+// A canceled timer must not occupy heap memory until its firing time: once
+// canceled events outnumber live ones the queue compacts, so Pending()
+// shrinks long before the clock reaches the canceled instants.
+func TestMassCancellationReapsQueue(t *testing.T) {
+	s := New()
+	const n = 1024
+	timers := make([]Timer, 0, n)
+	for i := 0; i < n; i++ {
+		// Far-future events: without reaping these would linger for hours of
+		// virtual time.
+		timers = append(timers, s.At(units.Time(units.Duration(i+1)*units.Minute), func(*Simulator) {}))
+	}
+	if s.Pending() != n {
+		t.Fatalf("pending = %d, want %d", s.Pending(), n)
+	}
+	for _, tm := range timers {
+		tm.Cancel()
+	}
+	if s.Pending() >= n/2 {
+		t.Errorf("pending = %d after canceling all %d events; reaping did not shrink the queue", s.Pending(), n)
+	}
+	s.Run(0)
+	if got := s.Fired(); got != 0 {
+		t.Errorf("fired %d canceled events", got)
+	}
+}
+
+// Reaping must not disturb live events: cancel every other timer in bulk and
+// verify the survivors still fire, in order, exactly once.
+func TestReapPreservesLiveEvents(t *testing.T) {
+	s := New()
+	const n = 500
+	var fired []int
+	timers := make([]Timer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = s.At(units.Time(units.Duration(i+1)*units.Second), func(*Simulator) { fired = append(fired, i) })
+	}
+	for i := 0; i < n; i += 2 {
+		timers[i].Cancel()
+	}
+	s.Run(0)
+	if len(fired) != n/2 {
+		t.Fatalf("fired %d events, want %d", len(fired), n/2)
+	}
+	for j, i := range fired {
+		if i != 2*j+1 {
+			t.Fatalf("fired[%d] = %d, want %d", j, i, 2*j+1)
+		}
+	}
+}
+
+// A Timer handle must go stale once its event fires, even if the slab slot
+// is recycled for a new event: canceling the old handle is a no-op and the
+// new occupant still fires.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	s := New()
+	firstFired, secondFired := false, false
+	old := s.At(units.Time(units.Second), func(*Simulator) { firstFired = true })
+	s.Run(0)
+	if !firstFired {
+		t.Fatal("first event did not fire")
+	}
+	// The freed slot is recycled for the next event.
+	s.At(units.Time(2*units.Second), func(*Simulator) { secondFired = true })
+	if old.Cancel() {
+		t.Error("stale handle reported a pending cancel")
+	}
+	s.Run(0)
+	if !secondFired {
+		t.Error("stale handle canceled the slot's new occupant")
+	}
+}
+
+// An Every timer recycles one slab slot forever, and canceling it before a
+// pending tick removes that tick from the queue.
+func TestEveryCancelBeforeFirstTick(t *testing.T) {
+	s := New()
+	tm := s.Every(units.Second, func(*Simulator) { t.Error("canceled ticker fired") })
+	if !tm.Cancel() {
+		t.Error("Cancel on pending ticker returned false")
+	}
+	s.Run(0)
+	if s.Fired() != 0 {
+		t.Errorf("fired = %d, want 0", s.Fired())
+	}
+}
+
+// Steady-state event dispatch must not allocate: once the slab has grown to
+// the working set, schedule/fire cycles recycle slots.
+func TestSteadyStateDispatchDoesNotAllocate(t *testing.T) {
+	s := New()
+	var step Event
+	n := 0
+	step = func(sim *Simulator) {
+		n++
+		if n < 10_000 {
+			sim.After(units.Microsecond, step)
+		}
+	}
+	// Warm up: grow the slab and heap to their steady-state size.
+	s.After(units.Microsecond, step)
+	s.Run(0)
+	avg := testing.AllocsPerRun(100, func() {
+		n = 0
+		s.After(units.Microsecond, step)
+		s.Run(0)
+	})
+	// 10k events per run; anything beyond stray noise means per-event
+	// allocation crept back in.
+	if avg > 3 {
+		t.Errorf("steady-state run allocated %.1f objects per 10k events", avg)
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := New()
 		for j := 0; j < 1000; j++ {

@@ -15,9 +15,7 @@ import (
 	"vizsched/internal/baselines"
 	"vizsched/internal/core"
 	"vizsched/internal/metrics"
-	"vizsched/internal/sim"
 	"vizsched/internal/units"
-	"vizsched/internal/volume"
 	"vizsched/internal/workload"
 )
 
@@ -59,14 +57,10 @@ type ScenarioResult struct {
 	Report *metrics.Report
 }
 
-// RunScenarioAll runs one scenario under every scheduler at the given scale.
+// RunScenarioAll runs one scenario under every scheduler at the given scale,
+// sequentially. See RunScenarioAllN to use multiple workers.
 func RunScenarioAll(id workload.ScenarioID, scale float64) []*metrics.Report {
-	cfg := workload.Scenario(id, scale)
-	var out []*metrics.Report
-	for _, s := range Schedulers() {
-		out = append(out, sim.RunScenario(cfg, s, Jitter))
-	}
-	return out
+	return RunScenarioAllN(id, scale, 1)
 }
 
 // Fig2Row is one pipeline stage of Fig. 2.
@@ -127,6 +121,15 @@ func WriteTableII(w io.Writer, scale float64) {
 // WriteScenario runs one scenario under all schedulers and prints the
 // corresponding figure (Fig. 4, 5, 6, or 7).
 func WriteScenario(w io.Writer, id workload.ScenarioID, scale float64) []*metrics.Report {
+	reports := RunScenarioAll(id, scale)
+	PrintScenario(w, id, scale, reports)
+	return reports
+}
+
+// PrintScenario prints one scenario figure from already-computed reports —
+// the printing half of WriteScenario, so cmd/vizbench can compute all
+// scenarios in parallel and still emit them in canonical order.
+func PrintScenario(w io.Writer, id workload.ScenarioID, scale float64, reports []*metrics.Report) {
 	fig := map[workload.ScenarioID]string{
 		workload.Scenario1: "Fig 4 — Scenario 1 (8 nodes, fully cacheable, interactive only)",
 		workload.Scenario2: "Fig 5 — Scenario 2 (8 nodes, 24GB data on 16GB memory, mixed)",
@@ -136,7 +139,6 @@ func WriteScenario(w io.Writer, id workload.ScenarioID, scale float64) []*metric
 	fmt.Fprintf(w, "%s  (scale=%.2f, target 33.33 fps)\n", fig[id], scale)
 	fmt.Fprintf(w, "  %-6s %9s %12s %12s %12s %9s\n",
 		"sched", "fps", "int-latency", "batch-lat", "batch-work", "hit-rate")
-	reports := RunScenarioAll(id, scale)
 	for _, r := range reports {
 		fmt.Fprintf(w, "  %-6s %9.2f %12v %12v %12v %8.2f%%\n",
 			r.Scheduler, r.MeanFramerate(),
@@ -146,7 +148,6 @@ func WriteScenario(w io.Writer, id workload.ScenarioID, scale float64) []*metric
 			100*r.HitRate())
 	}
 	fmt.Fprintln(w)
-	return reports
 }
 
 // WriteTableIII prints hit rates and average scheduling costs for the four
@@ -190,46 +191,9 @@ type Fig8Point struct {
 
 // Fig8ActionSweep reproduces Fig. 8: scheduling cost per job versus number
 // of simultaneous user actions on 32 nodes with 16 datasets of 4 GB,
-// comparing OURS, FCFSL, and FCFSU.
+// comparing OURS, FCFSL, and FCFSU. Sequential; see Fig8ActionSweepN.
 func Fig8ActionSweep(actionCounts []int, seconds int) []Fig8Point {
-	var out []Fig8Point
-	for _, n := range actionCounts {
-		point := Fig8Point{Actions: n, Cost: make(map[string]time.Duration)}
-		for _, name := range []string{"FCFSU", "FCFSL", "OURS"} {
-			sched, err := SchedulerByName(name)
-			if err != nil {
-				panic(err)
-			}
-			var policy volume.Decomposition = volume.MaxChunk{Chkmax: 512 * units.MB}
-			if o, ok := sched.(core.DecompositionOverrider); ok {
-				policy = o.Decomposition(32)
-			}
-			lib := volume.NewLibrary()
-			for i := 1; i <= 16; i++ {
-				lib.Add(volume.NewDataset(volume.DatasetID(i), fmt.Sprintf("ds-%d", i), 4*units.GB, policy))
-			}
-			eng := sim.New(sim.Config{
-				Nodes:     32,
-				MemQuota:  8 * units.GB,
-				Model:     core.System2CostModel(),
-				Scheduler: sched,
-				Library:   lib,
-				Jitter:    Jitter,
-				Seed:      int64(n),
-				Preload:   true,
-			})
-			wl := workload.Generate(workload.Spec{
-				Length:            units.Time(units.Duration(seconds) * units.Second),
-				Datasets:          16,
-				ContinuousActions: n,
-				Seed:              int64(1000 + n),
-			})
-			rep := eng.Run(wl, 0)
-			point.Cost[name] = rep.AvgSchedCostPerJob()
-		}
-		out = append(out, point)
-	}
-	return out
+	return Fig8ActionSweepN(actionCounts, seconds, 1)
 }
 
 // WriteFig8 runs and prints the action sweep.
@@ -263,48 +227,9 @@ type Fig9Point struct {
 // framerate, and latency versus the number of 8 GB datasets in use on 16
 // nodes with mixed interactive and batch jobs. Past 16 datasets the data
 // exceeds the 128 GB total memory, the regime the bottom panels highlight.
+// Sequential; see Fig9DatasetSweepN.
 func Fig9DatasetSweep(datasetCounts []int, seconds int) []Fig9Point {
-	var out []Fig9Point
-	for _, n := range datasetCounts {
-		sched := core.NewLocalityScheduler(0)
-		policy := volume.MaxChunk{Chkmax: 512 * units.MB}
-		lib := volume.NewLibrary()
-		for i := 1; i <= n; i++ {
-			lib.Add(volume.NewDataset(volume.DatasetID(i), fmt.Sprintf("ds-%d", i), 8*units.GB, policy))
-		}
-		eng := sim.New(sim.Config{
-			Nodes:     16,
-			MemQuota:  8 * units.GB,
-			Model:     core.System2CostModel(),
-			Scheduler: sched,
-			Library:   lib,
-			Jitter:    Jitter,
-			Seed:      int64(n),
-			Preload:   true,
-		})
-		hot := n
-		if hot > 8 {
-			hot = 8
-		}
-		wl := workload.Generate(workload.Spec{
-			Length:            units.Time(units.Duration(seconds) * units.Second),
-			Datasets:          n,
-			ContinuousActions: 4,
-			TargetBatch:       40 * seconds,
-			BatchFramesMin:    20, BatchFramesMax: 60,
-			HotDatasets: hot, HotFraction: 0.95,
-			BatchUniform: true,
-			Seed:         int64(2000 + n),
-		})
-		rep := eng.Run(wl, 0)
-		out = append(out, Fig9Point{
-			Datasets:  n,
-			Cost:      rep.AvgSchedCostPerJob(),
-			Framerate: rep.MeanFramerate(),
-			Latency:   rep.Interactive.Latency.Mean(),
-		})
-	}
-	return out
+	return Fig9DatasetSweepN(datasetCounts, seconds, 1)
 }
 
 // WriteFig9 runs and prints the dataset sweep.

@@ -107,14 +107,14 @@ type node struct {
 
 	// running maps executing tasks to their completion timers so a crash
 	// can abort them.
-	running map[*core.Task]*des.Timer
+	running map[*core.Task]des.Timer
 
 	// Overlap-mode I/O channel: one load at a time; tasks whose chunk is in
 	// flight wait in waiters.
 	loadq      []volume.ChunkID
 	loadHead   int
 	waiters    map[volume.ChunkID][]*core.Task
-	loadTimer  *des.Timer
+	loadTimer  des.Timer
 	loadActive bool
 	// missLoad remembers, per waiting task, the load duration it should
 	// report (only the load-triggering task carries it).
@@ -226,7 +226,7 @@ func (e *Engine) newNode(id core.NodeID) *node {
 		id:       id,
 		mem:      cache.NewStore(e.cfg.EvictionPolicy, e.cfg.MemQuota, e.cfg.Seed+int64(id)*101),
 		gpus:     e.cfg.GPUsPerNode,
-		running:  make(map[*core.Task]*des.Timer),
+		running:  make(map[*core.Task]des.Timer),
 		waiters:  make(map[volume.ChunkID][]*core.Task),
 		missLoad: make(map[*core.Task]units.Duration),
 	}
@@ -492,7 +492,7 @@ func (e *Engine) kickLoad(n *node) {
 	n.loadActive = true
 	n.loadTimer = e.sim.After(dur, func(s *des.Simulator) {
 		n.loadActive = false
-		n.loadTimer = nil
+		n.loadTimer = des.Timer{}
 		evicted := n.mem.Insert(c, size)
 		e.report.EvictionsAdd(len(evicted))
 		e.report.LoadAdd()
@@ -593,11 +593,9 @@ func (e *Engine) fail(k core.NodeID) {
 		requeue(t)
 		delete(n.running, t)
 	}
-	if n.loadTimer != nil {
-		n.loadTimer.Cancel()
-		n.loadTimer = nil
-		n.loadActive = false
-	}
+	n.loadTimer.Cancel()
+	n.loadTimer = des.Timer{}
+	n.loadActive = false
 	for t := n.pop(); t != nil; t = n.pop() {
 		requeue(t)
 	}

@@ -7,10 +7,11 @@
 package workload
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"vizsched/internal/core"
 	"vizsched/internal/units"
@@ -256,7 +257,7 @@ func Generate(spec Spec) *Schedule {
 	for _, b := range s.Submissions {
 		s.Requests = append(s.Requests, b.Requests()...)
 	}
-	sort.SliceStable(s.Requests, func(i, j int) bool { return s.Requests[i].At < s.Requests[j].At })
+	slices.SortStableFunc(s.Requests, func(a, b Request) int { return cmp.Compare(a.At, b.At) })
 	return s
 }
 
