@@ -34,7 +34,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	only := flag.String("only", "all",
-		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9")
+		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep")
 	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
 		"max concurrent simulation runs; 1 = sequential (reference scheduling-cost numbers)")
@@ -128,6 +128,12 @@ func main() {
 		points := experiments.Fig9DatasetSweepN(datasets, seconds, workers)
 		experiments.PrintFig9(out, points)
 		writeCSV("fig9.csv", func(f *os.File) error { return experiments.Fig9CSV(f, points) })
+	}
+	if has("failsweep") {
+		rates := []float64{0, 1, 2, 4}
+		points := experiments.FailureSweepN(rates, *scale, workers)
+		experiments.PrintFailureSweep(out, points)
+		writeCSV("failsweep.csv", func(f *os.File) error { return experiments.FailureSweepCSV(f, points) })
 	}
 	fmt.Fprintf(out, "done. (%v, -parallel %d)\n", time.Since(start).Round(time.Millisecond), workers)
 }

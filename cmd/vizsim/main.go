@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"vizsched/internal/experiments"
 	"vizsched/internal/metrics"
@@ -38,6 +39,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print latency histograms")
 	saveWL := flag.String("save-workload", "", "save the generated workload to this file and exit")
 	loadWL := flag.String("load-workload", "", "replay a workload saved with -save-workload")
+	faults := flag.Float64("faults", 0,
+		"inject a chaos fault mix (crash/slowdisk/stall/flap) at this rate in faults per simulated minute")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
 		"max concurrent runs with -sched all; 1 = sequential (reference scheduling-cost numbers)")
 	flag.Parse()
@@ -68,12 +71,26 @@ func main() {
 		return
 	}
 
+	// One fault schedule shared read-only by every run, so schedulers face
+	// identical chaos.
+	faultSchedule := experiments.FaultSchedule(cfg.Nodes, wl.Length, *faults, int64(cfg.ID)*104729)
+	printRecovery := func(rep *metrics.Report) {
+		if *faults <= 0 {
+			return
+		}
+		depth, below := rep.Recovery.FramerateDip(experiments.TargetFPS)
+		fmt.Printf("       recovery: faults=%d redispatched=%d MTTR=%v dip-depth=%.2ffps dip-time=%v\n",
+			rep.Recovery.Faults, rep.Recovery.TasksRedispatched,
+			rep.Recovery.MTTR().Std().Round(time.Millisecond), depth, below.Std())
+	}
+
 	run := func(name string) error {
 		s, err := experiments.SchedulerByName(name)
 		if err != nil {
 			return err
 		}
 		ecfg := sim.ScenarioEngineConfig(cfg, s, *jitter)
+		ecfg.Failures = faultSchedule
 		var tl *trace.Log
 		if (*traceCSV != "" || *ganttSVG != "") && *sched != "all" {
 			tl = trace.New(2_000_000)
@@ -81,6 +98,7 @@ func main() {
 		}
 		rep := sim.New(ecfg).Run(wl, 0)
 		fmt.Println(rep)
+		printRecovery(rep)
 		if *verbose {
 			fmt.Printf("interactive latency distribution:\n%s", rep.Interactive.LatencyHist.Render(12))
 		}
@@ -131,10 +149,13 @@ func main() {
 		scheds := experiments.Schedulers()
 		reports := make([]*metrics.Report, len(scheds))
 		experiments.ForEach(workers, len(scheds), func(i int) {
-			reports[i] = sim.New(sim.ScenarioEngineConfig(cfg, scheds[i], *jitter)).Run(wl, 0)
+			ecfg := sim.ScenarioEngineConfig(cfg, scheds[i], *jitter)
+			ecfg.Failures = faultSchedule
+			reports[i] = sim.New(ecfg).Run(wl, 0)
 		})
 		for _, rep := range reports {
 			fmt.Println(rep)
+			printRecovery(rep)
 			if *verbose {
 				fmt.Printf("interactive latency distribution:\n%s", rep.Interactive.LatencyHist.Render(12))
 			}

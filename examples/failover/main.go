@@ -1,8 +1,9 @@
 // Failover: the fault-tolerance behaviour of §VI-D, demonstrated twice —
-// first on the cluster simulator (a 60-second run with a node crash and
-// repair mid-flight, showing framerate dip and recovery), then on the live
-// service (a worker connection killed between frames while renders keep
-// completing on the survivors).
+// first on the cluster simulator (a 24-second run with a node crash and
+// repair mid-flight plus a transient stall, showing recovery metrics), then
+// on the live service (a worker connection killed between frames, renders
+// continuing on the survivors, and the worker rejoining its old slot with a
+// cold cache — ending with the head's recovery report).
 //
 //	go run ./examples/failover
 package main
@@ -37,11 +38,21 @@ func simulated() {
 		Library:   lib,
 		Preload:   true,
 		Seed:      1,
-		Failures: []sim.Failure{{
-			At:       units.Time(8 * units.Second),
-			Node:     1,
-			RepairAt: units.Time(16 * units.Second),
-		}},
+		Failures: []sim.Failure{
+			{
+				At:       units.Time(8 * units.Second),
+				Node:     1,
+				RepairAt: units.Time(16 * units.Second),
+			},
+			// A transient stall on node 2: frozen for two seconds, then
+			// resumes with caches intact — no reloads, just delay.
+			{
+				Kind:     sim.FaultStall,
+				At:       units.Time(12 * units.Second),
+				Node:     2,
+				RepairAt: units.Time(14 * units.Second),
+			},
+		},
 	})
 	wl := workload.Generate(workload.Spec{
 		Length:            units.Time(24 * units.Second),
@@ -52,8 +63,12 @@ func simulated() {
 	rep := eng.Run(wl, 0)
 	fmt.Printf("completed %d/%d interactive jobs across the crash window\n",
 		rep.Interactive.Completed, rep.Interactive.Issued)
-	fmt.Printf("mean fps %.2f (33.33 without the crash), %d reloads forced by the lost caches\n\n",
+	fmt.Printf("mean fps %.2f (33.33 without the crash), %d reloads forced by the lost caches\n",
 		rep.MeanFramerate(), rep.Loads)
+	depth, below := rep.Recovery.FramerateDip(100.0 / 3.0)
+	fmt.Printf("recovery: faults=%d tasks re-dispatched=%d MTTR=%v dip-depth=%.2ffps dip-time=%v\n\n",
+		rep.Recovery.Faults, rep.Recovery.TasksRedispatched,
+		rep.Recovery.MTTR().Std().Round(time.Millisecond), depth, below.Std())
 }
 
 func live() {
@@ -82,12 +97,7 @@ func live() {
 	defer client.Close()
 
 	req := service.RenderBody{Dataset: "nova", Angle: 0.5, Elevation: 0.3, Dist: 2.4, Width: 96, Height: 96}
-	for frame := 0; frame < 6; frame++ {
-		if frame == 3 {
-			fmt.Println("  !! killing worker 1's connection")
-			cluster.Head.KillWorker(1)
-			time.Sleep(20 * time.Millisecond)
-		}
+	render := func(frame int) {
 		t0 := time.Now()
 		res, err := client.Render(req)
 		if err != nil {
@@ -97,7 +107,32 @@ func live() {
 			frame, time.Since(t0).Round(time.Millisecond), res.Hits, res.Misses)
 		req.Angle += 0.2
 	}
+	for frame := 0; frame < 6; frame++ {
+		if frame == 3 {
+			fmt.Println("  !! killing worker 1's connection")
+			cluster.Head.KillWorker(1)
+			time.Sleep(20 * time.Millisecond)
+		}
+		render(frame)
+	}
 	fmt.Println("all frames delivered despite the lost worker")
+
+	// Bring the worker back: a fresh process reclaims slot 1 with a cold
+	// cache, and the head marks it repaired and feeds it work again.
+	fmt.Println("  >> restarting worker 1 (rejoin, cold cache)")
+	if err := cluster.RejoinWorker(1); err != nil {
+		log.Fatal(err)
+	}
+	for deadline := time.Now().Add(2 * time.Second); cluster.Head.WorkerHealth(1) != core.HealthUp; {
+		if time.Now().After(deadline) {
+			log.Fatal("worker 1 did not rejoin in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for frame := 6; frame < 9; frame++ {
+		render(frame)
+	}
+	fmt.Println(cluster.Head.Recovery())
 }
 
 func main() {

@@ -38,8 +38,38 @@ type HeadState struct {
 	// Model prices task executions for predictions.
 	Model CostModel
 
-	// failed[k] marks nodes that have crashed (§VI-D); schedulers skip them.
-	failed []bool
+	// health[k] is the node's position in the up → suspect → down state
+	// machine (§VI-D). Schedulers only place work on HealthUp nodes; the
+	// suspect state lets a head stop feeding a silent node before declaring
+	// it dead and requeueing its tasks.
+	health []Health
+}
+
+// Health is a node's liveness state as seen by the head.
+type Health int
+
+// Health states. A node starts HealthUp; missed heartbeats demote it to
+// HealthSuspect (no new work) and then HealthDown (tasks requeued, caches
+// forgotten); a heartbeat resurrects a suspect, and a rejoin repairs a down
+// node with a cold cache.
+const (
+	HealthUp Health = iota
+	HealthSuspect
+	HealthDown
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case HealthUp:
+		return "up"
+	case HealthSuspect:
+		return "suspect"
+	case HealthDown:
+		return "down"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
 }
 
 // NewHeadState builds head-node tables for n nodes with the given per-node
@@ -55,7 +85,7 @@ func NewHeadState(n int, quota units.Bytes, model CostModel) *HeadState {
 		estimate:        make(map[volume.ChunkID]units.Duration),
 		hitObs:          make(map[hitKey]units.Duration),
 		Model:           model,
-		failed:          make([]bool, n),
+		health:          make([]Health, n),
 	}
 	for k := range h.Caches {
 		h.Caches[k] = cache.NewLRU(quota)
@@ -69,19 +99,38 @@ func NewHeadState(n int, quota units.Bytes, model CostModel) *HeadState {
 // Nodes returns the cluster size p.
 func (h *HeadState) Nodes() int { return len(h.Available) }
 
-// Alive reports whether node k is usable.
-func (h *HeadState) Alive(k NodeID) bool { return !h.failed[k] }
+// Alive reports whether node k is usable: only HealthUp nodes receive work.
+func (h *HeadState) Alive(k NodeID) bool { return h.health[k] == HealthUp }
+
+// Health returns node k's liveness state.
+func (h *HeadState) Health(k NodeID) Health { return h.health[k] }
+
+// MarkSuspect demotes an up node to suspect: it keeps its predicted caches
+// (it may come back) but receives no new work. Down nodes stay down.
+func (h *HeadState) MarkSuspect(k NodeID) {
+	if h.health[k] == HealthUp {
+		h.health[k] = HealthSuspect
+	}
+}
+
+// MarkUp clears a suspect node back to up — a heartbeat arrived after all.
+// Down nodes must rejoin through MarkRepaired instead.
+func (h *HeadState) MarkUp(k NodeID) {
+	if h.health[k] == HealthSuspect {
+		h.health[k] = HealthUp
+	}
+}
 
 // MarkFailed removes a node from scheduling consideration and forgets its
 // predicted caches; MarkRepaired restores it (empty).
 func (h *HeadState) MarkFailed(k NodeID) {
-	h.failed[k] = true
+	h.health[k] = HealthDown
 	h.Caches[k] = cache.NewLRU(h.Caches[k].Quota())
 }
 
 // MarkRepaired returns a failed node to service with a cold cache.
 func (h *HeadState) MarkRepaired(k NodeID, now units.Time) {
-	h.failed[k] = false
+	h.health[k] = HealthUp
 	h.Available[k] = now
 }
 
@@ -120,7 +169,7 @@ func (h *HeadState) InteractiveIdle(k NodeID, now units.Time) units.Duration {
 func (h *HeadState) CachedOn(c volume.ChunkID) []NodeID {
 	var nodes []NodeID
 	for k := range h.Caches {
-		if !h.failed[k] && h.Caches[k].Contains(c) {
+		if h.health[k] == HealthUp && h.Caches[k].Contains(c) {
 			nodes = append(nodes, NodeID(k))
 		}
 	}
@@ -133,7 +182,7 @@ func (h *HeadState) CachedOn(c volume.ChunkID) []NodeID {
 func (h *HeadState) ReplicaCount(c volume.ChunkID) int {
 	n := 0
 	for k := range h.Caches {
-		if !h.failed[k] && h.Caches[k].Contains(c) {
+		if h.health[k] == HealthUp && h.Caches[k].Contains(c) {
 			n++
 		}
 	}

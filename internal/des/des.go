@@ -255,6 +255,17 @@ func (s *Simulator) After(d units.Duration, fn Event) Timer {
 	return s.At(s.now.Add(d), fn)
 }
 
+// During schedules begin at from and end at to, returning both timers —
+// the shape interval effects (degraded I/O, transient stalls) take. The
+// interval must not be inverted; an empty interval (to == from) fires begin
+// then end at the same instant in that order.
+func (s *Simulator) During(from, to units.Time, begin, end Event) (Timer, Timer) {
+	if to < from {
+		panic(fmt.Sprintf("des: During interval ends %v before it begins %v", to, from))
+	}
+	return s.At(from, begin), s.At(to, end)
+}
+
 // Every schedules fn to run now+d, then every d thereafter, until the
 // returned Timer is canceled or the simulation stops. fn observes the tick
 // time via sim.Now().

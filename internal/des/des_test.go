@@ -350,3 +350,27 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		s.Run(0)
 	}
 }
+
+func TestDuringChaosWindow(t *testing.T) {
+	s := New()
+	var order []string
+	s.During(units.Time(units.Second), units.Time(3*units.Second),
+		func(sim *Simulator) { order = append(order, "begin") },
+		func(sim *Simulator) { order = append(order, "end") })
+	s.At(units.Time(2*units.Second), func(*Simulator) { order = append(order, "mid") })
+	s.Run(0)
+	if len(order) != 3 || order[0] != "begin" || order[1] != "mid" || order[2] != "end" {
+		t.Errorf("interval events fired as %v, want [begin mid end]", order)
+	}
+}
+
+func TestDuringInvertedIntervalPanicsLikeFailedPrecondition(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted During interval did not panic")
+		}
+	}()
+	s := New()
+	s.During(units.Time(2*units.Second), units.Time(units.Second),
+		func(*Simulator) {}, func(*Simulator) {})
+}

@@ -9,6 +9,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"vizsched/internal/units"
@@ -115,6 +116,99 @@ type Report struct {
 	// utilization figure.
 	BusyNodeTime units.Duration
 	Nodes        int
+
+	// Recovery aggregates the run's fault-tolerance outcomes (§VI-D).
+	Recovery Recovery
+}
+
+// Recovery tracks what faults cost a run: how much work had to be
+// re-dispatched, how long nodes stayed down (MTTR), and how deep and how
+// long the interactive framerate dipped below a target while the cluster
+// was degraded. Frame completions are bucketed into one-second windows so
+// the dip is measurable without storing per-job samples.
+type Recovery struct {
+	// Faults counts injected fault events (each flap cycle counts once).
+	Faults int64
+	// TasksRedispatched counts tasks returned to the queue by node crashes.
+	TasksRedispatched int64
+	// Downtime accumulates per-interval node down time; Mean() is MTTR.
+	Downtime Running
+
+	// downAt tracks open down intervals per node.
+	downAt map[int]units.Time
+	// firstFault is when degradation began; the dip scan starts there.
+	firstFault units.Time
+	faulted    bool
+	// frames counts interactive job completions per one-second window.
+	frames     map[int64]int64
+	lastWindow int64
+}
+
+// FaultInjected records one fault beginning at now.
+func (rc *Recovery) FaultInjected(now units.Time) {
+	rc.Faults++
+	if !rc.faulted {
+		rc.faulted = true
+		rc.firstFault = now
+	}
+}
+
+// TaskRedispatched counts one crash-requeued task.
+func (rc *Recovery) TaskRedispatched() { rc.TasksRedispatched++ }
+
+// NodeDown opens a down interval for node k.
+func (rc *Recovery) NodeDown(k int, now units.Time) {
+	if rc.downAt == nil {
+		rc.downAt = make(map[int]units.Time)
+	}
+	if _, open := rc.downAt[k]; !open {
+		rc.downAt[k] = now
+	}
+}
+
+// NodeRepaired closes node k's down interval, folding it into Downtime.
+func (rc *Recovery) NodeRepaired(k int, now units.Time) {
+	if at, open := rc.downAt[k]; open {
+		rc.Downtime.Add(now.Sub(at))
+		delete(rc.downAt, k)
+	}
+}
+
+// Frame buckets one interactive completion into its one-second window.
+func (rc *Recovery) Frame(finished units.Time) {
+	if rc.frames == nil {
+		rc.frames = make(map[int64]int64)
+	}
+	w := int64(finished) / int64(units.Second)
+	rc.frames[w]++
+	if w > rc.lastWindow {
+		rc.lastWindow = w
+	}
+}
+
+// MTTR is the mean down-interval duration over repaired nodes; zero when
+// nothing was repaired.
+func (rc *Recovery) MTTR() units.Duration { return rc.Downtime.Mean() }
+
+// FramerateDip scans the one-second windows from the first fault to the last
+// completed frame and reports how far below target the worst window fell
+// (depth, in fps) and the total time spent below target. Without faults both
+// are zero: a dip is only attributed to degradation it could stem from.
+func (rc *Recovery) FramerateDip(target float64) (depth float64, below units.Duration) {
+	if !rc.faulted || target <= 0 {
+		return 0, 0
+	}
+	from := int64(rc.firstFault) / int64(units.Second)
+	for w := from; w <= rc.lastWindow; w++ {
+		fps := float64(rc.frames[w])
+		if fps < target {
+			below += units.Second
+			if d := target - fps; d > depth {
+				depth = d
+			}
+		}
+	}
+	return depth, below
 }
 
 // NewReport returns an empty report for the named scheduler.
@@ -148,6 +242,7 @@ func (r *Report) JobCompleted(interactive bool, action int, issued, started, fin
 			r.actions[action] = a
 		}
 		a.Finish(finished)
+		r.Recovery.Frame(finished)
 	}
 }
 
@@ -195,11 +290,18 @@ func (r *Report) HitRate() float64 {
 
 // MeanFramerate averages the per-action framerates over interactive actions
 // that completed at least two jobs — the bar heights of Figs. 4–7.
+// Summation runs in action order: float addition is not associative, so
+// iterating the map directly would make the last bits run-dependent.
 func (r *Report) MeanFramerate() float64 {
+	ids := make([]int, 0, len(r.actions))
+	for id := range r.actions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var sum float64
 	var n int
-	for _, a := range r.actions {
-		if f := a.Framerate(); f > 0 {
+	for _, id := range ids {
+		if f := r.actions[id].Framerate(); f > 0 {
 			sum += f
 			n++
 		}

@@ -140,3 +140,55 @@ func TestReportString(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+func TestRecoveryFramerateDipAfterFailure(t *testing.T) {
+	var rc Recovery
+	// 30 fps before anything breaks; without faults no dip is attributed.
+	for w := int64(0); w < 5; w++ {
+		for f := 0; f < 30; f++ {
+			rc.Frame(units.Time(w)*units.Time(units.Second) + units.Time(f))
+		}
+	}
+	if depth, below := rc.FramerateDip(30); depth != 0 || below != 0 {
+		t.Errorf("dip without faults = (%v, %v), want zero", depth, below)
+	}
+
+	// A fault at t=5s, two degraded windows (10 fps), then recovery.
+	rc.FaultInjected(units.Time(5 * units.Second))
+	for w := int64(5); w < 7; w++ {
+		for f := 0; f < 10; f++ {
+			rc.Frame(units.Time(w)*units.Time(units.Second) + units.Time(f))
+		}
+	}
+	for f := 0; f < 30; f++ {
+		rc.Frame(units.Time(7*units.Second) + units.Time(f))
+	}
+	depth, below := rc.FramerateDip(30)
+	if depth != 20 {
+		t.Errorf("dip depth = %v, want 20 fps", depth)
+	}
+	if below != 2*units.Second {
+		t.Errorf("time below target = %v, want 2s", below)
+	}
+}
+
+func TestRecoveryMTTRFromDownIntervals(t *testing.T) {
+	var rc Recovery
+	rc.NodeDown(0, units.Time(units.Second))
+	rc.NodeDown(0, units.Time(2*units.Second)) // double-down is idempotent
+	rc.NodeRepaired(0, units.Time(5*units.Second))
+	rc.NodeDown(1, units.Time(10*units.Second))
+	rc.NodeRepaired(1, units.Time(12*units.Second))
+	rc.NodeRepaired(1, units.Time(20*units.Second)) // repair without open interval: no-op
+	if got, want := rc.MTTR(), 3*units.Second; got != want {
+		t.Errorf("MTTR = %v, want %v", got, want)
+	}
+	if rc.Downtime.N != 2 {
+		t.Errorf("down intervals = %d, want 2", rc.Downtime.N)
+	}
+	// A node still down contributes nothing until repaired.
+	rc.NodeDown(2, units.Time(30*units.Second))
+	if rc.Downtime.N != 2 {
+		t.Error("open interval leaked into Downtime")
+	}
+}

@@ -182,6 +182,27 @@ func StartCluster(sched core.Scheduler, catalog *Catalog, nodes int, quota units
 	return cl, nil
 }
 
+// RejoinWorker starts a fresh worker process (cold cache) that reclaims the
+// given node slot — the in-process form of restarting a crashed worker and
+// pointing it back at the head. The head must currently consider the node
+// down, or it rejects the rejoin.
+func (cl *Cluster) RejoinWorker(node core.NodeID) error {
+	if int(node) < 0 || int(node) >= len(cl.workers) {
+		return fmt.Errorf("service: no such node %d", node)
+	}
+	old := cl.workers[int(node)]
+	w := NewWorker(old.Name, old.catalog, old.quota)
+	w.Logf = cl.Head.Logf
+	headSide, workerSide := transport.Pipe()
+	cl.workers[int(node)] = w
+	cl.wg.Add(1)
+	go func() {
+		defer cl.wg.Done()
+		_ = w.Rejoin(workerSide, int(node))
+	}()
+	return cl.Head.Rejoin(headSide)
+}
+
 // Connect returns a client attached to the in-process head.
 func (cl *Cluster) Connect() *Client {
 	clientSide, headSide := transport.Pipe()

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vizsched/internal/compositing"
@@ -24,6 +26,16 @@ type liveJob struct {
 	got   int
 	// nodes records which worker each task went to, for failure cleanup.
 	nodes []core.NodeID
+	// deadline[i] is when a dispatched task i is presumed lost; zero while
+	// the task is not in flight.
+	deadline []time.Time
+	// retryAt[i] is the end of task i's backoff hold after a missed
+	// deadline: the task stays marked Assigned (so schedulers skip it) until
+	// the hold expires and it is released back to the queue.
+	retryAt []time.Time
+	// retries[i] counts missed deadlines for task i; beyond Head.MaxRetries
+	// the whole job is failed back to the client.
+	retries []int
 	// reply delivers the outcome to the issuing client connection.
 	conn  transport.Conn
 	msgID uint64
@@ -31,8 +43,11 @@ type liveJob struct {
 }
 
 // workerEvent is anything a worker-reader goroutine feeds the dispatcher.
+// gen stamps which incarnation of the node's connection produced it, so a
+// stale reader's death cannot take down a rejoined worker.
 type workerEvent struct {
 	node core.NodeID
+	gen  uint64
 	msg  transport.Message
 	err  error
 }
@@ -40,6 +55,13 @@ type workerEvent struct {
 // clientEvent is a job arrival from a client connection.
 type clientEvent struct {
 	lj *liveJob
+}
+
+// rejoinEvent asks the dispatcher to restore a down node's slot with a
+// fresh connection.
+type rejoinEvent struct {
+	conn  transport.Conn
+	hello HelloBody
 }
 
 // sender decouples the dispatcher from worker connections with an
@@ -113,26 +135,67 @@ type Head struct {
 	dsIDs   map[string]volume.DatasetID
 	dsNames map[volume.DatasetID]string
 
+	// workers is guarded by mu: the dispatcher replaces entries on rejoin
+	// while KillWorker reads them from other goroutines. senders and gens
+	// are dispatcher-owned after Start.
 	workers []transport.Conn
 	senders []*sender
+	gens    []uint64
 	start   time.Time
 
-	jobCh   chan clientEvent
-	workCh  chan workerEvent
-	stopCh  chan struct{}
-	doneCh  chan struct{}
-	started bool
+	// lastBeat and downAt are dispatcher-owned heartbeat/repair bookkeeping;
+	// healthView mirrors the state machine for race-free introspection.
+	lastBeat   []time.Time
+	downAt     []time.Time
+	healthView []atomic.Int32
+
+	jobCh    chan clientEvent
+	workCh   chan workerEvent
+	rejoinCh chan rejoinEvent
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	started  bool
 
 	mu        sync.Mutex
 	nextJobID core.JobID
 
 	stats headStats
+	rng   *rand.Rand
 
 	// DropStale, when set before Start, supersedes queued-but-undispatched
 	// interactive frames when a newer frame of the same action arrives —
 	// what a real viewer wants under lag: the latest view, not every view.
 	// The superseded request receives an error reply.
 	DropStale bool
+
+	// MaxQueue, when positive, bounds the number of queued (undispatched)
+	// jobs. At the bound, arriving batch jobs are rejected and arriving
+	// interactive frames shed the oldest queued interactive frame — a batch
+	// burst can delay batch work but can never wedge interactive service.
+	MaxQueue int
+
+	// DeadlineFactor is k in the dispatch-deadline rule: a task overdue by
+	// k× its predicted execution time (floored at MinDeadline) is presumed
+	// lost and re-dispatched. Non-positive disables deadlines.
+	DeadlineFactor float64
+	// MinDeadline floors every task deadline; predictions for tiny cached
+	// tasks would otherwise expire on scheduler-queue latency alone.
+	MinDeadline time.Duration
+	// MaxRetries bounds deadline-triggered re-dispatches per task; past it
+	// the job is failed back to the client.
+	MaxRetries int
+	// RetryBackoff is the base of the exponential backoff (with jitter)
+	// between a missed deadline and the task's re-entry into the queue.
+	RetryBackoff time.Duration
+	// CheckInterval is how often the dispatcher scans deadlines and
+	// heartbeat freshness.
+	CheckInterval time.Duration
+	// SuspectAfter and DownAfter drive the up → suspect → down health state
+	// machine: a worker silent for SuspectAfter receives no new work; silent
+	// for DownAfter it is declared dead, its connection closed, and its
+	// in-flight tasks requeued.
+	SuspectAfter time.Duration
+	DownAfter    time.Duration
 
 	// Logf receives diagnostics; defaults to log.Printf.
 	Logf func(format string, args ...any)
@@ -142,16 +205,26 @@ type Head struct {
 // workers dedicate to their caches, since the head's tables predict them.
 func NewHead(sched core.Scheduler, catalog *Catalog, memQuota units.Bytes, model core.CostModel) *Head {
 	h := &Head{
-		sched:   sched,
-		catalog: catalog,
-		model:   model,
-		dsIDs:   make(map[string]volume.DatasetID),
-		dsNames: make(map[volume.DatasetID]string),
-		jobCh:   make(chan clientEvent, 64),
-		workCh:  make(chan workerEvent, 256),
-		stopCh:  make(chan struct{}),
-		doneCh:  make(chan struct{}),
-		Logf:    log.Printf,
+		sched:    sched,
+		catalog:  catalog,
+		model:    model,
+		dsIDs:    make(map[string]volume.DatasetID),
+		dsNames:  make(map[volume.DatasetID]string),
+		jobCh:    make(chan clientEvent, 64),
+		workCh:   make(chan workerEvent, 256),
+		rejoinCh: make(chan rejoinEvent, 4),
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		Logf:     log.Printf,
+
+		DeadlineFactor: 4,
+		MinDeadline:    time.Second,
+		MaxRetries:     3,
+		RetryBackoff:   25 * time.Millisecond,
+		CheckInterval:  50 * time.Millisecond,
+		SuspectAfter:   3 * DefaultHeartbeat,
+		DownAfter:      10 * DefaultHeartbeat,
 	}
 	for i, name := range catalog.Names() {
 		id := volume.DatasetID(i + 1)
@@ -163,7 +236,7 @@ func NewHead(sched core.Scheduler, catalog *Catalog, memQuota units.Bytes, model
 }
 
 // AddWorker registers a connected worker. It must be called before Start;
-// the worker's hello message is consumed here.
+// the worker's hello message is consumed here and acked with the node slot.
 func (h *Head) AddWorker(conn transport.Conn) error {
 	if h.started {
 		return fmt.Errorf("service: AddWorker after Start")
@@ -179,8 +252,41 @@ func (h *Head) AddWorker(conn transport.Conn) error {
 	if err := transport.Decode(msg.Body, &hello); err != nil {
 		return err
 	}
+	node := len(h.workers)
 	h.workers = append(h.workers, conn)
-	return nil
+	return send(conn, transport.KindHello, 0, HelloBody{NodeID: node})
+}
+
+// Rejoin re-registers a reconnecting worker under its previous NodeID —
+// the §VI-D repair path. The hello must carry Rejoin and a NodeID the head
+// currently considers down; otherwise the connection is closed. Valid after
+// Start; safe to call from any goroutine.
+func (h *Head) Rejoin(conn transport.Conn) error {
+	if !h.started {
+		return fmt.Errorf("service: Rejoin before Start")
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("service: rejoin hello: %w", err)
+	}
+	if msg.Kind != transport.KindHello {
+		return fmt.Errorf("service: expected hello, got %v", msg.Kind)
+	}
+	var hello HelloBody
+	if err := transport.Decode(msg.Body, &hello); err != nil {
+		return err
+	}
+	if !hello.Rejoin || hello.NodeID < 0 || hello.NodeID >= len(h.healthView) {
+		conn.Close()
+		return fmt.Errorf("service: bad rejoin hello (rejoin=%v node=%d)", hello.Rejoin, hello.NodeID)
+	}
+	select {
+	case h.rejoinCh <- rejoinEvent{conn: conn, hello: hello}:
+		return nil
+	case <-h.stopCh:
+		conn.Close()
+		return transport.ErrClosed
+	}
 }
 
 // Start launches the dispatcher and worker readers. At least one worker
@@ -189,28 +295,39 @@ func (h *Head) Start() error {
 	if len(h.workers) == 0 {
 		return fmt.Errorf("service: no workers")
 	}
-	h.state = core.NewHeadState(len(h.workers), h.memQuota, h.model)
+	n := len(h.workers)
+	h.state = core.NewHeadState(n, h.memQuota, h.model)
 	h.start = time.Now()
 	h.started = true
+	h.gens = make([]uint64, n)
+	h.lastBeat = make([]time.Time, n)
+	h.downAt = make([]time.Time, n)
+	h.healthView = make([]atomic.Int32, n)
 	for i, conn := range h.workers {
 		node := core.NodeID(i)
-		conn := conn
+		h.lastBeat[i] = h.start
 		h.senders = append(h.senders, newSender(conn, func(err error) {
 			h.workCh <- workerEvent{node: node, err: err}
 		}))
-		go func() {
-			for {
-				msg, err := conn.Recv()
-				if err != nil {
-					h.workCh <- workerEvent{node: node, err: err}
-					return
-				}
-				h.workCh <- workerEvent{node: node, msg: msg}
-			}
-		}()
+		h.readWorker(node, 0, conn)
 	}
 	go h.dispatch()
 	return nil
+}
+
+// readWorker spawns the reader goroutine for one incarnation of a worker
+// connection.
+func (h *Head) readWorker(node core.NodeID, gen uint64, conn transport.Conn) {
+	go func() {
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				h.workCh <- workerEvent{node: node, gen: gen, err: err}
+				return
+			}
+			h.workCh <- workerEvent{node: node, gen: gen, msg: msg}
+		}
+	}()
 }
 
 // Stop shuts the service down and waits for the dispatcher to exit. A head
@@ -226,6 +343,37 @@ func (h *Head) Stop() {
 // now returns service-relative time for the scheduler's tables.
 func (h *Head) now() units.Time { return units.Time(time.Since(h.start)) }
 
+// WorkerHealth returns the head's current liveness verdict for worker k.
+// Safe from any goroutine.
+func (h *Head) WorkerHealth(k core.NodeID) core.Health {
+	if int(k) < 0 || int(k) >= len(h.healthView) {
+		return core.HealthDown
+	}
+	return core.Health(h.healthView[k].Load())
+}
+
+// setHealth records a state-machine transition in both the scheduler tables
+// (dispatcher-owned) and the atomic mirror.
+func (h *Head) setHealth(k core.NodeID, to core.Health) {
+	switch to {
+	case core.HealthSuspect:
+		h.state.MarkSuspect(k)
+	case core.HealthUp:
+		h.state.MarkUp(k)
+	}
+	h.healthView[k].Store(int32(to))
+}
+
+// taskDeadline derives a dispatch deadline from the committed prediction:
+// DeadlineFactor × Estimate-based prediction, floored at MinDeadline.
+func (h *Head) taskDeadline(t *core.Task) time.Duration {
+	d := time.Duration(float64(t.PredictedExec.Std()) * h.DeadlineFactor)
+	if d < h.MinDeadline {
+		d = h.MinDeadline
+	}
+	return d
+}
+
 // dispatch is the single goroutine owning the queue, tables, and in-flight
 // job state.
 func (h *Head) dispatch() {
@@ -240,36 +388,49 @@ func (h *Head) dispatch() {
 		defer t.Stop()
 		tick = t.C
 	}
+	checkEvery := h.CheckInterval
+	if checkEvery <= 0 {
+		checkEvery = 50 * time.Millisecond
+	}
+	check := time.NewTicker(checkEvery)
+	defer check.Stop()
 
 	runSched := func() {
 		if len(queue) == 0 {
 			return
 		}
-		jobs := make([]*core.Job, len(queue))
-		for i, lj := range queue {
-			jobs[i] = lj.job
+		jobs := make([]*core.Job, 0, len(queue))
+		for _, lj := range queue {
+			if lj.job.Remaining > 0 {
+				jobs = append(jobs, lj.job)
+			}
 		}
-		assignments := h.sched.Schedule(h.now(), jobs, h.state)
-		for _, a := range assignments {
-			lj := inflight[a.Task.Job.ID]
-			lj.nodes[a.Task.Index] = a.Node
-			body := TaskBody{
-				JobID:     uint64(lj.job.ID),
-				TaskIndex: a.Task.Index,
-				Dataset:   h.dsNames[lj.job.Dataset],
-				Chunk:     a.Task.Index,
-				Render:    lj.req,
-			}
-			a.Task.Job.Remaining--
-			raw, err := transport.Encode(body)
-			if err != nil {
-				h.Logf("head: encoding task: %v", err)
-				continue
-			}
-			if err := h.senders[a.Node].Send(transport.Message{
-				Kind: transport.KindTask, ID: uint64(lj.job.ID), Body: raw,
-			}); err != nil {
-				h.Logf("head: send to node %d failed: %v", a.Node, err)
+		if len(jobs) > 0 {
+			assignments := h.sched.Schedule(h.now(), jobs, h.state)
+			for _, a := range assignments {
+				lj := inflight[a.Task.Job.ID]
+				lj.nodes[a.Task.Index] = a.Node
+				body := TaskBody{
+					JobID:     uint64(lj.job.ID),
+					TaskIndex: a.Task.Index,
+					Dataset:   h.dsNames[lj.job.Dataset],
+					Chunk:     a.Task.Index,
+					Render:    lj.req,
+				}
+				a.Task.Job.Remaining--
+				if h.DeadlineFactor > 0 {
+					lj.deadline[a.Task.Index] = time.Now().Add(h.taskDeadline(a.Task))
+				}
+				raw, err := transport.Encode(body)
+				if err != nil {
+					h.Logf("head: encoding task: %v", err)
+					continue
+				}
+				if err := h.senders[a.Node].Send(transport.Message{
+					Kind: transport.KindTask, ID: uint64(lj.job.ID), Body: raw,
+				}); err != nil {
+					h.Logf("head: send to node %d failed: %v", a.Node, err)
+				}
 			}
 		}
 		live := queue[:0]
@@ -297,10 +458,186 @@ func (h *Head) dispatch() {
 		}
 	}
 
+	// release returns a presumed-lost task to the schedulable queue.
+	release := func(lj *liveJob, i int) {
+		t := &lj.job.Tasks[i]
+		t.Assigned = false
+		t.PredictedExec = 0
+		lj.deadline[i] = time.Time{}
+		lj.retryAt[i] = time.Time{}
+		if lj.job.Remaining == 0 {
+			queue = append(queue, lj)
+		}
+		lj.job.Remaining++
+		h.stats.tasksRedispatched.Add(1)
+	}
+
+	// nodeDown declares worker node dead: close its connection, mark it
+	// failed, and requeue the unfinished tasks it held (§VI-D).
+	nodeDown := func(node core.NodeID) {
+		if h.state.Health(node) == core.HealthDown {
+			return
+		}
+		h.Logf("head: node %d down; re-scheduling its tasks", node)
+		h.stats.workersDown.Add(1)
+		h.state.MarkFailed(node)
+		h.healthView[node].Store(int32(core.HealthDown))
+		h.downAt[node] = time.Now()
+		h.senders[node].Close()
+		h.mu.Lock()
+		conn := h.workers[node]
+		h.mu.Unlock()
+		conn.Close()
+		for _, lj := range inflight {
+			for i := range lj.job.Tasks {
+				t := &lj.job.Tasks[i]
+				if t.Assigned && lj.frags[i] == nil && lj.nodes[i] == node {
+					release(lj, i)
+				}
+			}
+		}
+	}
+
+	// checkHealth scans heartbeat freshness and task deadlines — the
+	// periodic half of the fault-tolerance layer.
+	checkHealth := func() {
+		now := time.Now()
+		for k := range h.lastBeat {
+			node := core.NodeID(k)
+			if h.state.Health(node) == core.HealthDown {
+				continue
+			}
+			silent := now.Sub(h.lastBeat[k])
+			switch {
+			case h.DownAfter > 0 && silent > h.DownAfter:
+				h.Logf("head: node %d silent for %v; declaring it down", k, silent.Round(time.Millisecond))
+				nodeDown(node)
+			case h.SuspectAfter > 0 && silent > h.SuspectAfter:
+				if h.state.Health(node) == core.HealthUp {
+					h.Logf("head: node %d silent for %v; suspect", k, silent.Round(time.Millisecond))
+					h.setHealth(node, core.HealthSuspect)
+				}
+			}
+		}
+		if h.DeadlineFactor <= 0 {
+			return
+		}
+		changed := false
+		for _, lj := range inflight {
+			for i := range lj.job.Tasks {
+				t := &lj.job.Tasks[i]
+				if !t.Assigned || lj.frags[i] != nil {
+					continue
+				}
+				if !lj.retryAt[i].IsZero() {
+					if now.After(lj.retryAt[i]) {
+						release(lj, i)
+						changed = true
+					}
+					continue
+				}
+				if lj.deadline[i].IsZero() || now.Before(lj.deadline[i]) {
+					continue
+				}
+				// Overdue: presumed lost. Retry with exponential backoff +
+				// jitter, or fail the job once the budget is spent.
+				lj.deadline[i] = time.Time{}
+				lj.retries[i]++
+				if lj.retries[i] > h.MaxRetries {
+					fail(lj, fmt.Sprintf("task %d lost %d times; giving up", i, lj.retries[i]))
+					break
+				}
+				backoff := h.RetryBackoff << (lj.retries[i] - 1)
+				backoff += time.Duration(h.rng.Int63n(int64(backoff)/2 + 1))
+				h.Logf("head: task %v overdue on node %d; retry %d after %v",
+					lj.job.Tasks[i].String(), lj.nodes[i], lj.retries[i], backoff.Round(time.Millisecond))
+				lj.retryAt[i] = now.Add(backoff)
+			}
+		}
+		if changed {
+			runSched()
+		}
+	}
+
+	// admit applies the overload policy and enqueues an arriving job.
+	admit := func(lj *liveJob) {
+		if h.MaxQueue > 0 && len(queue) >= h.MaxQueue {
+			if lj.job.Class == core.Batch {
+				h.stats.jobsShed.Add(1)
+				h.stats.jobsFailed.Add(1)
+				if err := send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: "head overloaded: batch queue full"}); err != nil {
+					h.Logf("head: shed reply failed: %v", err)
+				}
+				return
+			}
+			// Interactive frames are always admitted; make room by shedding
+			// the oldest still-undispatched interactive frame, if any.
+			for i, old := range queue {
+				if old.job.Class == core.Interactive && old.job.Remaining == len(old.job.Tasks) {
+					queue = append(queue[:i], queue[i+1:]...)
+					h.stats.jobsShed.Add(1)
+					fail(old, "shed under overload")
+					break
+				}
+			}
+		}
+		if h.DropStale && lj.job.Class == core.Interactive {
+			for i, old := range queue {
+				if old.job.Class == core.Interactive &&
+					old.job.Action == lj.job.Action &&
+					old.job.Remaining == len(old.job.Tasks) {
+					queue = append(queue[:i], queue[i+1:]...)
+					fail(old, "superseded by a newer frame")
+					break
+				}
+			}
+		}
+		inflight[lj.job.ID] = lj
+		queue = append(queue, lj)
+		if h.sched.Trigger() == core.OnArrival {
+			runSched()
+		}
+	}
+
+	// rejoin restores a down node's slot with a fresh connection.
+	rejoin := func(ev rejoinEvent) {
+		node := core.NodeID(ev.hello.NodeID)
+		if h.state.Health(node) != core.HealthDown {
+			h.Logf("head: rejected rejoin for node %d (health %v)", node, h.state.Health(node))
+			ev.conn.Close()
+			return
+		}
+		h.gens[node]++
+		gen := h.gens[node]
+		h.mu.Lock()
+		h.workers[node] = ev.conn
+		h.mu.Unlock()
+		h.senders[node] = newSender(ev.conn, func(err error) {
+			h.workCh <- workerEvent{node: node, gen: gen, err: err}
+		})
+		h.readWorker(node, gen, ev.conn)
+		h.state.MarkRepaired(node, h.now())
+		h.healthView[node].Store(int32(core.HealthUp))
+		h.lastBeat[node] = time.Now()
+		if !h.downAt[node].IsZero() {
+			h.stats.mttrNanos.Add(time.Since(h.downAt[node]).Nanoseconds())
+			h.stats.mttrEvents.Add(1)
+			h.downAt[node] = time.Time{}
+		}
+		h.stats.workersRejoined.Add(1)
+		h.Logf("head: node %d rejoined (%s)", node, ev.hello.Name)
+		if err := send(ev.conn, transport.KindHello, 0, HelloBody{NodeID: int(node)}); err != nil {
+			h.Logf("head: rejoin ack failed: %v", err)
+		}
+	}
+
 	for {
 		select {
 		case <-h.stopCh:
-			for i, w := range h.workers {
+			h.mu.Lock()
+			workers := append([]transport.Conn(nil), h.workers...)
+			h.mu.Unlock()
+			for i, w := range workers {
 				_ = h.senders[i].Send(transport.Message{Kind: transport.KindShutdown})
 				h.senders[i].Close()
 				w.Close()
@@ -308,33 +645,33 @@ func (h *Head) dispatch() {
 			return
 
 		case ev := <-h.jobCh:
-			lj := ev.lj
-			if h.DropStale && lj.job.Class == core.Interactive {
-				for i, old := range queue {
-					if old.job.Class == core.Interactive &&
-						old.job.Action == lj.job.Action &&
-						old.job.Remaining == len(old.job.Tasks) {
-						queue = append(queue[:i], queue[i+1:]...)
-						fail(old, "superseded by a newer frame")
-						break
-					}
-				}
-			}
-			inflight[lj.job.ID] = lj
-			queue = append(queue, lj)
-			if h.sched.Trigger() == core.OnArrival {
-				runSched()
-			}
+			admit(ev.lj)
+
+		case ev := <-h.rejoinCh:
+			rejoin(ev)
 
 		case <-tick:
 			runSched()
 
+		case <-check.C:
+			checkHealth()
+
 		case ev := <-h.workCh:
+			if ev.gen != h.gens[ev.node] {
+				continue // stale connection incarnation
+			}
 			if ev.err != nil {
-				h.nodeDown(ev.node, inflight, &queue)
+				nodeDown(ev.node)
 				continue
 			}
+			// Any traffic proves liveness; a suspect node is rehabilitated.
+			h.lastBeat[ev.node] = time.Now()
+			if h.state.Health(ev.node) == core.HealthSuspect {
+				h.setHealth(ev.node, core.HealthUp)
+			}
 			switch ev.msg.Kind {
+			case transport.KindHeartbeat:
+				// Liveness only; handled above.
 			case transport.KindFragment:
 				var frag FragmentBody
 				if err := transport.Decode(ev.msg.Body, &frag); err != nil {
@@ -347,7 +684,28 @@ func (h *Head) dispatch() {
 				}
 				h.correct(lj, ev.node, &frag)
 				if lj.frags[frag.TaskIndex] == nil {
-					lj.frags[frag.TaskIndex] = &frag
+					i := frag.TaskIndex
+					t := &lj.job.Tasks[i]
+					if !t.Assigned {
+						// The task was presumed lost and released for
+						// re-dispatch, but the original completed after all:
+						// reclaim it before a duplicate is scheduled.
+						t.Assigned = true
+						lj.job.Remaining--
+						if lj.job.Remaining == 0 {
+							// Keep the invariant "queued ⟺ Remaining > 0"
+							// that release relies on.
+							for qi, q := range queue {
+								if q == lj {
+									queue = append(queue[:qi], queue[qi+1:]...)
+									break
+								}
+							}
+						}
+					}
+					lj.deadline[i] = time.Time{}
+					lj.retryAt[i] = time.Time{}
+					lj.frags[i] = &frag
 					lj.got++
 				}
 				if lj.got == len(lj.frags) {
@@ -393,34 +751,6 @@ func (h *Head) correct(lj *liveJob, node core.NodeID, frag *FragmentBody) {
 	h.stats.renderNanos.Add(frag.ExecNanos)
 }
 
-// nodeDown handles a worker connection failure: mark it failed and requeue
-// the unfinished tasks it held (§VI-D).
-func (h *Head) nodeDown(node core.NodeID, inflight map[core.JobID]*liveJob, queue *[]*liveJob) {
-	if !h.state.Alive(node) {
-		return
-	}
-	h.Logf("head: node %d down; re-scheduling its tasks", node)
-	h.stats.workersDown.Add(1)
-	h.state.MarkFailed(node)
-	for _, lj := range inflight {
-		requeued := false
-		for i := range lj.job.Tasks {
-			t := &lj.job.Tasks[i]
-			if t.Assigned && lj.frags[i] == nil && lj.nodes[i] == node {
-				t.Assigned = false
-				t.PredictedExec = 0
-				if lj.job.Remaining == 0 {
-					requeued = true
-				}
-				lj.job.Remaining++
-			}
-		}
-		if requeued {
-			*queue = append(*queue, lj)
-		}
-	}
-}
-
 // finalize composites a completed job's fragments and replies to the client.
 // It runs outside the dispatcher: the job is complete, so nothing else
 // touches it.
@@ -431,6 +761,7 @@ func (h *Head) finalize(lj *liveJob) {
 	for i, f := range lj.frags {
 		m, err := decodePixels(f.W, f.H, f.Codec, f.Data)
 		if err != nil {
+			h.stats.jobsFailed.Add(1)
 			_ = send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: err.Error()})
 			return
 		}
@@ -450,6 +781,7 @@ func (h *Head) finalize(lj *liveJob) {
 
 	var buf bytes.Buffer
 	if err := final.EncodePNG(&buf); err != nil {
+		h.stats.jobsFailed.Add(1)
 		_ = send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: err.Error()})
 		return
 	}
@@ -473,6 +805,8 @@ func (h *Head) finalize(lj *liveJob) {
 // KillWorker forcibly closes the connection to worker k — a failure
 // injection hook for tests and demonstrations of §VI-D's fault tolerance.
 func (h *Head) KillWorker(k core.NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if int(k) < 0 || int(k) >= len(h.workers) {
 		return
 	}
@@ -521,13 +855,16 @@ func (h *Head) submit(conn transport.Conn, msgID uint64, req RenderBody) error {
 		h.stats.batchIssued.Add(1)
 	}
 	h.jobCh <- clientEvent{lj: &liveJob{
-		job:   job,
-		req:   req,
-		frags: make([]*FragmentBody, len(job.Tasks)),
-		nodes: make([]core.NodeID, len(job.Tasks)),
-		conn:  conn,
-		msgID: msgID,
-		wall:  time.Now(),
+		job:      job,
+		req:      req,
+		frags:    make([]*FragmentBody, len(job.Tasks)),
+		nodes:    make([]core.NodeID, len(job.Tasks)),
+		deadline: make([]time.Time, len(job.Tasks)),
+		retryAt:  make([]time.Time, len(job.Tasks)),
+		retries:  make([]int, len(job.Tasks)),
+		conn:     conn,
+		msgID:    msgID,
+		wall:     time.Now(),
 	}}
 	return nil
 }

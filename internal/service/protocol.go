@@ -4,10 +4,18 @@ import (
 	"vizsched/internal/transport"
 )
 
-// HelloBody introduces a worker to the head.
+// HelloBody introduces a worker to the head. The head replies with its own
+// HelloBody carrying the NodeID the worker is registered under, which the
+// worker presents (with Rejoin set) when reconnecting after a failure.
 type HelloBody struct {
 	Name     string
 	MemQuota int64 // bytes the worker will dedicate to its brick cache
+	// NodeID is the slot this worker occupies. In the head's ack it is the
+	// assignment; in a rejoin hello it is the identity being reclaimed.
+	NodeID int
+	// Rejoin marks a reconnection after a failure: the head restores the
+	// node's slot (cold cache) instead of registering a new worker.
+	Rejoin bool
 }
 
 // RenderBody is a client's rendering request: a camera over a named dataset.

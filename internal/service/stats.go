@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,14 @@ type headStats struct {
 	misses         atomic.Int64
 	renderNanos    atomic.Int64
 	workersDown    atomic.Int64
+
+	// Fault-tolerance counters (§VI-D): deadline-triggered re-dispatches,
+	// overload sheds, rejoins, and the accumulated down-time behind MTTR.
+	tasksRedispatched atomic.Int64
+	jobsShed          atomic.Int64
+	workersRejoined   atomic.Int64
+	mttrNanos         atomic.Int64
+	mttrEvents        atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time view of the service counters.
@@ -35,6 +44,51 @@ type StatsSnapshot struct {
 	MeanTaskMillis float64 `json:"mean_task_ms"`
 	Workers        int     `json:"workers"`
 	WorkersDown    int64   `json:"workers_down"`
+
+	TasksRedispatched int64   `json:"tasks_redispatched"`
+	JobsShed          int64   `json:"jobs_shed"`
+	WorkersRejoined   int64   `json:"workers_rejoined"`
+	MTTRSeconds       float64 `json:"mttr_seconds"`
+}
+
+// RecoveryReport summarizes the service's fault-tolerance activity: how
+// often workers went down, how fast they came back (mean time to repair),
+// how much work had to be re-dispatched, and how many jobs were lost to
+// clients despite it.
+type RecoveryReport struct {
+	WorkersDown       int64
+	WorkersRejoined   int64
+	TasksRedispatched int64
+	JobsLost          int64
+	JobsShed          int64
+	// MTTR is the mean wall time from a node being declared down to its
+	// rejoin; zero if no node has rejoined yet.
+	MTTR time.Duration
+}
+
+// String renders the report for operators and the failover example.
+func (r RecoveryReport) String() string {
+	return fmt.Sprintf(
+		"recovery: workers down=%d rejoined=%d, tasks re-dispatched=%d, jobs lost=%d (shed=%d), MTTR=%v",
+		r.WorkersDown, r.WorkersRejoined, r.TasksRedispatched, r.JobsLost, r.JobsShed,
+		r.MTTR.Round(time.Millisecond))
+}
+
+// Recovery returns the fault-tolerance counters as a report. JobsLost counts
+// every job that failed back to a client, whatever the cause — under a
+// clean recovery it stays zero.
+func (h *Head) Recovery() RecoveryReport {
+	r := RecoveryReport{
+		WorkersDown:       h.stats.workersDown.Load(),
+		WorkersRejoined:   h.stats.workersRejoined.Load(),
+		TasksRedispatched: h.stats.tasksRedispatched.Load(),
+		JobsLost:          h.stats.jobsFailed.Load(),
+		JobsShed:          h.stats.jobsShed.Load(),
+	}
+	if n := h.stats.mttrEvents.Load(); n > 0 {
+		r.MTTR = time.Duration(h.stats.mttrNanos.Load() / n)
+	}
+	return r
 }
 
 // Stats returns the service counters. Valid after Start.
@@ -49,6 +103,13 @@ func (h *Head) Stats() StatsSnapshot {
 		ChunkMisses:    h.stats.misses.Load(),
 		Workers:        len(h.workers),
 		WorkersDown:    h.stats.workersDown.Load(),
+
+		TasksRedispatched: h.stats.tasksRedispatched.Load(),
+		JobsShed:          h.stats.jobsShed.Load(),
+		WorkersRejoined:   h.stats.workersRejoined.Load(),
+	}
+	if n := h.stats.mttrEvents.Load(); n > 0 {
+		s.MTTRSeconds = time.Duration(h.stats.mttrNanos.Load() / n).Seconds()
 	}
 	if h.started {
 		s.UptimeSeconds = time.Since(h.start).Seconds()
@@ -91,6 +152,10 @@ func (h *Head) StatsHandler() http.Handler {
 		write("chunk_misses_total", float64(s.ChunkMisses))
 		write("workers", float64(s.Workers))
 		write("workers_down", float64(s.WorkersDown))
+		write("tasks_redispatched_total", float64(s.TasksRedispatched))
+		write("jobs_shed_total", float64(s.JobsShed))
+		write("workers_rejoined_total", float64(s.WorkersRejoined))
+		write("mttr_seconds", s.MTTRSeconds)
 		write("uptime_seconds", s.UptimeSeconds)
 	})
 	return mux

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"vizsched/internal/cache"
@@ -32,16 +33,30 @@ type Worker struct {
 	// volume fragments are mostly transparent and compress well).
 	Codec int
 
+	// Heartbeat is the liveness-beacon interval; zero disables heartbeats
+	// (the head then relies on connection errors and task deadlines alone).
+	Heartbeat time.Duration
+
+	// node is the slot the head assigned in its hello ack; -1 until known.
+	// Atomic: the serve loop writes it while callers poll Node.
+	node atomic.Int64
+	// tasks counts executed tasks. Atomic: the serve loop increments it
+	// while callers poll TasksExecuted.
+	tasks atomic.Int64
+
 	// Logf receives diagnostics; defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
+
+// DefaultHeartbeat is the worker liveness-beacon interval.
+const DefaultHeartbeat = 500 * time.Millisecond
 
 // NewWorker returns a worker serving the catalog within the memory quota.
 func NewWorker(name string, catalog *Catalog, quota units.Bytes) *Worker {
 	if quota <= 0 {
 		panic("service: worker needs a positive memory quota")
 	}
-	return &Worker{
+	w := &Worker{
 		Name:       name,
 		catalog:    catalog,
 		quota:      quota,
@@ -49,9 +64,19 @@ func NewWorker(name string, catalog *Catalog, quota units.Bytes) *Worker {
 		bricks:     make(map[volume.ChunkID]*raycast.Brick),
 		datasetIDs: make(map[string]volume.DatasetID),
 		Codec:      CodecFlate,
+		Heartbeat:  DefaultHeartbeat,
 		Logf:       log.Printf,
 	}
+	w.node.Store(-1)
+	return w
 }
+
+// Node returns the slot the head assigned this worker, or -1 before the
+// hello ack arrives.
+func (w *Worker) Node() int { return int(w.node.Load()) }
+
+// TasksExecuted reports how many tasks this worker has completed.
+func (w *Worker) TasksExecuted() int64 { return w.tasks.Load() }
 
 // chunkID maps a wire chunk reference to a local cache key.
 func (w *Worker) chunkID(dataset string, chunk int) volume.ChunkID {
@@ -134,8 +159,45 @@ func (w *Worker) execute(t TaskBody) (FragmentBody, error) {
 // Serve processes messages from the head until the connection closes or a
 // shutdown message arrives. Tasks execute strictly FIFO.
 func (w *Worker) Serve(conn transport.Conn) error {
-	if err := send(conn, transport.KindHello, 0, HelloBody{Name: w.Name, MemQuota: int64(w.quota)}); err != nil {
+	hello := HelloBody{Name: w.Name, MemQuota: int64(w.quota), NodeID: w.Node()}
+	return w.serve(conn, hello)
+}
+
+// Rejoin reconnects this worker to a head that has marked it down,
+// reclaiming the given node slot. The worker arrives with whatever cache it
+// has (typically cold: a restarted process uses a fresh Worker); the head
+// assumes cold and relearns residency from fragment reports.
+func (w *Worker) Rejoin(conn transport.Conn, node int) error {
+	w.node.Store(int64(node))
+	hello := HelloBody{Name: w.Name, MemQuota: int64(w.quota), NodeID: node, Rejoin: true}
+	return w.serve(conn, hello)
+}
+
+// serve sends the hello, starts the heartbeat beacon, and runs the task
+// loop.
+func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
+	if err := send(conn, transport.KindHello, 0, hello); err != nil {
 		return err
+	}
+	if w.Heartbeat > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(w.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					// A send error means the connection is gone; the task
+					// loop sees it too and returns.
+					if err := conn.Send(transport.Message{Kind: transport.KindHeartbeat}); err != nil {
+						return
+					}
+				}
+			}
+		}()
 	}
 	for {
 		msg, err := conn.Recv()
@@ -148,6 +210,12 @@ func (w *Worker) Serve(conn transport.Conn) error {
 		switch msg.Kind {
 		case transport.KindShutdown:
 			return nil
+		case transport.KindHello:
+			// The head's ack assigns (or confirms) this worker's node slot.
+			var ack HelloBody
+			if err := transport.Decode(msg.Body, &ack); err == nil {
+				w.node.Store(int64(ack.NodeID))
+			}
 		case transport.KindTask:
 			var t TaskBody
 			if err := transport.Decode(msg.Body, &t); err != nil {
@@ -162,6 +230,7 @@ func (w *Worker) Serve(conn transport.Conn) error {
 				}
 				continue
 			}
+			w.tasks.Add(1)
 			if err := send(conn, transport.KindFragment, msg.ID, frag); err != nil {
 				return err
 			}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+
+	"vizsched/internal/core"
+	"vizsched/internal/units"
+)
+
+// TestChaosCrashMTTRMatchesRepairWindow: a crash with a known repair time
+// must show up in the recovery metrics as exactly that much downtime — the
+// simulator measures MTTR in virtual time, so it is exact, not approximate.
+func TestChaosCrashMTTRMatchesRepairWindow(t *testing.T) {
+	cfg := smallConfig(core.NewLocalityScheduler(0), 2)
+	cfg.Failures = []Failure{{
+		At:       units.Time(8 * units.Second),
+		Node:     1,
+		RepairAt: units.Time(16 * units.Second),
+	}}
+	rep := New(cfg).Run(steadyWorkload(2, units.Time(24*units.Second)), 0)
+
+	if rep.Recovery.Faults != 1 {
+		t.Errorf("faults = %d, want 1", rep.Recovery.Faults)
+	}
+	if got, want := rep.Recovery.MTTR(), 8*units.Second; got != want {
+		t.Errorf("MTTR = %v, want exactly %v", got, want)
+	}
+	if rep.Interactive.Completed == 0 {
+		t.Error("no interactive jobs completed across the crash window")
+	}
+}
+
+// TestChaosSlowDiskDegradesLatency: multiplying every node's I/O times must
+// make the cold-start loads visibly slower than the fault-free run, while
+// the zero-kind crash semantics stay untouched (Kind's zero value is crash,
+// so pre-existing Failure literals keep their meaning).
+func TestChaosSlowDiskDegradesLatency(t *testing.T) {
+	base := smallConfig(core.NewLocalityScheduler(0), 2)
+	base.Preload = false // force initial loads so disk speed matters
+	wl := steadyWorkload(2, units.Time(20*units.Second))
+	clean := New(base).Run(wl, 0)
+
+	slow := smallConfig(core.NewLocalityScheduler(0), 2)
+	slow.Preload = false
+	for n := 0; n < slow.Nodes; n++ {
+		slow.Failures = append(slow.Failures, Failure{
+			Kind:     FaultSlowDisk,
+			Node:     core.NodeID(n),
+			At:       0,
+			RepairAt: units.Time(10 * units.Second),
+			Factor:   2,
+		})
+	}
+	faulted := New(slow).Run(wl, 0)
+
+	if faulted.Recovery.Faults != int64(slow.Nodes) {
+		t.Errorf("faults = %d, want %d", faulted.Recovery.Faults, slow.Nodes)
+	}
+	if fl, cl := faulted.Interactive.Latency.Mean(), clean.Interactive.Latency.Mean(); fl <= cl {
+		t.Errorf("slow-disk latency %v not worse than clean %v", fl, cl)
+	}
+	// Degraded, not dead: the node keeps completing work.
+	if faulted.Interactive.Completed == 0 {
+		t.Error("no jobs completed under slow disks")
+	}
+}
+
+// TestChaosStallPreservesCaches: a transient stall delays work but loses
+// nothing — the load count must equal the fault-free run's (caches and
+// queues survive), unlike a crash which forces reloads.
+func TestChaosStallPreservesCaches(t *testing.T) {
+	wl := steadyWorkload(2, units.Time(20*units.Second))
+	clean := New(smallConfig(core.NewLocalityScheduler(0), 2)).Run(wl, 0)
+
+	cfg := smallConfig(core.NewLocalityScheduler(0), 2)
+	cfg.Failures = []Failure{{
+		Kind:     FaultStall,
+		At:       units.Time(8 * units.Second),
+		Node:     0,
+		RepairAt: units.Time(10 * units.Second),
+	}}
+	stalled := New(cfg).Run(wl, 0)
+
+	if stalled.Loads != clean.Loads {
+		t.Errorf("stall forced reloads: %d loads vs %d clean", stalled.Loads, clean.Loads)
+	}
+	if stalled.Recovery.Faults != 1 {
+		t.Errorf("faults = %d, want 1", stalled.Recovery.Faults)
+	}
+	// The freeze costs throughput or latency, never correctness.
+	if stalled.Interactive.Completed > clean.Interactive.Completed {
+		t.Errorf("stalled run completed more jobs (%d) than clean (%d)",
+			stalled.Interactive.Completed, clean.Interactive.Completed)
+	}
+	if stalled.Interactive.Completed < clean.Interactive.Completed/2 {
+		t.Errorf("2s stall on one node halved completions: %d vs %d",
+			stalled.Interactive.Completed, clean.Interactive.Completed)
+	}
+}
+
+// TestChaosFlapIsDeterministic: a flapping node's crash/repair schedule is
+// drawn from the failure's own seed, so two identical runs must agree on
+// every metric bit for bit.
+func TestChaosFlapIsDeterministic(t *testing.T) {
+	run := func() (fps float64, lat units.Duration, redisp int64, faults int64) {
+		cfg := smallConfig(core.NewLocalityScheduler(0), 2)
+		// Cold caches + a first crash at t=1s: the initial loads (seconds
+		// each) are guaranteed to be in flight, so the flap must bounce work.
+		cfg.Preload = false
+		cfg.Failures = []Failure{{
+			Kind:   FaultFlap,
+			At:     units.Time(1 * units.Second),
+			Node:   2,
+			Period: 6 * units.Second,
+			Count:  3,
+			Seed:   99,
+		}}
+		rep := New(cfg).Run(steadyWorkload(2, units.Time(30*units.Second)), 0)
+		return rep.MeanFramerate(), rep.Interactive.Latency.Mean(),
+			rep.Recovery.TasksRedispatched, rep.Recovery.Faults
+	}
+	fps1, lat1, rd1, f1 := run()
+	fps2, lat2, rd2, f2 := run()
+	if fps1 != fps2 || lat1 != lat2 || rd1 != rd2 || f1 != f2 {
+		t.Errorf("flap runs diverged: (%v,%v,%d,%d) vs (%v,%v,%d,%d)",
+			fps1, lat1, rd1, f1, fps2, lat2, rd2, f2)
+	}
+	if f1 != 3 {
+		t.Errorf("faults = %d, want 3 flap cycles", f1)
+	}
+	// Three crash cycles must bounce at least one task back to the queue.
+	if rd1 == 0 {
+		t.Error("flapping never re-dispatched a task")
+	}
+}

@@ -32,14 +32,29 @@ import (
 	"vizsched/internal/workload"
 )
 
-// Failure injects a node crash (and optional repair) into a run — the
-// fault-tolerance behaviour §VI-D describes.
+// Failure injects one fault into a run — the fault-tolerance behaviour
+// §VI-D describes, extended into a small chaos model. The zero Kind is a
+// clean crash, so pre-existing Failure literals keep their meaning.
 type Failure struct {
 	At   units.Time
 	Node core.NodeID
-	// RepairAt returns the node to service (with cold caches); zero means
-	// it stays down.
+	// RepairAt ends the fault: a crash's node returns to service (with cold
+	// caches), a slow disk or stall recovers. Zero means a crash stays down;
+	// interval faults default to a 10-second interval.
 	RepairAt units.Time
+
+	// Kind selects the fault model; FaultCrash (zero) is the original clean
+	// crash.
+	Kind FaultKind
+	// Factor is FaultSlowDisk's I/O time multiplier (loads take Factor×
+	// longer); values ≤ 1 default to 4.
+	Factor float64
+	// Period, Count, and Seed shape FaultFlap: Count seeded crash/repair
+	// cycles spaced Period apart starting at At. Zero values default to
+	// 3 cycles of 5 seconds.
+	Period units.Duration
+	Count  int
+	Seed   int64
 }
 
 // Config describes one simulation run.
@@ -105,9 +120,9 @@ type node struct {
 	fifo []*core.Task
 	head int
 
-	// running maps executing tasks to their completion timers so a crash
-	// can abort them.
-	running map[*core.Task]des.Timer
+	// running maps executing tasks to their execution records so a crash
+	// can abort them and a stall can suspend and later resume them.
+	running map[*core.Task]*execution
 
 	// Overlap-mode I/O channel: one load at a time; tasks whose chunk is in
 	// flight wait in waiters.
@@ -116,11 +131,32 @@ type node struct {
 	waiters    map[volume.ChunkID][]*core.Task
 	loadTimer  des.Timer
 	loadActive bool
+	// loadFn/loadEnd/loadRemaining let a stall suspend the in-flight load
+	// the same way executions are suspended.
+	loadFn        des.Event
+	loadEnd       units.Time
+	loadRemaining units.Duration
 	// missLoad remembers, per waiting task, the load duration it should
 	// report (only the load-triggering task carries it).
 	missLoad map[*core.Task]units.Duration
 
 	failed bool
+	// stalled freezes the node (FaultStall): nothing starts or completes,
+	// but queues and caches survive — unlike a crash.
+	stalled bool
+	// ioScale multiplies disk I/O times; 1 is healthy, FaultSlowDisk raises
+	// it for an interval.
+	ioScale float64
+}
+
+// execution is one running task's suspendable completion: the armed timer,
+// when it would fire, and the callback to re-arm after a stall.
+type execution struct {
+	timer des.Timer
+	end   units.Time
+	fn    des.Event
+	// remaining holds the unserved execution time while the node is stalled.
+	remaining units.Duration
 }
 
 func (n *node) push(t *core.Task) { n.fifo = append(n.fifo, t) }
@@ -226,9 +262,10 @@ func (e *Engine) newNode(id core.NodeID) *node {
 		id:       id,
 		mem:      cache.NewStore(e.cfg.EvictionPolicy, e.cfg.MemQuota, e.cfg.Seed+int64(id)*101),
 		gpus:     e.cfg.GPUsPerNode,
-		running:  make(map[*core.Task]des.Timer),
+		running:  make(map[*core.Task]*execution),
 		waiters:  make(map[volume.ChunkID][]*core.Task),
 		missLoad: make(map[*core.Task]units.Duration),
+		ioScale:  1,
 	}
 	if e.cfg.GPUCache > 0 {
 		n.gpu = cache.NewStore(e.cfg.EvictionPolicy, e.cfg.GPUCache, e.cfg.Seed+int64(id)*131+7)
@@ -269,11 +306,7 @@ func (e *Engine) Run(wl *workload.Schedule, horizon units.Time) *metrics.Report 
 		e.sim.Every(e.cfg.Scheduler.Cycle(), func(s *des.Simulator) { e.invokeScheduler() })
 	}
 	for _, f := range e.cfg.Failures {
-		f := f
-		e.sim.At(f.At, func(s *des.Simulator) { e.fail(f.Node) })
-		if f.RepairAt > f.At {
-			e.sim.At(f.RepairAt, func(s *des.Simulator) { e.repair(f.Node) })
-		}
+		e.inject(f)
 	}
 	e.report.Horizon = horizon
 	e.sim.Run(horizon)
@@ -429,7 +462,7 @@ func (e *Engine) renderCost(n *node, t *core.Task) units.Duration {
 // startSerial begins queued tasks on an idle serial-mode node (Definition
 // 1: a miss occupies the node for the whole of tio + trender + tcomposite).
 func (e *Engine) startSerial(n *node) {
-	for !n.failed && len(n.running) < n.gpus {
+	for !n.failed && !n.stalled && len(n.running) < n.gpus {
 		t := n.pop()
 		if t == nil {
 			return
@@ -445,9 +478,9 @@ func (e *Engine) startSerial(n *node) {
 			if n.gpu != nil {
 				// Two-level: the load brings the chunk to main memory; the
 				// upload was already charged by renderCost's GPU miss.
-				exec += e.cfg.Model.DiskRate.TimeFor(t.Size)
+				exec += scaleIO(e.cfg.Model.DiskRate.TimeFor(t.Size), n.ioScale)
 			} else {
-				exec += e.cfg.Model.IOTime(t.Size)
+				exec += scaleIO(e.cfg.Model.IOTime(t.Size), n.ioScale)
 			}
 		}
 		exec = e.jitter(exec)
@@ -463,13 +496,28 @@ func (e *Engine) startSerial(n *node) {
 			Exec: exec, Predicted: t.PredictedExec,
 			Evicted: evicted,
 		}
-		n.running[t] = e.sim.After(exec, func(s *des.Simulator) { e.complete(n, res) })
+		e.begin(n, t, exec, func(s *des.Simulator) { e.complete(n, res) })
 	}
+}
+
+// begin arms a task's completion as a suspendable execution record.
+func (e *Engine) begin(n *node, t *core.Task, exec units.Duration, fn des.Event) {
+	ex := &execution{end: e.sim.Now().Add(exec), fn: fn}
+	ex.timer = e.sim.After(exec, fn)
+	n.running[t] = ex
+}
+
+// scaleIO applies a node's slow-disk multiplier to an I/O duration.
+func scaleIO(d units.Duration, factor float64) units.Duration {
+	if factor == 1 {
+		return d
+	}
+	return units.Duration(float64(d) * factor)
 }
 
 // kickLoad starts the overlap-mode I/O channel if it is idle.
 func (e *Engine) kickLoad(n *node) {
-	if n.loadActive || n.failed {
+	if n.loadActive || n.failed || n.stalled {
 		return
 	}
 	c, ok := n.popLoad()
@@ -488,11 +536,11 @@ func (e *Engine) kickLoad(n *node) {
 	if n.gpu != nil {
 		dur = e.cfg.Model.DiskRate.TimeFor(size) // upload deferred to render
 	}
-	dur = e.jitter(dur)
-	n.loadActive = true
-	n.loadTimer = e.sim.After(dur, func(s *des.Simulator) {
+	dur = scaleIO(e.jitter(dur), n.ioScale)
+	fn := func(s *des.Simulator) {
 		n.loadActive = false
 		n.loadTimer = des.Timer{}
+		n.loadFn = nil
 		evicted := n.mem.Insert(c, size)
 		e.report.EvictionsAdd(len(evicted))
 		e.report.LoadAdd()
@@ -510,12 +558,16 @@ func (e *Engine) kickLoad(n *node) {
 		}
 		e.startOverlap(n)
 		e.kickLoad(n)
-	})
+	}
+	n.loadActive = true
+	n.loadFn = fn
+	n.loadEnd = e.sim.Now().Add(dur)
+	n.loadTimer = e.sim.After(dur, fn)
 }
 
 // startOverlap begins ready tasks on an overlap-mode node.
 func (e *Engine) startOverlap(n *node) {
-	for !n.failed && len(n.running) < n.gpus {
+	for !n.failed && !n.stalled && len(n.running) < n.gpus {
 		t := n.pop()
 		if t == nil {
 			return
@@ -535,7 +587,7 @@ func (e *Engine) startOverlap(n *node) {
 			Exec: exec + loadDur, Predicted: t.PredictedExec,
 			Evicted: evicted,
 		}
-		n.running[t] = e.sim.After(exec, func(s *des.Simulator) { e.complete(n, res) })
+		e.begin(n, t, exec, func(s *des.Simulator) { e.complete(n, res) })
 	}
 }
 
@@ -576,6 +628,7 @@ func (e *Engine) fail(k core.NodeID) {
 	}
 	n.failed = true
 	e.head.MarkFailed(k)
+	e.report.Recovery.NodeDown(int(k), e.sim.Now())
 	e.emit(trace.Event{Kind: trace.NodeFail, Node: k})
 
 	requeue := func(t *core.Task) {
@@ -587,9 +640,10 @@ func (e *Engine) fail(k core.NodeID) {
 			e.queue = append(e.queue, t.Job)
 		}
 		t.Job.Remaining++
+		e.report.Recovery.TaskRedispatched()
 	}
-	for t, timer := range n.running {
-		timer.Cancel()
+	for t, ex := range n.running {
+		ex.timer.Cancel()
 		requeue(t)
 		delete(n.running, t)
 	}
@@ -623,6 +677,7 @@ func (e *Engine) repair(k core.NodeID) {
 	}
 	n.failed = false
 	e.head.MarkRepaired(k, e.sim.Now())
+	e.report.Recovery.NodeRepaired(int(k), e.sim.Now())
 	e.emit(trace.Event{Kind: trace.NodeRepair, Node: k})
 }
 

@@ -32,6 +32,9 @@ const (
 	KindError
 	// KindShutdown asks the receiver to stop.
 	KindShutdown
+	// KindHeartbeat is a liveness beacon (no body). Workers emit it on an
+	// interval so the head can tell a stalled node from an idle one.
+	KindHeartbeat
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +54,8 @@ func (k Kind) String() string {
 		return "error"
 	case KindShutdown:
 		return "shutdown"
+	case KindHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -67,9 +72,10 @@ type Message struct {
 // ErrClosed is returned by operations on a closed connection.
 var ErrClosed = errors.New("transport: connection closed")
 
-// Conn is a bidirectional ordered message pipe. Send and Recv are each safe
-// for one concurrent caller; the service uses one reader and one writer
-// goroutine per connection.
+// Conn is a bidirectional ordered message pipe. Send is safe for concurrent
+// callers (a worker's executor and heartbeat goroutines share one
+// connection); Recv is safe for one concurrent caller — the service uses a
+// single reader goroutine per connection.
 type Conn interface {
 	Send(m Message) error
 	Recv() (Message, error)
