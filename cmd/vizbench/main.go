@@ -34,7 +34,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	only := flag.String("only", "all",
-		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep")
+		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep")
 	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
 		"max concurrent simulation runs; 1 = sequential (reference scheduling-cost numbers)")
@@ -134,6 +134,13 @@ func main() {
 		points := experiments.FailureSweepN(rates, *scale, workers)
 		experiments.PrintFailureSweep(out, points)
 		writeCSV("failsweep.csv", func(f *os.File) error { return experiments.FailureSweepCSV(f, points) })
+	}
+	if has("replsweep") {
+		ks := []int{1, 2, 3}
+		rates := []float64{0, 2, 4}
+		points := experiments.ReplicaSweepN(ks, rates, *scale, workers)
+		experiments.PrintReplicaSweep(out, points)
+		writeCSV("replsweep.csv", func(f *os.File) error { return experiments.ReplicaSweepCSV(f, points) })
 	}
 	fmt.Fprintf(out, "done. (%v, -parallel %d)\n", time.Since(start).Round(time.Millisecond), workers)
 }

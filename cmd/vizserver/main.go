@@ -58,6 +58,8 @@ func main() {
 	connect := flag.String("connect", "localhost:7001", "head's worker address (worker mode)")
 	name := flag.String("name", "", "worker name (worker mode)")
 	httpAddr := flag.String("http", "", "serve JSON stats and /metrics on this address (head mode)")
+	replicas := flag.Int("replicas", core.DefaultReplicas,
+		"replication degree k (head mode): keep hot chunks on k workers and re-home on failure; 1 disables")
 	flag.Parse()
 
 	catalog := service.NewCatalog()
@@ -81,6 +83,7 @@ func main() {
 			log.Fatal("vizserver: ", err)
 		}
 		head := service.NewHead(sched, catalog, quota, core.DefaultCostModel())
+		head.Replicas = *replicas
 		wl, err := transport.ListenTCP(*workerAddr)
 		if err != nil {
 			log.Fatal("vizserver: ", err)

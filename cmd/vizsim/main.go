@@ -41,6 +41,8 @@ func main() {
 	loadWL := flag.String("load-workload", "", "replay a workload saved with -save-workload")
 	faults := flag.Float64("faults", 0,
 		"inject a chaos fault mix (crash/slowdisk/stall/flap) at this rate in faults per simulated minute")
+	replicas := flag.Int("replicas", 1,
+		"replication degree k for OURS: keep hot chunks resident on k nodes and re-home on crash; 1 = paper behaviour")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
 		"max concurrent runs with -sched all; 1 = sequential (reference scheduling-cost numbers)")
 	flag.Parse()
@@ -82,6 +84,11 @@ func main() {
 		fmt.Printf("       recovery: faults=%d redispatched=%d MTTR=%v dip-depth=%.2ffps dip-time=%v\n",
 			rep.Recovery.Faults, rep.Recovery.TasksRedispatched,
 			rep.Recovery.MTTR().Std().Round(time.Millisecond), depth, below.Std())
+		if rep.Recovery.ChunksRehomed+rep.Recovery.ChunksReseeded > 0 {
+			fmt.Printf("       replication: rehomed=%d reseeded=%d svc-MTTR=%v\n",
+				rep.Recovery.ChunksRehomed, rep.Recovery.ChunksReseeded,
+				rep.Recovery.ServiceMTTR().Std().Round(time.Millisecond))
+		}
 	}
 
 	run := func(name string) error {
@@ -91,6 +98,7 @@ func main() {
 		}
 		ecfg := sim.ScenarioEngineConfig(cfg, s, *jitter)
 		ecfg.Failures = faultSchedule
+		ecfg.Replicas = *replicas
 		var tl *trace.Log
 		if (*traceCSV != "" || *ganttSVG != "") && *sched != "all" {
 			tl = trace.New(2_000_000)
@@ -151,6 +159,7 @@ func main() {
 		experiments.ForEach(workers, len(scheds), func(i int) {
 			ecfg := sim.ScenarioEngineConfig(cfg, scheds[i], *jitter)
 			ecfg.Failures = faultSchedule
+			ecfg.Replicas = *replicas
 			reports[i] = sim.New(ecfg).Run(wl, 0)
 		})
 		for _, rep := range reports {

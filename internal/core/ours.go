@@ -30,6 +30,19 @@ type LocalityScheduler struct {
 	// placement (ablation: batch loads may then interrupt interactive
 	// streams, the failure mode the guard exists to prevent).
 	DisableIdleGuard bool
+	// Replicas is the replication policy layer's target degree k (§5.6):
+	// when ≥ 2, a bounded fraction of batch placements for under-replicated
+	// chunks is diverted to the chunk's secondary node, so hot chunks become
+	// k-resident out of real work instead of synthetic copies. 0/1 keeps the
+	// paper's single-home behaviour exactly.
+	Replicas int
+	// SpreadEvery bounds the diverted fraction: one in every SpreadEvery
+	// eligible batch placement opportunities goes to the secondary instead
+	// of the primary. Non-positive selects DefaultSpreadEvery.
+	SpreadEvery int
+	// spreadTick counts eligible spread opportunities across cycles; purely
+	// deterministic, so identical runs divert identical tasks.
+	spreadTick int
 
 	// Per-cycle scratch, reused across Schedule calls.
 	byChunk                 map[volume.ChunkID]*chunkGroup
@@ -44,6 +57,12 @@ type LocalityScheduler struct {
 // interactive request never waits long for the next cycle at the paper's
 // 33.33 fps target cadence (one request per 30 ms).
 const DefaultCycle = 10 * units.Millisecond
+
+// DefaultSpreadEvery is the default diversion stride of the replication
+// layer: one in four eligible batch placements goes to the secondary, slow
+// enough that the primary keeps its locality advantage, fast enough that a
+// hot chunk is k-resident within a few cycles.
+const DefaultSpreadEvery = 4
 
 // NewLocalityScheduler returns the paper's scheduler with the given cycle;
 // a non-positive cycle selects DefaultCycle.
@@ -62,6 +81,17 @@ func (s *LocalityScheduler) Trigger() Trigger { return Periodic }
 
 // Cycle implements Scheduler.
 func (s *LocalityScheduler) Cycle() units.Duration { return s.cycle }
+
+// SetReplicas implements ReplicaSetter.
+func (s *LocalityScheduler) SetReplicas(k int) { s.Replicas = k }
+
+// spreadEvery returns the effective diversion stride.
+func (s *LocalityScheduler) spreadEvery() int {
+	if s.SpreadEvery > 0 {
+		return s.SpreadEvery
+	}
+	return DefaultSpreadEvery
+}
 
 // chunkGroup is one entry of the H_I / H_B hash tables: the unassigned
 // tasks within this cycle that need the same chunk, plus the sort keys
@@ -184,6 +214,38 @@ func (s *LocalityScheduler) Schedule(now units.Time, queue []*Job, head *HeadSta
 		placeWhole(g)
 	}
 
+	// Replication pass (§5.6, before cached batch reinforces primaries):
+	// for each cached-but-under-replicated chunk, every spreadEvery-th
+	// opportunity diverts one batch task to the chunk's secondary node. The
+	// task misses there, which loads the chunk — a deliberate replica bought
+	// with real work. The secondary must be ε-idle (the miss implies a disk
+	// load, the same reasoning as non-cached batch) and still inside λ, and
+	// diversion stops once the chunk is k-resident, so the policy never
+	// drives replica counts past k.
+	if s.Replicas > 1 {
+		for _, g := range hb {
+			rc := head.ReplicaCount(g.chunk)
+			if rc == 0 || rc >= s.Replicas {
+				continue // zero-replica chunks take the rarest-first ε path
+			}
+			s.spreadTick++
+			if s.spreadTick%s.spreadEvery() != 0 {
+				continue
+			}
+			sec, ok := head.SecondaryFor(g.chunk)
+			if !ok || !head.Available[sec].Before(lambda) {
+				continue
+			}
+			if !s.DisableIdleGuard {
+				eps := head.IdleThreshold(g.chunk, g.size, g.tasks[0].Job.GroupSize())
+				if head.InteractiveIdle(sec, now) <= eps {
+					continue
+				}
+			}
+			assign(g.tasks[0], sec)
+		}
+	}
+
 	// Lines 16–22: cached batch tasks fill each node until its predicted
 	// available time crosses λ.
 	for k := 0; k < head.Nodes(); k++ {
@@ -249,12 +311,38 @@ func (s *LocalityScheduler) Schedule(now units.Time, queue []*Job, head *HeadSta
 					break // this node served interactive work too recently
 				}
 			}
-			assign(g.tasks[0], node)
+			// Replication (§5.6): once the group's first task has seeded a
+			// home (replica count ≥ 1), later tasks of an under-replicated
+			// chunk are occasionally diverted to the secondary, under the
+			// same ε and λ conditions the primary placement obeys.
+			target := node
+			if s.Replicas > 1 {
+				if rc := head.ReplicaCount(g.chunk); rc > 0 && rc < s.Replicas {
+					s.spreadTick++
+					if s.spreadTick%s.spreadEvery() == 0 {
+						if sec, ok := head.SecondaryFor(g.chunk); ok && sec != node &&
+							head.Available[sec].Before(lambda) && s.idleOK(head, g, sec, now) {
+							target = sec
+						}
+					}
+				}
+			}
+			assign(g.tasks[0], target)
 			g.tasks = g.tasks[1:]
 		}
 	}
 	s.out = out
 	return out
+}
+
+// idleOK reports whether node k satisfies the ε idle-time condition for
+// placing a non-cached batch task of the group's chunk.
+func (s *LocalityScheduler) idleOK(head *HeadState, g *chunkGroup, k NodeID, now units.Time) bool {
+	if s.DisableIdleGuard {
+		return true
+	}
+	eps := head.IdleThreshold(g.chunk, g.size, g.tasks[0].Job.GroupSize())
+	return head.InteractiveIdle(k, now) > eps
 }
 
 // bestNode returns the alive node minimizing predicted completion time for

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// commit places task i of job j on node k at now and returns the predicted
+// exec, going through the same CommitAssign path the schedulers use.
+func commit(h *HeadState, j *Job, i int, k NodeID, now units.Time) {
+	h.CommitAssign(&j.Tasks[i], k, now)
+}
+
+func TestReplicationDisabledTracksNothing(t *testing.T) {
+	h := newHead(3)
+	j := mkJob(1, Batch, 0, 1, 4, 64*units.MB, 0)
+	commit(h, j, 0, 1, 0)
+	if _, ok := h.Home(j.Tasks[0].Chunk); ok {
+		t.Error("Home tracked with replication disabled")
+	}
+	if _, ok := h.SecondaryFor(j.Tasks[0].Chunk); ok {
+		t.Error("SecondaryFor returned a candidate with replication disabled")
+	}
+	if rep := h.MarkFailed(1); rep.Rehomed != 0 || rep.Reseeded != 0 {
+		t.Errorf("MarkFailed report = %+v, want zero", rep)
+	}
+}
+
+func TestTrackPlacementFillsHomeSetToK(t *testing.T) {
+	h := newHead(4)
+	h.SetReplication(2)
+	j := mkJob(1, Batch, 0, 1, 1, 64*units.MB, 0)
+	c := j.Tasks[0].Chunk
+
+	commit(h, j, 0, 2, 0)
+	if home, ok := h.Home(c); !ok || home != 2 {
+		t.Fatalf("Home = %v,%v, want 2,true", home, ok)
+	}
+	// Re-committing to the primary does not grow the set.
+	commit(h, j, 0, 2, 0)
+	if hs := h.HomeSet(c); len(hs) != 1 {
+		t.Fatalf("HomeSet after duplicate commit = %v", hs)
+	}
+	commit(h, j, 0, 0, 0)
+	if hs := h.HomeSet(c); len(hs) != 2 || hs[0] != 2 || hs[1] != 0 {
+		t.Fatalf("HomeSet = %v, want [2 0]", hs)
+	}
+	// A third distinct node is beyond k=2: organic, untracked.
+	commit(h, j, 0, 3, 0)
+	if hs := h.HomeSet(c); len(hs) != 2 {
+		t.Fatalf("HomeSet grew past k: %v", hs)
+	}
+	if h.Pressure(2) != 1 || h.Pressure(0) != 1 || h.Pressure(3) != 0 {
+		t.Errorf("pressure = [%d %d %d %d]", h.Pressure(0), h.Pressure(1), h.Pressure(2), h.Pressure(3))
+	}
+}
+
+func TestSecondaryForPrefersLowPressure(t *testing.T) {
+	h := newHead(3)
+	h.SetReplication(2)
+	a := mkJob(1, Batch, 0, 1, 2, 64*units.MB, 0)
+	// Chunk 0 homes on node 0; chunk 1 homes on node 1. Node 2 carries no
+	// home slots, so it is the low-pressure secondary for both.
+	commit(h, a, 0, 0, 0)
+	commit(h, a, 1, 1, 0)
+	if sec, ok := h.SecondaryFor(a.Tasks[0].Chunk); !ok || sec != 2 {
+		t.Errorf("SecondaryFor(chunk0) = %v,%v, want 2,true", sec, ok)
+	}
+	// Once node 2 is down, the only remaining candidate for chunk 0 is
+	// node 1 (node 0 already holds it).
+	h.MarkFailed(2)
+	if sec, ok := h.SecondaryFor(a.Tasks[0].Chunk); !ok || sec != 1 {
+		t.Errorf("SecondaryFor(chunk0) with node 2 down = %v,%v, want 1,true", sec, ok)
+	}
+}
+
+func TestSecondaryForReinforcesEvictedHomeMember(t *testing.T) {
+	h := newHead(3)
+	h.SetReplication(2)
+	j := mkJob(1, Batch, 0, 1, 1, 64*units.MB, 0)
+	c := j.Tasks[0].Chunk
+	commit(h, j, 0, 0, 0)
+	commit(h, j, 0, 1, 0)
+	// Simulate node 1 evicting the chunk: the policy should want it back on
+	// its chosen secondary before recruiting a new node.
+	h.Caches[1].Remove(c)
+	if sec, ok := h.SecondaryFor(c); !ok || sec != 1 {
+		t.Errorf("SecondaryFor = %v,%v, want the evicted member 1,true", sec, ok)
+	}
+	// Full set and all members resident: nothing to do.
+	h.Caches[1].Insert(c, 64*units.MB)
+	if sec, ok := h.SecondaryFor(c); ok {
+		t.Errorf("SecondaryFor = %v with a full, resident home set", sec)
+	}
+}
+
+func TestRehomePromotesSurvivorAndAdoptsWarmest(t *testing.T) {
+	h := newHead(3)
+	h.SetReplication(2)
+	a := mkJob(1, Batch, 0, 1, 2, 64*units.MB, 0)
+	// Chunk 0: homes [0 1]. Chunk 1: home [0] only, but organically resident
+	// on nodes 1 and 2 with node 2 the less busy.
+	commit(h, a, 0, 0, 0)
+	commit(h, a, 0, 1, 0)
+	commit(h, a, 1, 0, 0)
+	c1 := a.Tasks[1].Chunk
+	h.Caches[1].Insert(c1, 64*units.MB)
+	h.Caches[2].Insert(c1, 64*units.MB)
+	h.Available[1] = units.Time(10 * units.Second)
+	h.Available[2] = units.Time(2 * units.Second)
+
+	rep := h.MarkFailed(0)
+	if rep.Rehomed != 2 || rep.Reseeded != 0 {
+		t.Fatalf("report = %+v, want Rehomed=2 Reseeded=0", rep)
+	}
+	if !rep.Fully() {
+		t.Error("Fully() = false for an all-warm re-home")
+	}
+	if home, _ := h.Home(a.Tasks[0].Chunk); home != 1 {
+		t.Errorf("chunk 0 home = %d, want promoted survivor 1", home)
+	}
+	if home, _ := h.Home(c1); home != 2 {
+		t.Errorf("chunk 1 home = %d, want warmest replica 2", home)
+	}
+}
+
+func TestRehomeReseedsWhenNoReplicaSurvives(t *testing.T) {
+	h := newHead(3)
+	h.SetReplication(2)
+	j := mkJob(1, Batch, 0, 1, 1, 64*units.MB, 0)
+	c := j.Tasks[0].Chunk
+	commit(h, j, 0, 1, 0) // only copy anywhere lives on node 1
+
+	rep := h.MarkFailed(1)
+	if rep.Rehomed != 0 || rep.Reseeded != 1 {
+		t.Fatalf("report = %+v, want Rehomed=0 Reseeded=1", rep)
+	}
+	if rep.Fully() {
+		t.Error("Fully() = true despite a re-seed")
+	}
+	if _, ok := h.Home(c); ok {
+		t.Error("orphaned chunk still has a home")
+	}
+	if h.Pressure(1) != 0 {
+		t.Errorf("dead node pressure = %d, want 0", h.Pressure(1))
+	}
+	// The rarest-first pass sees it as zero-replica again.
+	if n := h.ReplicaCount(c); n != 0 {
+		t.Errorf("ReplicaCount = %d after losing the only holder", n)
+	}
+}
+
+func TestLocalitySchedulerSpreadsToSecondaries(t *testing.T) {
+	h := newHead(3)
+	h.SetReplication(2)
+	s := &LocalityScheduler{Replicas: 2, SpreadEvery: 1, DisableIdleGuard: true}
+
+	// Seed chunk residency: a batch job committed once gives every chunk a
+	// single home; repeated scheduling of the same chunks should then grow
+	// each home set toward k=2 via the spread pass.
+	now := units.Time(0)
+	for round := 0; round < 6; round++ {
+		j := mkJob(JobID(round+1), Batch, 0, 1, 3, 64*units.MB, now)
+		asn := s.Schedule(now, []*Job{j}, h)
+		for _, a := range asn {
+			h.CommitAssign(a.Task, a.Node, now)
+		}
+		now = now.Add(5 * units.Second)
+	}
+	for i := 0; i < 3; i++ {
+		c := volume.ChunkID{Dataset: 1, Index: i}
+		if hs := h.HomeSet(c); len(hs) > 2 {
+			t.Errorf("chunk %d home set %v exceeds k=2", i, hs)
+		}
+	}
+	// At least one chunk must have reached two homes: with stride 1 the
+	// spread pass diverts every eligible cached-batch placement.
+	grown := false
+	for i := 0; i < 3; i++ {
+		if len(h.HomeSet(volume.ChunkID{Dataset: 1, Index: i})) == 2 {
+			grown = true
+		}
+	}
+	if !grown {
+		t.Error("no chunk reached two policy homes after repeated batch rounds")
+	}
+}
+
+func TestSetReplicasImplementsReplicaSetter(t *testing.T) {
+	var s ReplicaSetter = &LocalityScheduler{}
+	s.SetReplicas(3)
+	if got := s.(*LocalityScheduler).Replicas; got != 3 {
+		t.Errorf("Replicas = %d, want 3", got)
+	}
+}

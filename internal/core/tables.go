@@ -43,6 +43,18 @@ type HeadState struct {
 	// suspect state lets a head stop feeding a silent node before declaring
 	// it dead and requeueing its tasks.
 	health []Health
+
+	// replicaK is the replication policy's target degree k (§5.6); 1 is the
+	// single-home behaviour of the paper and disables home tracking.
+	replicaK int
+	// homes[c] is the policy-tracked replica home set for chunk c, primary
+	// first, never longer than replicaK. Residency beyond the set (bestNode
+	// load-balancing) is organic and untracked.
+	homes map[volume.ChunkID][]NodeID
+	// pressure[k] is node k's placement-pressure score: the number of home
+	// slots the policy has assigned to it. Secondary selection steers to
+	// low-pressure nodes.
+	pressure []int
 }
 
 // Health is a node's liveness state as seen by the head.
@@ -86,6 +98,8 @@ func NewHeadState(n int, quota units.Bytes, model CostModel) *HeadState {
 		hitObs:          make(map[hitKey]units.Duration),
 		Model:           model,
 		health:          make([]Health, n),
+		replicaK:        1,
+		pressure:        make([]int, n),
 	}
 	for k := range h.Caches {
 		h.Caches[k] = cache.NewLRU(quota)
@@ -122,10 +136,15 @@ func (h *HeadState) MarkUp(k NodeID) {
 }
 
 // MarkFailed removes a node from scheduling consideration and forgets its
-// predicted caches; MarkRepaired restores it (empty).
-func (h *HeadState) MarkFailed(k NodeID) {
+// predicted caches; MarkRepaired restores it (empty). With the replication
+// layer enabled, the failed node's orphaned chunks are re-homed to their
+// warmest surviving replica (or dropped for rarest-first re-seeding when
+// none survives); the report says how much of the failure was absorbed
+// warm. Disabled or untracked, the report is zero.
+func (h *HeadState) MarkFailed(k NodeID) RehomeReport {
 	h.health[k] = HealthDown
 	h.Caches[k] = cache.NewLRU(h.Caches[k].Quota())
+	return h.rehomeFailed(k)
 }
 
 // MarkRepaired returns a failed node to service with a cold cache.
@@ -231,6 +250,7 @@ func (h *HeadState) CommitAssign(t *Task, k NodeID, now units.Time) units.Durati
 	} else {
 		h.Caches[k].Touch(t.Chunk)
 	}
+	h.trackPlacement(t.Chunk, k)
 	if t.Job.Class == Interactive {
 		h.lastInteractive[k] = now
 	}

@@ -134,8 +134,23 @@ type Recovery struct {
 	// Downtime accumulates per-interval node down time; Mean() is MTTR.
 	Downtime Running
 
-	// downAt tracks open down intervals per node.
-	downAt map[int]units.Time
+	// ChunksRehomed counts chunks whose home moved to a warm surviving
+	// replica after a crash; ChunksReseeded counts chunks that lost every
+	// replica and had to be re-read from disk (§5.6).
+	ChunksRehomed  int64
+	ChunksReseeded int64
+	// EffectiveDowntime accumulates per-interval *service-impact* downtime:
+	// when a crash's orphaned chunks were all re-homed warm, the interval
+	// ends at the re-home, not at the node's later cold repair — the window
+	// between re-home and MarkRepaired is warm-restore time the service
+	// never felt, and folding it in would double-count the outage.
+	// ServiceMTTR is its mean; without re-homing it equals Downtime.
+	EffectiveDowntime Running
+
+	// downAt tracks open down intervals per node; rehomedAt caps an open
+	// interval's service impact at the re-home time.
+	downAt    map[int]units.Time
+	rehomedAt map[int]units.Time
 	// firstFault is when degradation began; the dip scan starts there.
 	firstFault units.Time
 	faulted    bool
@@ -166,11 +181,41 @@ func (rc *Recovery) NodeDown(k int, now units.Time) {
 	}
 }
 
-// NodeRepaired closes node k's down interval, folding it into Downtime.
+// NodeRepaired closes node k's down interval, folding the full down→repair
+// span into Downtime and the re-home-capped span into EffectiveDowntime:
+// once re-homing restored the node's chunks warm elsewhere, MarkRepaired
+// returning the node cold must not re-count the warm-restore window.
 func (rc *Recovery) NodeRepaired(k int, now units.Time) {
 	if at, open := rc.downAt[k]; open {
 		rc.Downtime.Add(now.Sub(at))
+		end := now
+		if re, ok := rc.rehomedAt[k]; ok && re < end {
+			end = re
+		}
+		rc.EffectiveDowntime.Add(end.Sub(at))
 		delete(rc.downAt, k)
+	}
+	delete(rc.rehomedAt, k)
+}
+
+// ChunksMoved records one crash's re-homing outcome (§5.6).
+func (rc *Recovery) ChunksMoved(rehomed, reseeded int) {
+	rc.ChunksRehomed += int64(rehomed)
+	rc.ChunksReseeded += int64(reseeded)
+}
+
+// NodeRehomed records that node k's orphaned chunks were all re-homed warm
+// at now: the outage's service impact ends here. Only meaningful while k's
+// down interval is open; calls outside one are ignored.
+func (rc *Recovery) NodeRehomed(k int, now units.Time) {
+	if _, open := rc.downAt[k]; !open {
+		return
+	}
+	if rc.rehomedAt == nil {
+		rc.rehomedAt = make(map[int]units.Time)
+	}
+	if _, dup := rc.rehomedAt[k]; !dup {
+		rc.rehomedAt[k] = now
 	}
 }
 
@@ -189,6 +234,11 @@ func (rc *Recovery) Frame(finished units.Time) {
 // MTTR is the mean down-interval duration over repaired nodes; zero when
 // nothing was repaired.
 func (rc *Recovery) MTTR() units.Duration { return rc.Downtime.Mean() }
+
+// ServiceMTTR is the mean *service-impact* down-interval duration: outages
+// fully absorbed by warm re-homing end at the re-home, the rest at repair.
+// Equal to MTTR when no re-homing happened.
+func (rc *Recovery) ServiceMTTR() units.Duration { return rc.EffectiveDowntime.Mean() }
 
 // FramerateDip scans the one-second windows from the first fault to the last
 // completed frame and reports how far below target the worst window fell

@@ -192,3 +192,68 @@ func TestRecoveryMTTRFromDownIntervals(t *testing.T) {
 		t.Error("open interval leaked into Downtime")
 	}
 }
+
+// TestRecoveryServiceMTTRCapsAtRehome is the regression test for the
+// warm-restore double-count: once a crash's chunks are all re-homed warm,
+// the later MarkRepaired (restoring the node cold) must not fold the
+// rehome→repair window back into the service-impact MTTR. Raw MTTR keeps
+// the full span.
+func TestRecoveryServiceMTTRCapsAtRehome(t *testing.T) {
+	var rc Recovery
+	rc.NodeDown(0, units.Time(units.Second))
+	rc.NodeRehomed(0, units.Time(2*units.Second))
+	rc.NodeRehomed(0, units.Time(3*units.Second)) // later duplicate: first wins
+	rc.NodeRepaired(0, units.Time(9*units.Second))
+	if got, want := rc.MTTR(), 8*units.Second; got != want {
+		t.Errorf("raw MTTR = %v, want the full span %v", got, want)
+	}
+	if got, want := rc.ServiceMTTR(), units.Duration(units.Second); got != want {
+		t.Errorf("ServiceMTTR = %v, want the rehome-capped %v", got, want)
+	}
+	// Without a re-home the two agree.
+	rc.NodeDown(1, units.Time(20*units.Second))
+	rc.NodeRepaired(1, units.Time(24*units.Second))
+	if rc.Downtime.N != 2 || rc.EffectiveDowntime.N != 2 {
+		t.Fatalf("interval counts = %d/%d, want 2/2", rc.Downtime.N, rc.EffectiveDowntime.N)
+	}
+	if got, want := rc.ServiceMTTR(), (1+4)*units.Second/2; got != want {
+		t.Errorf("ServiceMTTR after a plain interval = %v, want %v", got, want)
+	}
+}
+
+// TestRecoveryRehomeOutsideDownIntervalIgnored: a re-home report with no
+// open down interval (or one arriving after the repair already closed it)
+// must not cap a later, unrelated outage.
+func TestRecoveryRehomeOutsideDownIntervalIgnored(t *testing.T) {
+	var rc Recovery
+	rc.NodeRehomed(0, units.Time(units.Second)) // no interval open: ignored
+	rc.NodeDown(0, units.Time(10*units.Second))
+	rc.NodeRepaired(0, units.Time(14*units.Second))
+	if got, want := rc.ServiceMTTR(), 4*units.Second; got != want {
+		t.Errorf("ServiceMTTR = %v, want uncapped %v", got, want)
+	}
+	// A stale re-home stamp must not survive the repair into the next outage.
+	rc.NodeDown(0, units.Time(20*units.Second))
+	rc.NodeRehomed(0, units.Time(21*units.Second))
+	rc.NodeRepaired(0, units.Time(25*units.Second))
+	rc.NodeDown(0, units.Time(30*units.Second))
+	rc.NodeRepaired(0, units.Time(36*units.Second))
+	if rc.EffectiveDowntime.N != 3 {
+		t.Fatalf("effective intervals = %d, want 3", rc.EffectiveDowntime.N)
+	}
+	sum := float64((4 + 1 + 6) * units.Second)
+	if got, want := rc.EffectiveDowntime.Mean(), units.Duration(sum/3); got != want {
+		t.Errorf("effective downtime mean = %v, want %v", got, want)
+	}
+}
+
+// TestRecoveryChunksMovedAccumulates pins the counter plumbing the sweeps
+// report.
+func TestRecoveryChunksMovedAccumulates(t *testing.T) {
+	var rc Recovery
+	rc.ChunksMoved(3, 1)
+	rc.ChunksMoved(2, 0)
+	if rc.ChunksRehomed != 5 || rc.ChunksReseeded != 1 {
+		t.Errorf("counters = %d/%d, want 5/1", rc.ChunksRehomed, rc.ChunksReseeded)
+	}
+}

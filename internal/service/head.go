@@ -197,6 +197,14 @@ type Head struct {
 	SuspectAfter time.Duration
 	DownAfter    time.Duration
 
+	// Replicas is the replication policy layer's degree k (§5.6), applied to
+	// the scheduler tables (and the scheduler itself, when it implements
+	// core.ReplicaSetter) at Start: hot chunks are kept resident on k
+	// workers, and a worker declared down has its chunks re-homed to their
+	// warmest surviving replica instead of orphaning a dataset. Set ≤ 1 for
+	// the paper's single-home behaviour. Defaults to core.DefaultReplicas.
+	Replicas int
+
 	// Logf receives diagnostics; defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -225,6 +233,7 @@ func NewHead(sched core.Scheduler, catalog *Catalog, memQuota units.Bytes, model
 		CheckInterval:  50 * time.Millisecond,
 		SuspectAfter:   3 * DefaultHeartbeat,
 		DownAfter:      10 * DefaultHeartbeat,
+		Replicas:       core.DefaultReplicas,
 	}
 	for i, name := range catalog.Names() {
 		id := volume.DatasetID(i + 1)
@@ -297,6 +306,12 @@ func (h *Head) Start() error {
 	}
 	n := len(h.workers)
 	h.state = core.NewHeadState(n, h.memQuota, h.model)
+	if h.Replicas > 1 {
+		h.state.SetReplication(h.Replicas)
+		if rs, ok := h.sched.(core.ReplicaSetter); ok {
+			rs.SetReplicas(h.Replicas)
+		}
+	}
 	h.start = time.Now()
 	h.started = true
 	h.gens = make([]uint64, n)
@@ -480,7 +495,12 @@ func (h *Head) dispatch() {
 		}
 		h.Logf("head: node %d down; re-scheduling its tasks", node)
 		h.stats.workersDown.Add(1)
-		h.state.MarkFailed(node)
+		rehome := h.state.MarkFailed(node)
+		if rehome.Rehomed > 0 || rehome.Reseeded > 0 {
+			h.stats.chunksRehomed.Add(int64(rehome.Rehomed))
+			h.stats.chunksReseeded.Add(int64(rehome.Reseeded))
+			h.Logf("head: node %d chunks re-homed: %d warm, %d re-seeding rarest-first", node, rehome.Rehomed, rehome.Reseeded)
+		}
 		h.healthView[node].Store(int32(core.HealthDown))
 		h.downAt[node] = time.Now()
 		h.senders[node].Close()

@@ -28,6 +28,12 @@ type headStats struct {
 	workersRejoined   atomic.Int64
 	mttrNanos         atomic.Int64
 	mttrEvents        atomic.Int64
+
+	// Replication counters (§5.6): chunks whose home moved to a warm
+	// surviving replica when a worker died, and chunks left to rarest-first
+	// re-seeding because no replica survived.
+	chunksRehomed  atomic.Int64
+	chunksReseeded atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time view of the service counters.
@@ -49,6 +55,9 @@ type StatsSnapshot struct {
 	JobsShed          int64   `json:"jobs_shed"`
 	WorkersRejoined   int64   `json:"workers_rejoined"`
 	MTTRSeconds       float64 `json:"mttr_seconds"`
+
+	ChunksRehomed  int64 `json:"chunks_rehomed"`
+	ChunksReseeded int64 `json:"chunks_reseeded"`
 }
 
 // RecoveryReport summarizes the service's fault-tolerance activity: how
@@ -61,6 +70,11 @@ type RecoveryReport struct {
 	TasksRedispatched int64
 	JobsLost          int64
 	JobsShed          int64
+	// ChunksRehomed / ChunksReseeded count the replication layer's response
+	// to worker deaths: homes moved warm to a surviving replica versus
+	// dropped for rarest-first re-seeding.
+	ChunksRehomed  int64
+	ChunksReseeded int64
 	// MTTR is the mean wall time from a node being declared down to its
 	// rejoin; zero if no node has rejoined yet.
 	MTTR time.Duration
@@ -69,8 +83,9 @@ type RecoveryReport struct {
 // String renders the report for operators and the failover example.
 func (r RecoveryReport) String() string {
 	return fmt.Sprintf(
-		"recovery: workers down=%d rejoined=%d, tasks re-dispatched=%d, jobs lost=%d (shed=%d), MTTR=%v",
+		"recovery: workers down=%d rejoined=%d, tasks re-dispatched=%d, jobs lost=%d (shed=%d), chunks re-homed=%d (re-seeded=%d), MTTR=%v",
 		r.WorkersDown, r.WorkersRejoined, r.TasksRedispatched, r.JobsLost, r.JobsShed,
+		r.ChunksRehomed, r.ChunksReseeded,
 		r.MTTR.Round(time.Millisecond))
 }
 
@@ -84,6 +99,8 @@ func (h *Head) Recovery() RecoveryReport {
 		TasksRedispatched: h.stats.tasksRedispatched.Load(),
 		JobsLost:          h.stats.jobsFailed.Load(),
 		JobsShed:          h.stats.jobsShed.Load(),
+		ChunksRehomed:     h.stats.chunksRehomed.Load(),
+		ChunksReseeded:    h.stats.chunksReseeded.Load(),
 	}
 	if n := h.stats.mttrEvents.Load(); n > 0 {
 		r.MTTR = time.Duration(h.stats.mttrNanos.Load() / n)
@@ -107,6 +124,8 @@ func (h *Head) Stats() StatsSnapshot {
 		TasksRedispatched: h.stats.tasksRedispatched.Load(),
 		JobsShed:          h.stats.jobsShed.Load(),
 		WorkersRejoined:   h.stats.workersRejoined.Load(),
+		ChunksRehomed:     h.stats.chunksRehomed.Load(),
+		ChunksReseeded:    h.stats.chunksReseeded.Load(),
 	}
 	if n := h.stats.mttrEvents.Load(); n > 0 {
 		s.MTTRSeconds = time.Duration(h.stats.mttrNanos.Load() / n).Seconds()
@@ -155,6 +174,8 @@ func (h *Head) StatsHandler() http.Handler {
 		write("tasks_redispatched_total", float64(s.TasksRedispatched))
 		write("jobs_shed_total", float64(s.JobsShed))
 		write("workers_rejoined_total", float64(s.WorkersRejoined))
+		write("chunks_rehomed_total", float64(s.ChunksRehomed))
+		write("chunks_reseeded_total", float64(s.ChunksReseeded))
 		write("mttr_seconds", s.MTTRSeconds)
 		write("uptime_seconds", s.UptimeSeconds)
 	})

@@ -106,6 +106,12 @@ type Config struct {
 	Trace *trace.Log
 	// Failures to inject.
 	Failures []Failure
+	// Replicas enables the replication policy layer (§5.6) at degree k:
+	// the head tracks per-chunk home/secondary nodes, OURS diverts a bounded
+	// fraction of batch work to secondaries so hot chunks become k-resident,
+	// and a crash re-homes the dead node's chunks to their warmest surviving
+	// replica. 0 or 1 keeps the paper's single-home behaviour exactly.
+	Replicas int
 }
 
 // node is the actual state of one rendering node.
@@ -246,6 +252,12 @@ func New(cfg Config) *Engine {
 		finished: make(map[core.JobID]int),
 
 		pendingEvictions: make(map[*core.Task][]volume.ChunkID),
+	}
+	if cfg.Replicas > 1 {
+		e.head.SetReplication(cfg.Replicas)
+		if rs, ok := cfg.Scheduler.(core.ReplicaSetter); ok {
+			rs.SetReplicas(cfg.Replicas)
+		}
 	}
 	for k := 0; k < cfg.Nodes; k++ {
 		e.nodes = append(e.nodes, e.newNode(core.NodeID(k)))
@@ -627,8 +639,16 @@ func (e *Engine) fail(k core.NodeID) {
 		return
 	}
 	n.failed = true
-	e.head.MarkFailed(k)
+	rehome := e.head.MarkFailed(k)
 	e.report.Recovery.NodeDown(int(k), e.sim.Now())
+	if rehome.Rehomed > 0 || rehome.Reseeded > 0 {
+		e.report.Recovery.ChunksMoved(rehome.Rehomed, rehome.Reseeded)
+		if rehome.Fully() {
+			// Every orphaned chunk found a warm surviving replica: the
+			// outage's service impact ends now, not at the cold repair.
+			e.report.Recovery.NodeRehomed(int(k), e.sim.Now())
+		}
+	}
 	e.emit(trace.Event{Kind: trace.NodeFail, Node: k})
 
 	requeue := func(t *core.Task) {

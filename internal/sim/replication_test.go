@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"vizsched/internal/core"
+	"vizsched/internal/units"
+	"vizsched/internal/workload"
+)
+
+// TestReplicaRehomeOnCrash: with the replication layer on, a crash of a node
+// whose chunks survive warm elsewhere must be absorbed by re-homing — the
+// recovery report shows chunks moved, nothing re-seeded, and a service-impact
+// MTTR capped at the (instantaneous) re-home rather than the repair window.
+func TestReplicaRehomeOnCrash(t *testing.T) {
+	sched := core.NewLocalityScheduler(0)
+	// Every eligible batch placement diverts to a secondary, so replicas
+	// build quickly enough for the crash window. The idle guard is off
+	// because this workload keeps every node interactive every frame —
+	// ε-idle time never accrues on a 4-node cluster serving 4-chunk frames.
+	sched.SpreadEvery = 1
+	sched.DisableIdleGuard = true
+	cfg := smallConfig(sched, 2)
+	cfg.Replicas = 2
+	cfg.Failures = []Failure{{
+		At:       units.Time(16 * units.Second),
+		Node:     1,
+		RepairAt: units.Time(24 * units.Second),
+	}}
+	// Steady interactive users plus recurring batch work over the same
+	// datasets: the spread pass only diverts batch tasks, so batch traffic
+	// is what grows each chunk's home set toward k=2 before the crash.
+	wl := workload.Generate(workload.Spec{
+		Length:            units.Time(30 * units.Second),
+		Datasets:          2,
+		ContinuousActions: 2,
+		TargetBatch:       40,
+		BatchFramesMin:    1,
+		BatchFramesMax:    2,
+		Seed:              5,
+	})
+	rep := New(cfg).Run(wl, 0)
+
+	if rep.Recovery.ChunksRehomed == 0 {
+		t.Fatalf("crash re-homed no chunks with k=2 (reseeded=%d)", rep.Recovery.ChunksReseeded)
+	}
+	if got, want := rep.Recovery.MTTR(), 8*units.Second; got != want {
+		t.Errorf("raw MTTR = %v, want the full repair window %v", got, want)
+	}
+	if got := rep.Recovery.ServiceMTTR(); got > rep.Recovery.MTTR() {
+		t.Errorf("ServiceMTTR = %v exceeds the raw MTTR %v", got, rep.Recovery.MTTR())
+	}
+	if rep.Recovery.ChunksReseeded == 0 && rep.Recovery.ServiceMTTR() >= rep.Recovery.MTTR() {
+		t.Errorf("ServiceMTTR = %v, want below the raw MTTR %v after a fully-warm re-home",
+			rep.Recovery.ServiceMTTR(), rep.Recovery.MTTR())
+	}
+	if rep.Interactive.Completed == 0 {
+		t.Error("no interactive jobs completed across the crash window")
+	}
+}
+
+// TestReplicaLayerOffByDefault: the engine's zero Config.Replicas preserves
+// the paper's single-home behaviour — no home tracking, so a crash reports
+// no replication activity and ServiceMTTR equals MTTR.
+func TestReplicaLayerOffByDefault(t *testing.T) {
+	cfg := smallConfig(core.NewLocalityScheduler(0), 2)
+	cfg.Failures = []Failure{{
+		At:       units.Time(8 * units.Second),
+		Node:     1,
+		RepairAt: units.Time(16 * units.Second),
+	}}
+	rep := New(cfg).Run(steadyWorkload(2, units.Time(24*units.Second)), 0)
+
+	if rep.Recovery.ChunksRehomed != 0 || rep.Recovery.ChunksReseeded != 0 {
+		t.Errorf("replication counters = %d/%d with the layer off",
+			rep.Recovery.ChunksRehomed, rep.Recovery.ChunksReseeded)
+	}
+	if rep.Recovery.ServiceMTTR() != rep.Recovery.MTTR() {
+		t.Errorf("ServiceMTTR %v != MTTR %v without re-homing",
+			rep.Recovery.ServiceMTTR(), rep.Recovery.MTTR())
+	}
+}
+
+// TestReplicaRunDeterministic: enabling replication keeps the engine's
+// golden determinism — identical configs and workloads yield bit-identical
+// reports, crash and all.
+func TestReplicaRunDeterministic(t *testing.T) {
+	run := func() interface{} {
+		cfg := smallConfig(core.NewLocalityScheduler(0), 2)
+		cfg.Replicas = 2
+		cfg.Failures = []Failure{{
+			At:       units.Time(8 * units.Second),
+			Node:     1,
+			RepairAt: units.Time(16 * units.Second),
+		}}
+		rep := New(cfg).Run(steadyWorkload(2, units.Time(24*units.Second)), 0)
+		// Wall-clock scheduling cost varies run to run; compare the
+		// virtual-time story.
+		return []interface{}{
+			rep.Interactive.Completed, rep.Batch.Completed, rep.MeanFramerate(),
+			rep.HitRate(), rep.Recovery.ChunksRehomed, rep.Recovery.ChunksReseeded,
+			rep.Recovery.MTTR(), rep.Recovery.ServiceMTTR(), rep.Recovery.TasksRedispatched,
+		}
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("replicated runs diverge:\n%v\n%v", a, b)
+	}
+}
