@@ -8,6 +8,7 @@
 //
 //	vizload -users 3 -workers 4 -duration 10s
 //	vizload -addr localhost:7000 -datasets supernova,plume -users 2 -duration 30s
+//	vizload -users 8 -tenants 4 -skew 1.5 -qos   # skewed multi-tenant overload
 package main
 
 import (
@@ -23,15 +24,32 @@ import (
 	"time"
 
 	"vizsched/internal/experiments"
+	"vizsched/internal/qos"
 	"vizsched/internal/service"
 	"vizsched/internal/units"
 	"vizsched/internal/volume"
+	"vizsched/internal/workload"
 )
 
 type userStats struct {
+	tenant    int
 	frames    int
+	drops     int
 	latencies []time.Duration
 	err       error
+}
+
+// dropped reports whether a render error is a QoS decision (shed, rejected,
+// overloaded) rather than a service failure: users keep driving load through
+// drops, the way a real viewer outlives a skipped frame.
+func dropped(err error) bool {
+	msg := err.Error()
+	for _, k := range []string{"shed", "reject", "overloaded", "superseded"} {
+		if strings.Contains(msg, k) {
+			return true
+		}
+	}
+	return false
 }
 
 func main() {
@@ -43,7 +61,14 @@ func main() {
 	size := flag.Int("size", 128, "image size")
 	datasetsFlag := flag.String("datasets", "", "comma-separated dataset names (default: synthetic set)")
 	batch := flag.Int("batch", 0, "also submit this many batch frames up front")
+	tenants := flag.Int("tenants", 0, "bill users to this many tenants (0: single default tenant)")
+	skew := flag.Float64("skew", 0, "Zipf exponent for tenant demand skew; 0 = uniform, tenant 1 hottest")
+	useQoS := flag.Bool("qos", false, "enable per-tenant admission control and fair queuing (in-process mode)")
 	flag.Parse()
+
+	// Per-user tenant labels, Zipf-skewed like the simulator's workload
+	// generator so live runs reproduce the qossweep demand shape.
+	sampleTenant := workload.TenantSampler(*tenants, *skew, 7777)
 
 	var datasets []string
 	if *datasetsFlag != "" {
@@ -53,9 +78,13 @@ func main() {
 	connect := func() *service.Client { // set below per mode
 		panic("unset")
 	}
+	var headStats func() service.StatsSnapshot
 	if *addr != "" {
 		if len(datasets) == 0 {
 			log.Fatal("vizload: -datasets is required with -addr")
+		}
+		if *useQoS {
+			log.Fatal("vizload: -qos configures the in-process head; enable QoS on the remote vizserver instead")
 		}
 		connect = func() *service.Client {
 			c, err := service.DialTCP(*addr)
@@ -88,14 +117,19 @@ func main() {
 		if err != nil {
 			log.Fatal("vizload: ", err)
 		}
-		cluster, err := service.StartCluster(sched, catalog, *workers, 256*units.MB)
+		cluster, err := service.StartClusterWith(sched, catalog, *workers, 256*units.MB, func(h *service.Head) {
+			if *useQoS {
+				h.QoS = qos.DefaultConfig()
+			}
+		})
 		if err != nil {
 			log.Fatal("vizload: ", err)
 		}
 		defer cluster.Stop()
 		connect = cluster.Connect
-		fmt.Printf("in-process cluster: %d workers, %s scheduling, datasets %v\n",
-			*workers, sched.Name(), datasets)
+		headStats = cluster.Head.Stats
+		fmt.Printf("in-process cluster: %d workers, %s scheduling, qos %v, datasets %v\n",
+			*workers, sched.Name(), *useQoS, datasets)
 	}
 
 	// Optional batch pressure.
@@ -108,6 +142,7 @@ func main() {
 				Angle:   float64(f) * 0.26, Dist: 2.5,
 				Width: *size, Height: *size,
 				Batch: true, Action: 1000,
+				Tenant: int(sampleTenant()),
 			}); err != nil {
 				log.Fatal("vizload: ", err)
 			}
@@ -120,6 +155,7 @@ func main() {
 	start := time.Now()
 	for u := 0; u < *users; u++ {
 		u := u
+		stats[u].tenant = int(sampleTenant())
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -134,8 +170,13 @@ func main() {
 					Angle:   angle, Elevation: 0.3, Dist: 2.4,
 					Width: *size, Height: *size,
 					Action: u + 1,
+					Tenant: stats[u].tenant,
 				})
 				if err != nil {
+					if dropped(err) {
+						stats[u].drops++
+						continue
+					}
 					stats[u].err = err
 					return
 				}
@@ -148,7 +189,8 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("\n%-6s %8s %8s %10s %10s %10s\n", "user", "frames", "fps", "p50", "p95", "max")
+	fmt.Printf("\n%-6s %7s %8s %7s %8s %10s %10s %10s\n",
+		"user", "tenant", "frames", "drops", "fps", "p50", "p95", "max")
 	for u := range stats {
 		s := &stats[u]
 		if s.err != nil {
@@ -162,9 +204,21 @@ func main() {
 			}
 			return s.latencies[int(q*float64(len(s.latencies)-1))]
 		}
-		fmt.Printf("user%-2d %8d %8.2f %10v %10v %10v\n",
-			u, s.frames, float64(s.frames)/elapsed.Seconds(),
+		fmt.Printf("user%-2d %7d %8d %7d %8.2f %10v %10v %10v\n",
+			u, s.tenant, s.frames, s.drops, float64(s.frames)/elapsed.Seconds(),
 			pct(0.5).Round(time.Millisecond), pct(0.95).Round(time.Millisecond),
 			pct(1).Round(time.Millisecond))
+	}
+
+	if headStats != nil {
+		if snap := headStats(); snap.QoS != nil {
+			q := snap.QoS
+			fmt.Printf("\nqos: level %s (peak %d, %d transitions), throttled %d, rejected %d, shed %d, jain %.3f\n",
+				q.LevelName, q.MaxLevel, q.LevelChanges, q.JobsThrottled, q.JobsRejected, snap.JobsShed, q.Jain)
+			for _, ts := range q.Tenants {
+				fmt.Printf("  tenant %-2d issued %5d admitted %5d throttled %5d rejected %5d shed %5d completed %5d p95 %6.1fms\n",
+					ts.Tenant, ts.Issued, ts.Admitted, ts.Throttled, ts.Rejected, ts.Shed, ts.Completed, ts.P95Millis)
+			}
+		}
 	}
 }

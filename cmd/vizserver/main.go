@@ -24,6 +24,7 @@ import (
 
 	"vizsched/internal/core"
 	"vizsched/internal/experiments"
+	"vizsched/internal/qos"
 	"vizsched/internal/service"
 	"vizsched/internal/transport"
 	"vizsched/internal/units"
@@ -60,6 +61,8 @@ func main() {
 	httpAddr := flag.String("http", "", "serve JSON stats and /metrics on this address (head mode)")
 	replicas := flag.Int("replicas", core.DefaultReplicas,
 		"replication degree k (head mode): keep hot chunks on k workers and re-home on failure; 1 disables")
+	useQoS := flag.Bool("qos", false,
+		"enable the QoS subsystem (head mode): per-tenant admission control, fair queuing, SLO-driven degradation")
 	flag.Parse()
 
 	catalog := service.NewCatalog()
@@ -84,6 +87,10 @@ func main() {
 		}
 		head := service.NewHead(sched, catalog, quota, core.DefaultCostModel())
 		head.Replicas = *replicas
+		if *useQoS {
+			head.QoS = qos.DefaultConfig()
+			log.Printf("head: QoS enabled (admission control + fair queuing + degradation ladder)")
+		}
 		wl, err := transport.ListenTCP(*workerAddr)
 		if err != nil {
 			log.Fatal("vizserver: ", err)

@@ -45,6 +45,10 @@ func main() {
 		"replication degree k for OURS: keep hot chunks resident on k nodes and re-home on crash; 1 = paper behaviour")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
 		"max concurrent runs with -sched all; 1 = sequential (reference scheduling-cost numbers)")
+	useQoS := flag.Bool("qos", false,
+		"enable the QoS subsystem: per-tenant admission control, DRR fair queuing, SLO-driven degradation")
+	tenants := flag.Int("tenants", 0, "spread users over this many tenants (0: single default tenant)")
+	tenantSkew := flag.Float64("skew", 0, "Zipf exponent for tenant demand skew with -tenants; 0 = uniform")
 	flag.Parse()
 
 	if *scenario < 1 || *scenario > 4 {
@@ -52,6 +56,8 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := workload.Scenario(workload.ScenarioID(*scenario), *scale)
+	cfg.Spec.Tenants = *tenants
+	cfg.Spec.TenantSkew = *tenantSkew
 	wl := workload.Generate(cfg.Spec)
 	if *loadWL != "" {
 		loaded, err := workload.LoadScheduleFile(*loadWL)
@@ -90,6 +96,14 @@ func main() {
 				rep.Recovery.ServiceMTTR().Std().Round(time.Millisecond))
 		}
 	}
+	printQoS := func(rep *metrics.Report) {
+		if rep.QoS == nil {
+			return
+		}
+		q := rep.QoS
+		fmt.Printf("       qos: admitted=%d throttled=%d rejected=%d shed=%d peak-level=%d final-level=%d jain=%.3f\n",
+			q.Admitted, q.Throttled, q.Rejected, q.Shed, q.MaxLevel, q.FinalLevel, rep.JainFairness())
+	}
 
 	run := func(name string) error {
 		s, err := experiments.SchedulerByName(name)
@@ -99,6 +113,9 @@ func main() {
 		ecfg := sim.ScenarioEngineConfig(cfg, s, *jitter)
 		ecfg.Failures = faultSchedule
 		ecfg.Replicas = *replicas
+		if *useQoS {
+			ecfg.QoS = experiments.SweepQoSConfig()
+		}
 		var tl *trace.Log
 		if (*traceCSV != "" || *ganttSVG != "") && *sched != "all" {
 			tl = trace.New(2_000_000)
@@ -107,6 +124,7 @@ func main() {
 		rep := sim.New(ecfg).Run(wl, 0)
 		fmt.Println(rep)
 		printRecovery(rep)
+		printQoS(rep)
 		if *verbose {
 			fmt.Printf("interactive latency distribution:\n%s", rep.Interactive.LatencyHist.Render(12))
 		}
@@ -160,11 +178,15 @@ func main() {
 			ecfg := sim.ScenarioEngineConfig(cfg, scheds[i], *jitter)
 			ecfg.Failures = faultSchedule
 			ecfg.Replicas = *replicas
+			if *useQoS {
+				ecfg.QoS = experiments.SweepQoSConfig()
+			}
 			reports[i] = sim.New(ecfg).Run(wl, 0)
 		})
 		for _, rep := range reports {
 			fmt.Println(rep)
 			printRecovery(rep)
+			printQoS(rep)
 			if *verbose {
 				fmt.Printf("interactive latency distribution:\n%s", rep.Interactive.LatencyHist.Render(12))
 			}

@@ -18,6 +18,11 @@ import (
 // JobID identifies a rendering job within one service run.
 type JobID int64
 
+// TenantID identifies the tenant (customer, team, billing account) a job
+// belongs to. The zero tenant is the default for single-tenant deployments;
+// the QoS layer (internal/qos) meters admission and queueing per tenant.
+type TenantID int
+
 // Class distinguishes the paper's two request kinds.
 type Class int
 
@@ -48,6 +53,7 @@ type Job struct {
 	ID      JobID
 	Class   Class
 	Action  ActionID
+	Tenant  TenantID
 	Dataset volume.DatasetID
 	// Issued is JI(i), the time the request entered the job queue.
 	Issued units.Time

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"vizsched/internal/qos"
+	"vizsched/internal/sim"
+	"vizsched/internal/units"
+	"vizsched/internal/workload"
+)
+
+// qosSweepModes are the two queueing disciplines the sweep compares: the
+// head's original single FIFO and the QoS subsystem (per-tenant admission
+// control + deficit-round-robin fair queuing + degradation ladder).
+var qosSweepModes = []string{"FIFO", "QoS"}
+
+// QoSSweepPoint is one (tenant skew, load, mode) cell of the QoS sweep.
+type QoSSweepPoint struct {
+	// Skew is the tenant Zipf exponent (0 = uniform demand across tenants).
+	Skew float64
+	// Load is the demand multiplier: Load×6 continuous users on the
+	// Scenario 1 cluster, whose render capacity is ~6 users at target rate.
+	Load float64
+	Mode string
+
+	Actions   int
+	Framerate float64
+	Latency   units.Duration
+	P95       units.Duration
+	// Jain is Jain's fairness index over per-tenant interactive completions:
+	// 1 when every tenant got equal service, 1/n when one tenant got it all.
+	Jain      float64
+	Issued    int64
+	Completed int64
+	// QoS-mode decision counters (zero under FIFO).
+	Admitted, Throttled, Rejected, Shed int64
+	MaxLevel, FinalLevel                int
+}
+
+// SweepQoSConfig is the controller configuration the sweep (and the demo
+// binaries) use: per-tenant interactive rates sized to the Scenario 1
+// cluster's fair share (~200 frames/s across 4 tenants), batch metered at a
+// background trickle, and latest-frame-wins shedding so the queue cannot
+// grow without bound under overload.
+func SweepQoSConfig() *qos.Config {
+	return &qos.Config{
+		InteractiveRate: 55, InteractiveBurst: 28,
+		BatchRate: 25, BatchBurst: 50,
+		AlwaysShedStale: true,
+	}
+}
+
+// runQoSCell plays one cell: Scenario 1's cluster, Load×6 continuous users
+// split over 4 tenants by Zipf(skew), under OURS with or without QoS.
+func runQoSCell(scale, skew, load float64, mode string) QoSSweepPoint {
+	cfg := workload.Scenario(workload.Scenario1, scale)
+	cfg.Spec.ContinuousActions = int(6*load + 0.5)
+	cfg.Spec.Tenants = 4
+	cfg.Spec.TenantSkew = skew
+	sched, err := SchedulerByName("OURS")
+	if err != nil {
+		panic(err)
+	}
+	engCfg := sim.ScenarioEngineConfig(cfg, sched, Jitter)
+	if mode == "QoS" {
+		engCfg.QoS = SweepQoSConfig()
+	}
+	rep := sim.New(engCfg).Run(workload.Generate(cfg.Spec), 0)
+
+	p := QoSSweepPoint{
+		Skew: skew, Load: load, Mode: mode,
+		Actions:   cfg.Spec.ContinuousActions,
+		Framerate: rep.MeanFramerate(),
+		Latency:   rep.Interactive.Latency.Mean(),
+		P95:       rep.Interactive.LatencyHist.P95(),
+		Jain:      rep.JainFairness(),
+		Issued:    rep.Interactive.Issued,
+		Completed: rep.Interactive.Completed,
+	}
+	if rep.QoS != nil {
+		p.Admitted = rep.QoS.Admitted
+		p.Throttled = rep.QoS.Throttled
+		p.Rejected = rep.QoS.Rejected
+		p.Shed = rep.QoS.Shed
+		p.MaxLevel = rep.QoS.MaxLevel
+		p.FinalLevel = rep.QoS.FinalLevel
+	}
+	return p
+}
+
+// QoSSweep runs the multi-tenant QoS sweep sequentially: for each tenant
+// skew and load multiplier, the FIFO baseline and the QoS subsystem on the
+// same generated workload. Results are grouped by (skew, load) with modes in
+// qosSweepModes order, and are deterministic at any worker count.
+func QoSSweep(skews, loads []float64, scale float64) []QoSSweepPoint {
+	return QoSSweepN(skews, loads, scale, 1)
+}
+
+// QoSSweepN is QoSSweep with an explicit worker count; every cell is an
+// independent simulation, so all cells run concurrently into index-addressed
+// slots — output order and values are identical for any worker count.
+func QoSSweepN(skews, loads []float64, scale float64, workers int) []QoSSweepPoint {
+	out := make([]QoSSweepPoint, len(skews)*len(loads)*len(qosSweepModes))
+	ForEach(workers, len(out), func(cell int) {
+		mi := cell % len(qosSweepModes)
+		li := (cell / len(qosSweepModes)) % len(loads)
+		si := cell / (len(qosSweepModes) * len(loads))
+		out[cell] = runQoSCell(scale, skews[si], loads[li], qosSweepModes[mi])
+	})
+	return out
+}
+
+// PrintQoSSweep prints already-computed QoS-sweep points.
+func PrintQoSSweep(w io.Writer, points []QoSSweepPoint) {
+	fmt.Fprintf(w, "QoS sweep — Scenario 1 cluster, 4 tenants, Zipf-skewed demand, FIFO vs admission+DRR (§5.7)\n")
+	fmt.Fprintf(w, "  %-5s %-5s %-5s %8s %8s %12s %10s %7s %8s %8s %8s %8s %6s\n",
+		"skew", "load", "mode", "users", "fps", "int-latency", "p95", "jain",
+		"admit", "throttle", "reject", "shed", "level")
+	lastKey := ""
+	for _, p := range points {
+		key := fmt.Sprintf("%v/%v", p.Skew, p.Load)
+		if key != lastKey && lastKey != "" {
+			fmt.Fprintln(w)
+		}
+		lastKey = key
+		level := "-"
+		if p.Mode == "QoS" {
+			level = fmt.Sprintf("%d/%d", p.MaxLevel, p.FinalLevel)
+		}
+		fmt.Fprintf(w, "  %-5.1f %-5.1f %-5s %8d %8.2f %12v %10v %7.3f %8d %8d %8d %8d %6s\n",
+			p.Skew, p.Load, p.Mode, p.Actions, p.Framerate,
+			p.Latency.Std().Round(time.Millisecond),
+			p.P95.Std().Round(time.Millisecond),
+			p.Jain, p.Admitted, p.Throttled, p.Rejected, p.Shed, level)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteQoSSweep runs and prints the QoS sweep.
+func WriteQoSSweep(w io.Writer, skews, loads []float64, scale float64, workers int) []QoSSweepPoint {
+	points := QoSSweepN(skews, loads, scale, workers)
+	PrintQoSSweep(w, points)
+	return points
+}
+
+// QoSSweepCSV writes the QoS sweep as CSV.
+func QoSSweepCSV(w io.Writer, points []QoSSweepPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"tenant_skew", "load", "mode", "users", "fps",
+		"interactive_latency_ms", "p95_ms", "jain_fairness",
+		"issued", "completed", "admitted", "throttled", "rejected", "shed",
+		"max_level", "final_level",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	i := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, p := range points {
+		rec := []string{
+			f(p.Skew), f(p.Load), p.Mode, strconv.Itoa(p.Actions), f(p.Framerate),
+			f(p.Latency.Milliseconds()), f(p.P95.Milliseconds()), f(p.Jain),
+			i(p.Issued), i(p.Completed), i(p.Admitted), i(p.Throttled), i(p.Rejected), i(p.Shed),
+			strconv.Itoa(p.MaxLevel), strconv.Itoa(p.FinalLevel),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

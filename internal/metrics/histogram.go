@@ -87,6 +87,28 @@ func (h *Histogram) P50() units.Duration { return h.Quantile(0.50) }
 func (h *Histogram) P95() units.Duration { return h.Quantile(0.95) }
 func (h *Histogram) P99() units.Duration { return h.Quantile(0.99) }
 
+// QuantileSummary is a point-in-time extraction of the dashboard quantiles —
+// a plain value that can be copied out from under a lock and serialized
+// (Prometheus exposition, JSON stats) without holding the histogram.
+type QuantileSummary struct {
+	N             int64
+	P50, P95, P99 units.Duration
+}
+
+// Summarize extracts the p50/p95/p99 quantiles in one pass-friendly call.
+func (h *Histogram) Summarize() QuantileSummary {
+	return QuantileSummary{N: h.total, P50: h.P50(), P95: h.P95(), P99: h.P99()}
+}
+
+// Quantiles evaluates several quantiles at once, in the order given.
+func (h *Histogram) Quantiles(qs ...float64) []units.Duration {
+	out := make([]units.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}
+
 // Merge folds another histogram in.
 func (h *Histogram) Merge(o *Histogram) {
 	h.total += o.total

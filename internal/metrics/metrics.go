@@ -119,6 +119,13 @@ type Report struct {
 
 	// Recovery aggregates the run's fault-tolerance outcomes (§VI-D).
 	Recovery Recovery
+
+	// tenants tracks per-tenant issue/completion streams for fairness
+	// analysis; populated only for multi-tenant workloads (see tenant.go).
+	tenants map[int]*TenantStat
+	// QoS carries the admission/degradation outcome when the run had the
+	// QoS subsystem enabled; nil otherwise.
+	QoS *QoSOutcome
 }
 
 // Recovery tracks what faults cost a run: how much work had to be

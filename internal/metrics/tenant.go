@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"sort"
+
+	"vizsched/internal/units"
+)
+
+// This file holds the multi-tenant side of the report: per-tenant latency
+// and completion streams, Jain's fairness index over them, and the summary
+// types the QoS subsystem (internal/qos) fills in. The types live here so
+// qos can return them without metrics importing qos.
+
+// TenantStat aggregates one tenant's job stream within a run.
+type TenantStat struct {
+	Issued      int64
+	Completed   int64
+	Interactive int64 // completed interactive jobs
+	Latency     Running
+	LatencyHist Histogram
+}
+
+// TenantIssued records a job of tenant t entering the system.
+func (r *Report) TenantIssued(t int) {
+	if r.tenants == nil {
+		r.tenants = make(map[int]*TenantStat)
+	}
+	ts := r.tenants[t]
+	if ts == nil {
+		ts = &TenantStat{}
+		r.tenants[t] = ts
+	}
+	ts.Issued++
+}
+
+// TenantCompleted records a finished job of tenant t.
+func (r *Report) TenantCompleted(t int, interactive bool, latency units.Duration) {
+	if r.tenants == nil {
+		r.tenants = make(map[int]*TenantStat)
+	}
+	ts := r.tenants[t]
+	if ts == nil {
+		ts = &TenantStat{}
+		r.tenants[t] = ts
+	}
+	ts.Completed++
+	if interactive {
+		ts.Interactive++
+	}
+	ts.Latency.Add(latency)
+	ts.LatencyHist.Add(latency)
+}
+
+// TenantIDs returns the observed tenant ids in ascending order.
+func (r *Report) TenantIDs() []int {
+	ids := make([]int, 0, len(r.tenants))
+	for id := range r.tenants {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Tenant returns tenant t's stats, or nil if the tenant was never seen.
+func (r *Report) Tenant(t int) *TenantStat { return r.tenants[t] }
+
+// JainFairness computes Jain's index over per-tenant interactive
+// completions: (Σx)²/(n·Σx²), 1 when all tenants got equal service, 1/n
+// when one tenant got everything. Tenants that issued work but completed
+// nothing count as zeros; with fewer than two tenants the index is 1.
+func (r *Report) JainFairness() float64 {
+	xs := make([]float64, 0, len(r.tenants))
+	for _, id := range r.TenantIDs() {
+		xs = append(xs, float64(r.tenants[id].Interactive))
+	}
+	return JainIndex(xs)
+}
+
+// JainIndex is Jain's fairness index over an allocation vector. Defined as
+// 1 for empty or all-zero vectors (nothing was allocated, nothing unfair).
+func JainIndex(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// TenantQoS is one tenant's admission/queueing outcome as counted by the
+// QoS controller. The decision counters partition the tenant's issued jobs:
+// every job is exactly one of admitted, throttled (admitted on borrowed
+// tokens), rejected, or shed-on-arrival. ShedTotal additionally counts
+// queued jobs dropped later (stale-frame supersede, queue-bound sheds), so
+// ShedTotal ≥ shed-on-arrival = Issued − Admitted − Throttled − Rejected.
+type TenantQoS struct {
+	Tenant    int
+	Issued    int64
+	Admitted  int64
+	Throttled int64
+	Rejected  int64
+	ShedTotal int64
+	Completed int64
+	Failed    int64
+	Latency   QuantileSummary
+}
+
+// ShedOnArrival derives the arrival-time sheds from the decision partition.
+func (t *TenantQoS) ShedOnArrival() int64 {
+	return t.Issued - t.Admitted - t.Throttled - t.Rejected
+}
+
+// QoSOutcome summarizes a run under the QoS subsystem: aggregate decision
+// counters, degradation-ladder activity, and the per-tenant breakdown.
+type QoSOutcome struct {
+	Admitted  int64
+	Throttled int64
+	Rejected  int64
+	Shed      int64
+	// LevelChanges counts degradation-ladder transitions; MaxLevel is the
+	// deepest rung reached (0 = never degraded); FinalLevel is the rung at
+	// the end of the run (0 = fully recovered).
+	LevelChanges int64
+	MaxLevel     int
+	FinalLevel   int
+	Tenants      []TenantQoS
+}
+
+// Jain computes Jain's index over the per-tenant completed-job counts in
+// the outcome — the controller-side view of service fairness.
+func (o *QoSOutcome) Jain() float64 {
+	xs := make([]float64, len(o.Tenants))
+	for i, t := range o.Tenants {
+		xs[i] = float64(t.Completed)
+	}
+	return JainIndex(xs)
+}

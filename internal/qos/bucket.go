@@ -1,0 +1,78 @@
+package qos
+
+import "vizsched/internal/units"
+
+// TokenBucket meters one tenant/class stream in virtual time. Tokens refill
+// continuously at Rate per second up to Burst; each admitted job spends one
+// token (or more, when the degradation ladder raises the batch price). All
+// arithmetic is on units.Time so the simulator and the live head produce
+// identical decisions for identical timelines.
+type TokenBucket struct {
+	// Rate is the refill rate in tokens per second. Rate <= 0 means the
+	// bucket never refills: only the initial Burst is ever available.
+	Rate float64
+	// Burst is the bucket capacity; the bucket starts full.
+	Burst float64
+
+	tokens float64
+	last   units.Time
+	primed bool
+}
+
+// NewTokenBucket returns a bucket that starts full at burst tokens.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{Rate: rate, Burst: burst, tokens: burst}
+}
+
+// refill advances the bucket to now. Time moving backwards (never in the
+// DES, possible across wall-clock adjustments) is treated as no elapsed time.
+func (b *TokenBucket) refill(now units.Time) {
+	if !b.primed {
+		b.primed = true
+		b.last = now
+		return
+	}
+	if now <= b.last {
+		return
+	}
+	if b.Rate > 0 {
+		b.tokens += b.Rate * now.Sub(b.last).Seconds()
+		if b.tokens > b.Burst {
+			b.tokens = b.Burst
+		}
+	}
+	b.last = now
+}
+
+// Tokens reports the balance at now (negative while in throttle debt).
+func (b *TokenBucket) Tokens(now units.Time) float64 {
+	b.refill(now)
+	return b.tokens
+}
+
+// Take spends cost tokens if the balance covers it.
+func (b *TokenBucket) Take(now units.Time, cost float64) bool {
+	b.refill(now)
+	if b.tokens < cost {
+		return false
+	}
+	b.tokens -= cost
+	return true
+}
+
+// TakeDebt spends cost tokens even when the balance cannot cover it, as
+// long as the resulting debt stays within maxDebt — the Throttle decision:
+// the job is admitted against future refill, pushing the tenant's next
+// admissions out. Returns false (and leaves the balance alone) when the
+// debt ceiling would be crossed.
+func (b *TokenBucket) TakeDebt(now units.Time, cost, maxDebt float64) bool {
+	b.refill(now)
+	if b.tokens-cost < -maxDebt {
+		return false
+	}
+	b.tokens -= cost
+	return true
+}

@@ -1,0 +1,201 @@
+package qos
+
+import "vizsched/internal/core"
+
+// FairQueue replaces the head's single FIFO job queue with per-tenant
+// queues served deficit-round-robin. Interactive and batch jobs are kept
+// apart inside each tenant: interactive work is always drained fully (the
+// paper's interactive-first semantics are preserved — fairness only decides
+// the *order* tenants' frames are presented to the scheduler), while batch
+// work is metered by DRR with a per-visit quantum scaled by tenant weight,
+// so one tenant's animation render cannot monopolize the batch window.
+//
+// The tenant ring is kept in first-activation order and the rotor advances
+// deterministically, so identical push/pop sequences yield identical
+// orders — a requirement for the simulator's bit-reproducible results.
+type FairQueue struct {
+	quantum  int
+	weights  map[core.TenantID]int
+	byTenant map[core.TenantID]*tenantQueue
+	ring     []*tenantQueue
+	rotor    int
+	size     int
+	batch    int
+}
+
+// tenantQueue is one tenant's pending work, split by class.
+type tenantQueue struct {
+	tenant core.TenantID
+	weight int
+	inter  []*core.Job
+	batch  []*core.Job
+	// deficit is the DRR deficit counter in task units; it accumulates
+	// quantum×weight per service visit and resets when the batch queue
+	// empties (no banking while idle — the classic DRR rule).
+	deficit int
+}
+
+// NewFairQueue builds a queue with the given DRR quantum (task units per
+// visit, minimum 1) and optional per-tenant weights (default 1).
+func NewFairQueue(quantum int, weights map[core.TenantID]int) *FairQueue {
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &FairQueue{
+		quantum:  quantum,
+		weights:  weights,
+		byTenant: make(map[core.TenantID]*tenantQueue),
+	}
+}
+
+// jobCost is a job's DRR cost: its task count (its claim on node FIFOs).
+func jobCost(j *core.Job) int {
+	if len(j.Tasks) > 1 {
+		return len(j.Tasks)
+	}
+	return 1
+}
+
+func (q *FairQueue) tq(t core.TenantID) *tenantQueue {
+	tq := q.byTenant[t]
+	if tq == nil {
+		w := 1
+		if q.weights != nil && q.weights[t] > 0 {
+			w = q.weights[t]
+		}
+		tq = &tenantQueue{tenant: t, weight: w}
+		q.byTenant[t] = tq
+		q.ring = append(q.ring, tq)
+	}
+	return tq
+}
+
+// Push enqueues a job on its tenant's class queue.
+func (q *FairQueue) Push(j *core.Job) {
+	tq := q.tq(j.Tenant)
+	if j.Class == core.Interactive {
+		tq.inter = append(tq.inter, j)
+	} else {
+		tq.batch = append(tq.batch, j)
+		q.batch++
+	}
+	q.size++
+}
+
+// Len returns the number of queued jobs; BatchLen just the batch ones.
+func (q *FairQueue) Len() int      { return q.size }
+func (q *FairQueue) BatchLen() int { return q.batch }
+
+// PopInteractive drains every queued interactive job into dst, visiting
+// tenants round-robin from the rotor so no tenant's frames are always
+// presented last. Within a tenant, frames stay FIFO.
+func (q *FairQueue) PopInteractive(dst []*core.Job) []*core.Job {
+	remaining := q.size - q.batch
+	for remaining > 0 {
+		for i := 0; i < len(q.ring) && remaining > 0; i++ {
+			tq := q.ring[(q.rotor+i)%len(q.ring)]
+			if len(tq.inter) == 0 {
+				continue
+			}
+			dst = append(dst, tq.inter[0])
+			copy(tq.inter, tq.inter[1:])
+			tq.inter = tq.inter[:len(tq.inter)-1]
+			q.size--
+			remaining--
+		}
+	}
+	return dst
+}
+
+// PopBatch serves batch queues deficit-round-robin, appending at most max
+// jobs to dst. Each visited tenant earns quantum×weight deficit and pops
+// whole jobs while the deficit covers their task count; an emptied queue
+// forfeits its remaining deficit. The rotor persists across calls so
+// service resumes where it left off.
+func (q *FairQueue) PopBatch(dst []*core.Job, max int) []*core.Job {
+	popped := 0
+	for popped < max && q.batch > 0 {
+		tq := q.ring[q.rotor%len(q.ring)]
+		if len(tq.batch) == 0 {
+			tq.deficit = 0
+			q.rotor = (q.rotor + 1) % len(q.ring)
+			continue
+		}
+		tq.deficit += q.quantum * tq.weight
+		for len(tq.batch) > 0 && popped < max {
+			j := tq.batch[0]
+			cost := jobCost(j)
+			if cost > tq.deficit {
+				break
+			}
+			tq.deficit -= cost
+			copy(tq.batch, tq.batch[1:])
+			tq.batch = tq.batch[:len(tq.batch)-1]
+			dst = append(dst, j)
+			q.size--
+			q.batch--
+			popped++
+		}
+		if len(tq.batch) == 0 {
+			tq.deficit = 0
+		}
+		q.rotor = (q.rotor + 1) % len(q.ring)
+	}
+	return dst
+}
+
+// Remove deletes a specific queued job (crash cleanup, supersede), keeping
+// intra-tenant FIFO order. Returns whether the job was found.
+func (q *FairQueue) Remove(j *core.Job) bool {
+	tq := q.byTenant[j.Tenant]
+	if tq == nil {
+		return false
+	}
+	lane := &tq.inter
+	if j.Class == core.Batch {
+		lane = &tq.batch
+	}
+	for i, queued := range *lane {
+		if queued == j {
+			copy((*lane)[i:], (*lane)[i+1:])
+			*lane = (*lane)[:len(*lane)-1]
+			q.size--
+			if j.Class == core.Batch {
+				q.batch--
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// OldestInteractive returns the queued interactive job with the earliest
+// issue time (ties broken by job id) — the MaxQueue shedding victim.
+func (q *FairQueue) OldestInteractive() *core.Job {
+	var oldest *core.Job
+	for _, tq := range q.ring {
+		for _, j := range tq.inter {
+			if oldest == nil || j.Issued < oldest.Issued ||
+				(j.Issued == oldest.Issued && j.ID < oldest.ID) {
+				oldest = j
+			}
+		}
+	}
+	return oldest
+}
+
+// StaleInteractive returns the oldest queued interactive job of the same
+// tenant and action as j (excluding j itself) — the frame a newer frame of
+// the same action supersedes under the shed-stale ladder rung.
+func (q *FairQueue) StaleInteractive(j *core.Job) *core.Job {
+	tq := q.byTenant[j.Tenant]
+	if tq == nil {
+		return nil
+	}
+	for _, queued := range tq.inter {
+		if queued != j && queued.Action == j.Action {
+			return queued
+		}
+	}
+	return nil
+}

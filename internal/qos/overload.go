@@ -1,0 +1,176 @@
+package qos
+
+import "vizsched/internal/units"
+
+// Level is a rung of the degradation ladder. Overload steps down one rung
+// at a time and recovers in reverse order, so the cheapest mitigation is
+// always tried first and withdrawn last-in-first-out.
+type Level int
+
+// Ladder rungs, mildest first.
+const (
+	// LevelNormal: no degradation.
+	LevelNormal Level = iota
+	// LevelHalveBatch: batch admissions cost double tokens — batch
+	// throughput halves, freeing nodes for interactive frames.
+	LevelHalveBatch
+	// LevelDegradeResolution: interactive frames render at half linear
+	// resolution (a quarter of the pixels) through the image pipeline.
+	LevelDegradeResolution
+	// LevelShedStale: stale interactive frames are shed — a new frame
+	// supersedes an older queued frame of its action, and frames arriving
+	// while the action already has ActionDepth unfinished frames in flight
+	// are dropped outright.
+	LevelShedStale
+	// LevelRejectSessions: no new (tenant, action) sessions are accepted;
+	// existing sessions keep their (degraded) service.
+	LevelRejectSessions
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelNormal:
+		return "normal"
+	case LevelHalveBatch:
+		return "halve-batch"
+	case LevelDegradeResolution:
+		return "degrade-resolution"
+	case LevelShedStale:
+		return "shed-stale"
+	case LevelRejectSessions:
+		return "reject-sessions"
+	default:
+		return "level(?)"
+	}
+}
+
+// LevelChange records one ladder transition for post-run inspection.
+type LevelChange struct {
+	At    units.Time
+	Level Level
+}
+
+// Overload is the ladder controller. It watches interactive job latency in
+// fixed virtual-time windows: a window where more than BreachFraction of
+// completions exceeded the SLO is "bad", others are "good" (an empty window
+// counts as good — no interactive work means no one is hurting). StepWindows
+// consecutive bad windows escalate one rung; RecoverWindows consecutive good
+// windows de-escalate one. The asymmetry is deliberate hysteresis: step in
+// quickly, back out slowly, never oscillate within a window.
+type Overload struct {
+	slo         units.Duration
+	window      units.Duration
+	breachFrac  float64
+	stepWins    int
+	recoverWins int
+
+	level    Level
+	winStart units.Time
+	started  bool
+	n        int64 // interactive completions in the open window
+	breaches int64 // of which exceeded the SLO
+	badRun   int
+	goodRun  int
+
+	history []LevelChange
+}
+
+func newOverload(cfg *Config) *Overload {
+	return &Overload{
+		slo:         cfg.InteractiveSLO,
+		window:      cfg.Window,
+		breachFrac:  cfg.BreachFraction,
+		stepWins:    cfg.StepWindows,
+		recoverWins: cfg.RecoverWindows,
+	}
+}
+
+// Level returns the current rung.
+func (o *Overload) Level() Level { return o.level }
+
+// History returns the recorded transitions in order.
+func (o *Overload) History() []LevelChange { return o.history }
+
+// Observe folds one interactive completion latency in at virtual time now,
+// closing any windows that have elapsed. It returns true when the ladder
+// changed level (callers emit a trace event and apply the new rung).
+func (o *Overload) Observe(lat units.Duration, now units.Time) bool {
+	if !o.started {
+		o.started = true
+		o.winStart = now
+	}
+	changed := o.advance(now)
+	o.n++
+	if lat > o.slo {
+		o.breaches++
+	}
+	return changed
+}
+
+// Tick closes elapsed windows without recording a sample — the recovery
+// path for a head that has gone quiet (sim horizons keep completing jobs,
+// but a live head may see traffic stop entirely). Returns true on a level
+// change.
+func (o *Overload) Tick(now units.Time) bool {
+	if !o.started {
+		return false
+	}
+	return o.advance(now)
+}
+
+// advance closes every window boundary that now has passed, classifying
+// each and applying the streak rules. Long quiet gaps close many empty
+// windows, all good — exactly the signal that recovery deserves.
+func (o *Overload) advance(now units.Time) bool {
+	changed := false
+	for now.Sub(o.winStart) >= o.window {
+		bad := o.n > 0 && float64(o.breaches) > o.breachFrac*float64(o.n)
+		if bad {
+			o.badRun++
+			o.goodRun = 0
+			if o.badRun >= o.stepWins && o.level < LevelRejectSessions {
+				o.level++
+				o.badRun = 0
+				o.history = append(o.history, LevelChange{At: o.winStart.Add(o.window), Level: o.level})
+				changed = true
+			}
+		} else {
+			o.goodRun++
+			o.badRun = 0
+			if o.goodRun >= o.recoverWins && o.level > LevelNormal {
+				o.level--
+				o.goodRun = 0
+				o.history = append(o.history, LevelChange{At: o.winStart.Add(o.window), Level: o.level})
+				changed = true
+			}
+		}
+		o.n, o.breaches = 0, 0
+		o.winStart = o.winStart.Add(o.window)
+	}
+	return changed
+}
+
+// BatchCostFactor is the token-price multiplier for batch admissions at the
+// current rung: 2 (half throughput) at LevelHalveBatch and deeper.
+func (o *Overload) BatchCostFactor() float64 {
+	if o.level >= LevelHalveBatch {
+		return 2
+	}
+	return 1
+}
+
+// ResolutionScale is the linear image-resolution factor for interactive
+// frames: 0.5 at LevelDegradeResolution and deeper, 1 otherwise.
+func (o *Overload) ResolutionScale() float64 {
+	if o.level >= LevelDegradeResolution {
+		return 0.5
+	}
+	return 1
+}
+
+// ShedStale reports whether stale interactive frames should be shed.
+func (o *Overload) ShedStale() bool { return o.level >= LevelShedStale }
+
+// RejectSessions reports whether new sessions should be rejected.
+func (o *Overload) RejectSessions() bool { return o.level >= LevelRejectSessions }

@@ -156,11 +156,21 @@ type Cluster struct {
 
 // StartCluster builds and starts an in-process service over the catalog.
 func StartCluster(sched core.Scheduler, catalog *Catalog, nodes int, quota units.Bytes) (*Cluster, error) {
+	return StartClusterWith(sched, catalog, nodes, quota, nil)
+}
+
+// StartClusterWith is StartCluster with a configuration hook: configure (if
+// non-nil) runs on the built head before Start, so fields that must be set
+// pre-Start (QoS, MaxQueue, DropStale, deadlines) can be applied.
+func StartClusterWith(sched core.Scheduler, catalog *Catalog, nodes int, quota units.Bytes, configure func(*Head)) (*Cluster, error) {
 	if nodes <= 0 {
 		return nil, fmt.Errorf("service: need at least one node")
 	}
 	head := NewHead(sched, catalog, quota, core.DefaultCostModel())
 	head.Logf = func(string, ...any) {} // quiet by default; callers can reassign
+	if configure != nil {
+		configure(head)
+	}
 	cl := &Cluster{Head: head}
 	for i := 0; i < nodes; i++ {
 		w := NewWorker(fmt.Sprintf("worker-%d", i), catalog, quota)

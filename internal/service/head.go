@@ -12,6 +12,7 @@ import (
 	"vizsched/internal/compositing"
 	"vizsched/internal/core"
 	"vizsched/internal/img"
+	"vizsched/internal/qos"
 	"vizsched/internal/transport"
 	"vizsched/internal/units"
 	"vizsched/internal/volume"
@@ -174,6 +175,21 @@ type Head struct {
 	// burst can delay batch work but can never wedge interactive service.
 	MaxQueue int
 
+	// QoS, when set before Start, enables the multi-tenant admission and
+	// fairness layer (§5.7): per-tenant token buckets decide
+	// admit/throttle/reject at arrival, a deficit-round-robin fair queue
+	// replaces the single FIFO, and an SLO-driven degradation ladder sheds
+	// load under sustained overload. Nil keeps the original single-queue
+	// behaviour exactly. When QoS is active, DropStale folds into the
+	// controller (AlwaysShedStale) and MaxQueue bounds the fair queue.
+	QoS  *qos.Config
+	qosc *qos.Controller
+
+	// BatchWindow caps how many batch jobs the fair queue releases into the
+	// scheduler's working set per pass when QoS is active; zero means the
+	// default of 256 (matching the simulator).
+	BatchWindow int
+
 	// DeadlineFactor is k in the dispatch-deadline rule: a task overdue by
 	// k× its predicted execution time (floored at MinDeadline) is presumed
 	// lost and re-dispatched. Non-positive disables deadlines.
@@ -312,6 +328,13 @@ func (h *Head) Start() error {
 			rs.SetReplicas(h.Replicas)
 		}
 	}
+	if h.QoS != nil {
+		cfg := *h.QoS
+		if h.DropStale {
+			cfg.AlwaysShedStale = true
+		}
+		h.qosc = qos.NewController(&cfg)
+	}
 	h.start = time.Now()
 	h.started = true
 	h.gens = make([]uint64, n)
@@ -411,6 +434,31 @@ func (h *Head) dispatch() {
 	defer check.Stop()
 
 	runSched := func() {
+		if h.qosc != nil {
+			// Refill the working window from the fair queue: every queued
+			// interactive frame (one per tenant per round), then batch jobs by
+			// deficit round robin up to the window. Popped jobs whose liveJob
+			// is gone (failed or shed meanwhile) are dropped silently.
+			popped := h.qosc.PopInteractive(nil)
+			bw := h.BatchWindow
+			if bw <= 0 {
+				bw = 256
+			}
+			batchHere := 0
+			for _, lj := range queue {
+				if lj.job.Class == core.Batch {
+					batchHere++
+				}
+			}
+			if batchHere < bw {
+				popped = h.qosc.PopBatch(popped, bw-batchHere)
+			}
+			for _, j := range popped {
+				if lj := inflight[j.ID]; lj != nil {
+					queue = append(queue, lj)
+				}
+			}
+		}
 		if len(queue) == 0 {
 			return
 		}
@@ -457,7 +505,10 @@ func (h *Head) dispatch() {
 		queue = live
 	}
 
-	fail := func(lj *liveJob, msg string) {
+	// failJob fails a job back to its client without touching the QoS
+	// controller's books — for jobs the controller already accounted for
+	// (shed victims) or never admitted.
+	failJob := func(lj *liveJob, msg string) {
 		h.stats.jobsFailed.Add(1)
 		delete(inflight, lj.job.ID)
 		// Drop it from the queue too: a failed job must never reach the
@@ -471,6 +522,15 @@ func (h *Head) dispatch() {
 		if err := send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: msg}); err != nil {
 			h.Logf("head: error reply failed: %v", err)
 		}
+	}
+
+	// fail additionally tells the QoS controller an admitted job was lost,
+	// so per-tenant accounting and the in-flight session bound stay exact.
+	fail := func(lj *liveJob, msg string) {
+		if h.qosc != nil {
+			h.qosc.Forget(lj.job)
+		}
+		failJob(lj, msg)
 	}
 
 	// release returns a presumed-lost task to the schedulable queue.
@@ -579,8 +639,68 @@ func (h *Head) dispatch() {
 		}
 	}
 
+	// admitQoS runs an arriving job through the QoS controller: the token
+	// buckets and degradation ladder decide admit/throttle/reject, admitted
+	// jobs enter the per-tenant fair queue, and MaxQueue acts as a backstop
+	// over the fair queue plus the working window.
+	admitQoS := func(lj *liveJob) {
+		// Rung 2 of the ladder: shrink the requested image before any task
+		// dispatches, trading interactive fidelity for latency.
+		if s := h.qosc.ResolutionScale(); s < 1 && lj.job.Class == core.Interactive {
+			if w := int(float64(lj.req.Width) * s); w >= 16 {
+				lj.req.Width = w
+			}
+			if ht := int(float64(lj.req.Height) * s); ht >= 16 {
+				lj.req.Height = ht
+			}
+		}
+		dec, victim := h.qosc.Admit(lj.job, h.now())
+		if victim != nil {
+			h.stats.jobsShed.Add(1)
+			if vlj := inflight[victim.ID]; vlj != nil {
+				failJob(vlj, "superseded by a newer frame")
+			}
+		}
+		switch dec {
+		case qos.Rejected:
+			h.stats.jobsRejected.Add(1)
+			failJob(lj, "rejected by admission control")
+			return
+		case qos.ShedStale:
+			h.stats.jobsShed.Add(1)
+			failJob(lj, "shed: session already at its in-flight frame bound")
+			return
+		case qos.Throttled:
+			h.stats.jobsThrottled.Add(1)
+		}
+		inflight[lj.job.ID] = lj
+		if h.MaxQueue > 0 && h.qosc.QueueLen()+len(queue) > h.MaxQueue {
+			if lj.job.Class == core.Batch {
+				if h.qosc.ShedQueued(lj.job) {
+					h.stats.jobsShed.Add(1)
+					failJob(lj, "head overloaded: batch queue full")
+					return
+				}
+			} else if old := h.qosc.OldestInteractive(); old != nil && old.ID != lj.job.ID {
+				if h.qosc.ShedQueued(old) {
+					h.stats.jobsShed.Add(1)
+					if vlj := inflight[old.ID]; vlj != nil {
+						failJob(vlj, "shed under overload")
+					}
+				}
+			}
+		}
+		if h.sched.Trigger() == core.OnArrival {
+			runSched()
+		}
+	}
+
 	// admit applies the overload policy and enqueues an arriving job.
 	admit := func(lj *liveJob) {
+		if h.qosc != nil {
+			admitQoS(lj)
+			return
+		}
 		if h.MaxQueue > 0 && len(queue) >= h.MaxQueue {
 			if lj.job.Class == core.Batch {
 				h.stats.jobsShed.Add(1)
@@ -781,6 +901,9 @@ func (h *Head) finalize(lj *liveJob) {
 	for i, f := range lj.frags {
 		m, err := decodePixels(f.W, f.H, f.Codec, f.Data)
 		if err != nil {
+			if h.qosc != nil {
+				h.qosc.Forget(lj.job)
+			}
 			h.stats.jobsFailed.Add(1)
 			_ = send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: err.Error()})
 			return
@@ -801,6 +924,9 @@ func (h *Head) finalize(lj *liveJob) {
 
 	var buf bytes.Buffer
 	if err := final.EncodePNG(&buf); err != nil {
+		if h.qosc != nil {
+			h.qosc.Forget(lj.job)
+		}
 		h.stats.jobsFailed.Add(1)
 		_ = send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: err.Error()})
 		return
@@ -820,7 +946,18 @@ func (h *Head) finalize(lj *liveJob) {
 	if lj.req.Batch {
 		h.stats.batchCompleted.Add(1)
 	}
+	if h.qosc != nil {
+		lat := units.Duration(time.Since(lj.wall))
+		if changed, level := h.qosc.Observe(lj.job, lat, h.now()); changed {
+			h.Logf("head: qos degradation ladder -> %v", level)
+		}
+	}
 }
+
+// QoSController exposes the running QoS controller for introspection
+// (degradation level, per-tenant outcome, fairness). Nil when QoS is off or
+// the head has not started.
+func (h *Head) QoSController() *qos.Controller { return h.qosc }
 
 // KillWorker forcibly closes the connection to worker k — a failure
 // injection hook for tests and demonstrations of §VI-D's fault tolerance.
@@ -857,6 +994,7 @@ func (h *Head) submit(conn transport.Conn, msgID uint64, req RenderBody) error {
 		ID:      id,
 		Class:   class,
 		Action:  core.ActionID(req.Action),
+		Tenant:  core.TenantID(req.Tenant),
 		Dataset: dsID,
 		Issued:  h.now(),
 	}

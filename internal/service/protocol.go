@@ -34,6 +34,9 @@ type RenderBody struct {
 	Batch bool
 	// Action groups requests of one user session for scheduling fairness.
 	Action int
+	// Tenant identifies the customer the request bills to; the QoS layer
+	// meters admission and queueing per tenant. Zero is the default tenant.
+	Tenant int
 }
 
 // TaskBody assigns one chunk of a render job to a worker.

@@ -34,6 +34,10 @@ type headStats struct {
 	// re-seeding because no replica survived.
 	chunksRehomed  atomic.Int64
 	chunksReseeded atomic.Int64
+
+	// QoS counters (§5.7): admission-control verdicts beyond plain admit.
+	jobsThrottled atomic.Int64
+	jobsRejected  atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time view of the service counters.
@@ -58,6 +62,38 @@ type StatsSnapshot struct {
 
 	ChunksRehomed  int64 `json:"chunks_rehomed"`
 	ChunksReseeded int64 `json:"chunks_reseeded"`
+
+	// QoS is present only when the head runs with a QoS config.
+	QoS *QoSSnapshot `json:"qos,omitempty"`
+}
+
+// QoSSnapshot is the QoS subsystem's slice of a stats snapshot: the
+// degradation ladder position, aggregate admission verdicts, Jain's fairness
+// index over per-tenant completions, and per-tenant accounting.
+type QoSSnapshot struct {
+	Level         int                 `json:"level"`
+	LevelName     string              `json:"level_name"`
+	MaxLevel      int                 `json:"max_level"`
+	LevelChanges  int64               `json:"level_changes"`
+	JobsThrottled int64               `json:"jobs_throttled"`
+	JobsRejected  int64               `json:"jobs_rejected"`
+	Jain          float64             `json:"jain_fairness"`
+	Tenants       []TenantQoSSnapshot `json:"tenants,omitempty"`
+}
+
+// TenantQoSSnapshot is one tenant's admission and latency accounting.
+type TenantQoSSnapshot struct {
+	Tenant    int     `json:"tenant"`
+	Issued    int64   `json:"issued"`
+	Admitted  int64   `json:"admitted"`
+	Throttled int64   `json:"throttled"`
+	Rejected  int64   `json:"rejected"`
+	Shed      int64   `json:"shed"`
+	Completed int64   `json:"completed"`
+	Failed    int64   `json:"failed"`
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
 }
 
 // RecoveryReport summarizes the service's fault-tolerance activity: how
@@ -137,6 +173,35 @@ func (h *Head) Stats() StatsSnapshot {
 		s.HitRatePct = 100 * float64(s.ChunkHits) / float64(total)
 		s.MeanTaskMillis = float64(h.stats.renderNanos.Load()) / float64(total) / 1e6
 	}
+	if h.qosc != nil {
+		o := h.qosc.Outcome()
+		level := h.qosc.Level()
+		q := &QoSSnapshot{
+			Level:         int(level),
+			LevelName:     level.String(),
+			MaxLevel:      o.MaxLevel,
+			LevelChanges:  o.LevelChanges,
+			JobsThrottled: h.stats.jobsThrottled.Load(),
+			JobsRejected:  h.stats.jobsRejected.Load(),
+			Jain:          o.Jain(),
+		}
+		for _, t := range o.Tenants {
+			q.Tenants = append(q.Tenants, TenantQoSSnapshot{
+				Tenant:    t.Tenant,
+				Issued:    t.Issued,
+				Admitted:  t.Admitted,
+				Throttled: t.Throttled,
+				Rejected:  t.Rejected,
+				Shed:      t.ShedTotal,
+				Completed: t.Completed,
+				Failed:    t.Failed,
+				P50Millis: t.Latency.P50.Seconds() * 1e3,
+				P95Millis: t.Latency.P95.Seconds() * 1e3,
+				P99Millis: t.Latency.P99.Seconds() * 1e3,
+			})
+		}
+		s.QoS = q
+	}
 	return s
 }
 
@@ -178,6 +243,37 @@ func (h *Head) StatsHandler() http.Handler {
 		write("chunks_reseeded_total", float64(s.ChunksReseeded))
 		write("mttr_seconds", s.MTTRSeconds)
 		write("uptime_seconds", s.UptimeSeconds)
+		if q := s.QoS; q != nil {
+			writeL := func(name, labels string, v float64) {
+				_, _ = w.Write([]byte("vizsched_" + name + "{" + labels + "} "))
+				_, _ = w.Write(appendFloat(nil, v))
+				_, _ = w.Write([]byte("\n"))
+			}
+			write("jobs_throttled_total", float64(q.JobsThrottled))
+			write("jobs_rejected_total", float64(q.JobsRejected))
+			write("qos_level", float64(q.Level))
+			write("qos_max_level", float64(q.MaxLevel))
+			write("qos_level_changes_total", float64(q.LevelChanges))
+			write("fairness_jain", q.Jain)
+			for _, t := range q.Tenants {
+				l := fmt.Sprintf("tenant=%q", fmt.Sprint(t.Tenant))
+				writeL("tenant_jobs_issued_total", l, float64(t.Issued))
+				writeL("tenant_jobs_admitted_total", l, float64(t.Admitted))
+				writeL("tenant_jobs_throttled_total", l, float64(t.Throttled))
+				writeL("tenant_jobs_rejected_total", l, float64(t.Rejected))
+				writeL("tenant_jobs_shed_total", l, float64(t.Shed))
+				writeL("tenant_jobs_completed_total", l, float64(t.Completed))
+				writeL("tenant_jobs_failed_total", l, float64(t.Failed))
+				for _, pq := range []struct {
+					q string
+					v float64
+				}{
+					{"0.5", t.P50Millis}, {"0.95", t.P95Millis}, {"0.99", t.P99Millis},
+				} {
+					writeL("tenant_latency_seconds", l+",quantile=\""+pq.q+"\"", pq.v/1e3)
+				}
+			}
+		}
 	})
 	return mux
 }

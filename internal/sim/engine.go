@@ -26,6 +26,7 @@ import (
 	"vizsched/internal/core"
 	"vizsched/internal/des"
 	"vizsched/internal/metrics"
+	"vizsched/internal/qos"
 	"vizsched/internal/trace"
 	"vizsched/internal/units"
 	"vizsched/internal/volume"
@@ -112,6 +113,13 @@ type Config struct {
 	// and a crash re-homes the dead node's chunks to their warmest surviving
 	// replica. 0 or 1 keeps the paper's single-home behaviour exactly.
 	Replicas int
+	// QoS enables the multi-tenant admission/fair-queuing/degradation layer
+	// (§5.7): arrivals pass per-tenant token buckets, the job queue becomes
+	// deficit-round-robin across tenants, and sustained interactive SLO
+	// breach steps the degradation ladder. nil (the default) keeps the
+	// single FIFO exactly, so published figures are unaffected. All QoS
+	// decisions run in virtual time — results stay bit-reproducible.
+	QoS *qos.Config
 }
 
 // node is the actual state of one rendering node.
@@ -196,13 +204,18 @@ func (n *node) popLoad() (volume.ChunkID, bool) {
 
 // Engine runs one scenario.
 type Engine struct {
-	cfg    Config
-	sim    *des.Simulator
-	head   *core.HeadState
-	nodes  []*node
+	cfg   Config
+	sim   *des.Simulator
+	head  *core.HeadState
+	nodes []*node
+	// queue holds jobs with unassigned tasks awaiting the scheduler. With
+	// QoS enabled it is only the working window: admitted jobs wait in the
+	// controller's fair queue and are pulled here in fair order each
+	// scheduler invocation.
 	queue  []*core.Job
 	report *metrics.Report
 	rng    *rand.Rand
+	qosc   *qos.Controller
 
 	nextJob  core.JobID
 	started  map[core.JobID]units.Time // JS per in-flight job
@@ -258,6 +271,9 @@ func New(cfg Config) *Engine {
 		if rs, ok := cfg.Scheduler.(core.ReplicaSetter); ok {
 			rs.SetReplicas(cfg.Replicas)
 		}
+	}
+	if cfg.QoS != nil {
+		e.qosc = qos.NewController(cfg.QoS)
 	}
 	for k := 0; k < cfg.Nodes; k++ {
 		e.nodes = append(e.nodes, e.newNode(core.NodeID(k)))
@@ -322,8 +338,15 @@ func (e *Engine) Run(wl *workload.Schedule, horizon units.Time) *metrics.Report 
 	}
 	e.report.Horizon = horizon
 	e.sim.Run(horizon)
+	if e.qosc != nil {
+		e.report.QoS = e.qosc.Outcome()
+	}
 	return e.report
 }
+
+// QoS exposes the run's QoS controller (nil when disabled) for tests and
+// post-run inspection of the degradation-ladder history.
+func (e *Engine) QoS() *qos.Controller { return e.qosc }
 
 // arrive turns a request into a decomposed job and queues it.
 func (e *Engine) arrive(req workload.Request) {
@@ -336,6 +359,7 @@ func (e *Engine) arrive(req workload.Request) {
 		ID:      e.nextJob,
 		Class:   req.Class,
 		Action:  req.Action,
+		Tenant:  req.Tenant,
 		Dataset: req.Dataset,
 		Issued:  e.sim.Now(),
 	}
@@ -344,11 +368,39 @@ func (e *Engine) arrive(req workload.Request) {
 		j.Tasks[i] = core.Task{Job: j, Index: i, Chunk: c.ID, Size: c.Size}
 	}
 	j.Remaining = len(j.Tasks)
-	e.queue = append(e.queue, j)
 	e.report.JobIssued(req.Class == core.Interactive)
-	e.emit(trace.Event{Kind: trace.JobArrive, Job: j.ID, Class: j.Class})
+	if j.Tenant != 0 {
+		e.report.TenantIssued(int(j.Tenant))
+	}
+	e.emit(trace.Event{Kind: trace.JobArrive, Job: j.ID, Class: j.Class, Tenant: j.Tenant})
+	if e.qosc != nil {
+		dec, victim := e.qosc.Admit(j, e.sim.Now())
+		if victim != nil {
+			e.emit(trace.Event{Kind: trace.Shed, Job: victim.ID, Class: victim.Class, Tenant: victim.Tenant})
+		}
+		e.emit(trace.Event{Kind: admitKind(dec), Job: j.ID, Class: j.Class, Tenant: j.Tenant})
+		if !dec.Entered() {
+			return
+		}
+	} else {
+		e.queue = append(e.queue, j)
+	}
 	if e.cfg.Scheduler.Trigger() == core.OnArrival {
 		e.invokeScheduler()
+	}
+}
+
+// admitKind maps an admission decision to its trace event kind.
+func admitKind(d qos.Decision) trace.Kind {
+	switch d {
+	case qos.Throttled:
+		return trace.Throttle
+	case qos.Rejected:
+		return trace.Reject
+	case qos.ShedStale:
+		return trace.Shed
+	default:
+		return trace.Admit
 	}
 }
 
@@ -356,6 +408,22 @@ func (e *Engine) arrive(req workload.Request) {
 // window) to the scheduler, timing the call with the wall clock, then
 // executes the returned assignments.
 func (e *Engine) invokeScheduler() {
+	if e.qosc != nil {
+		// Pull admitted work into the window in fair order: interactive
+		// frames fully (tenant round-robin), batch by DRR up to the window
+		// bound net of batch jobs already here from failure requeues or
+		// partial assignment.
+		e.queue = e.qosc.PopInteractive(e.queue)
+		batchHere := 0
+		for _, j := range e.queue {
+			if j.Class == core.Batch {
+				batchHere++
+			}
+		}
+		if batchHere < e.cfg.BatchWindow {
+			e.queue = e.qosc.PopBatch(e.queue, e.cfg.BatchWindow-batchHere)
+		}
+	}
 	if len(e.queue) == 0 {
 		return
 	}
@@ -463,7 +531,16 @@ func (e *Engine) jitter(d units.Duration) units.Duration {
 // composite.
 func (e *Engine) renderCost(n *node, t *core.Task) units.Duration {
 	m := e.cfg.Model
-	exec := m.TaskOverhead + m.RenderTime(t.Size) + m.CompositeTime(t.Job.GroupSize())
+	work := m.RenderTime(t.Size) + m.CompositeTime(t.Job.GroupSize())
+	if e.qosc != nil && t.Job.Class == core.Interactive {
+		// Degradation rung 2: interactive frames render at half linear
+		// resolution, a quarter of the pixels — render and composite both
+		// scale with image area.
+		if s := e.qosc.ResolutionScale(); s < 1 {
+			work = units.Duration(float64(work) * s * s)
+		}
+	}
+	exec := m.TaskOverhead + work
 	if n.gpu != nil && !n.gpu.Touch(t.Chunk) {
 		exec += m.PCIeRate.TimeFor(t.Size)
 		n.gpu.Insert(t.Chunk, t.Size)
@@ -620,7 +697,15 @@ func (e *Engine) complete(n *node, res core.TaskResult) {
 	e.finished[j.ID]++
 	if e.finished[j.ID] == len(j.Tasks) {
 		e.report.JobCompleted(j.Class == core.Interactive, int(j.Action), j.Issued, e.started[j.ID], now)
-		e.emit(trace.Event{Kind: trace.JobDone, Job: j.ID, Class: j.Class, Dur: now.Sub(j.Issued)})
+		if j.Tenant != 0 {
+			e.report.TenantCompleted(int(j.Tenant), j.Class == core.Interactive, now.Sub(j.Issued))
+		}
+		e.emit(trace.Event{Kind: trace.JobDone, Job: j.ID, Class: j.Class, Tenant: j.Tenant, Dur: now.Sub(j.Issued)})
+		if e.qosc != nil {
+			if changed, level := e.qosc.Observe(j, now.Sub(j.Issued), now); changed {
+				e.emit(trace.Event{Kind: trace.Degrade, Level: int(level)})
+			}
+		}
 		delete(e.finished, j.ID)
 		delete(e.started, j.ID)
 	}
@@ -703,7 +788,13 @@ func (e *Engine) repair(k core.NodeID) {
 
 // QueueLen exposes the number of jobs still holding unassigned tasks,
 // used by tests.
-func (e *Engine) QueueLen() int { return len(e.queue) }
+func (e *Engine) QueueLen() int {
+	n := len(e.queue)
+	if e.qosc != nil {
+		n += e.qosc.QueueLen()
+	}
+	return n
+}
 
 // ScenarioEngineConfig builds the engine configuration for a Table II
 // scenario under the given scheduler: the library is decomposed per the

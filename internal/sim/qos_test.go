@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"cmp"
+	"slices"
+	"testing"
+
+	"vizsched/internal/core"
+	"vizsched/internal/qos"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+	"vizsched/internal/workload"
+)
+
+// twoPhaseWorkload builds an overload phase (many users hammering a small
+// cached working set — render capacity, not I/O, is the bottleneck, so
+// completions keep flowing with latency well over any SLO) followed by a
+// calm phase (one user), with users spread over four tenants.
+func twoPhaseWorkload(actions, datasets int, split, length units.Time) *workload.Schedule {
+	s := &workload.Schedule{Length: length}
+	for i := 0; i < actions; i++ {
+		s.Actions = append(s.Actions, workload.Action{
+			ID:      core.ActionID(i + 1),
+			Dataset: volume.DatasetID(i%datasets + 1),
+			Tenant:  core.TenantID(i%4 + 1),
+			Start:   0,
+			End:     split,
+			Period:  30 * units.Millisecond,
+		})
+	}
+	// The calm phase continues session 1 rather than opening a new one: if
+	// the ladder reached reject-sessions, a newcomer would be refused and
+	// nothing would ever drive recovery — established sessions keep flowing.
+	s.Actions = append(s.Actions, workload.Action{
+		ID:      1,
+		Dataset: 1,
+		Tenant:  1,
+		Start:   split.Add(units.Second),
+		End:     length,
+		Period:  30 * units.Millisecond,
+	})
+	for _, a := range s.Actions {
+		s.Requests = append(s.Requests, a.Requests()...)
+	}
+	slices.SortStableFunc(s.Requests, func(a, b workload.Request) int { return cmp.Compare(a.At, b.At) })
+	return s
+}
+
+func qosSimConfig() Config {
+	lib := volume.NewLibrary()
+	policy := volume.Decomposition(volume.MaxChunk{Chkmax: 256 * units.MB})
+	for i := 1; i <= 2; i++ {
+		lib.Add(volume.NewDataset(volume.DatasetID(i), "ds", units.GB, policy))
+	}
+	return Config{
+		Nodes:     4,
+		MemQuota:  2 * units.GB, // both datasets cache fully: pure render overload
+		Model:     core.System1CostModel(),
+		Scheduler: core.NewLocalityScheduler(0),
+		Library:   lib,
+		Seed:      3,
+		Preload:   true,
+	}
+}
+
+// TestQoSSimLadderEngageAndRecover runs overload-then-calm through the
+// simulator and checks the degradation ladder climbs during the thrash phase
+// and is fully withdrawn by the end of the run.
+func TestQoSSimLadderEngageAndRecover(t *testing.T) {
+	cfg := qosSimConfig()
+	cfg.QoS = &qos.Config{
+		InteractiveRate: 1000, InteractiveBurst: 1000,
+		BatchRate: 1000, BatchBurst: 1000,
+		InteractiveSLO: 100 * units.Millisecond,
+		Window:         250 * units.Millisecond,
+		StepWindows:    2, RecoverWindows: 4,
+		// Keep the backlog bounded like a real viewer (latest frame wins) so
+		// completions — the ladder's only signal — keep flowing under load.
+		AlwaysShedStale: true,
+	}
+	wl := twoPhaseWorkload(12, 2, units.Time(5*units.Second), units.Time(30*units.Second))
+	rep := New(cfg).Run(wl, 0)
+
+	if rep.QoS == nil {
+		t.Fatal("report carries no QoS outcome with QoS enabled")
+	}
+	if rep.QoS.MaxLevel < int(qos.LevelHalveBatch) {
+		t.Fatalf("ladder never engaged under thrash: max level %d", rep.QoS.MaxLevel)
+	}
+	if rep.QoS.FinalLevel != int(qos.LevelNormal) {
+		t.Fatalf("ladder did not recover: final level %d after calm phase", rep.QoS.FinalLevel)
+	}
+	if rep.QoS.LevelChanges < 2 {
+		t.Fatalf("expected at least one engage and one recover transition, got %d", rep.QoS.LevelChanges)
+	}
+	// Per-tenant accounting must partition every issued job.
+	for _, ts := range rep.QoS.Tenants {
+		if ts.ShedOnArrival() < 0 {
+			t.Fatalf("tenant %d: negative shed-on-arrival (%+v)", ts.Tenant, ts)
+		}
+	}
+}
+
+// TestQoSSimDeterministic runs the same QoS-on simulation twice and demands
+// bit-identical outcomes — the property the qossweep experiment relies on.
+func TestQoSSimDeterministic(t *testing.T) {
+	run := func() (int64, int64, *int64, float64) {
+		cfg := qosSimConfig()
+		cfg.QoS = &qos.Config{
+			InteractiveRate: 40, InteractiveBurst: 20,
+			BatchRate: 20, BatchBurst: 20,
+			InteractiveSLO: 100 * units.Millisecond,
+		}
+		wl := twoPhaseWorkload(12, 2, units.Time(6*units.Second), units.Time(10*units.Second))
+		rep := New(cfg).Run(wl, 0)
+		var rejected *int64
+		if rep.QoS != nil {
+			rejected = &rep.QoS.Rejected
+		}
+		return rep.Interactive.Issued, rep.Interactive.Completed, rejected, rep.JainFairness()
+	}
+	i1, c1, r1, j1 := run()
+	i2, c2, r2, j2 := run()
+	if i1 != i2 || c1 != c2 || j1 != j2 {
+		t.Fatalf("QoS-on runs diverged: issued %d/%d completed %d/%d jain %v/%v", i1, i2, c1, c2, j1, j2)
+	}
+	if r1 == nil || r2 == nil || *r1 != *r2 {
+		t.Fatalf("rejected counts diverged: %v vs %v", r1, r2)
+	}
+	if c1 == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+// TestTenantAssignmentDoesNotPerturbSchedule is the golden-output guard: a
+// spec with tenants enabled must generate exactly the same request stream
+// (times, datasets, classes) as without — only the Tenant labels may differ.
+func TestTenantAssignmentDoesNotPerturbSchedule(t *testing.T) {
+	base := workload.Spec{
+		Length:            units.Time(10 * units.Second),
+		Datasets:          6,
+		TargetInteractive: 500,
+		TargetBatch:       100,
+		Seed:              102,
+	}
+	tenanted := base
+	tenanted.Tenants = 4
+	tenanted.TenantSkew = 1.5
+	a := workload.Generate(base)
+	b := workload.Generate(tenanted)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("request counts differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	tenantsSeen := map[core.TenantID]bool{}
+	for i := range a.Requests {
+		ra, rb := a.Requests[i], b.Requests[i]
+		if ra.At != rb.At || ra.Dataset != rb.Dataset || ra.Class != rb.Class || ra.Action != rb.Action {
+			t.Fatalf("request %d differs beyond tenant: %+v vs %+v", i, ra, rb)
+		}
+		if ra.Tenant != 0 {
+			t.Fatalf("untenanted spec produced tenant %d", ra.Tenant)
+		}
+		tenantsSeen[rb.Tenant] = true
+	}
+	if len(tenantsSeen) < 2 {
+		t.Fatalf("tenanted spec used %d tenants, want several", len(tenantsSeen))
+	}
+}

@@ -27,6 +27,16 @@ const (
 	JobDone
 	NodeFail
 	NodeRepair
+	// QoS admission outcomes (internal/qos): Admit and Throttle let the job
+	// into the fair queue (Throttle on borrowed tokens), Reject turns it
+	// away, Shed drops a stale interactive frame (on arrival or by
+	// superseding a queued one). Degrade marks a ladder level change; the
+	// event's Level field carries the new rung.
+	Admit
+	Throttle
+	Reject
+	Shed
+	Degrade
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +56,16 @@ func (k Kind) String() string {
 		return "node-fail"
 	case NodeRepair:
 		return "node-repair"
+	case Admit:
+		return "admit"
+	case Throttle:
+		return "throttle"
+	case Reject:
+		return "reject"
+	case Shed:
+		return "shed"
+	case Degrade:
+		return "degrade"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -63,6 +83,10 @@ type Event struct {
 	Chunk volume.ChunkID
 	Dur   units.Duration
 	Hit   bool
+	// Tenant identifies the job's tenant for QoS events (zero otherwise);
+	// Level is the degradation-ladder rung carried by Degrade events.
+	Tenant core.TenantID
+	Level  int
 }
 
 // Log accumulates events up to an optional cap (0 = unbounded). When the
@@ -93,7 +117,7 @@ func (l *Log) Len() int { return len(l.Events) }
 // WriteCSV emits the log with a header row.
 func (l *Log) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"at_us", "kind", "job", "class", "task", "node", "chunk", "dur_us", "hit"}); err != nil {
+	if err := cw.Write([]string{"at_us", "kind", "job", "class", "task", "node", "chunk", "dur_us", "hit", "tenant", "level"}); err != nil {
 		return err
 	}
 	for _, ev := range l.Events {
@@ -107,6 +131,8 @@ func (l *Log) WriteCSV(w io.Writer) error {
 			ev.Chunk.String(),
 			strconv.FormatFloat(ev.Dur.Microseconds(), 'f', 3, 64),
 			strconv.FormatBool(ev.Hit),
+			strconv.Itoa(int(ev.Tenant)),
+			strconv.Itoa(ev.Level),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -137,7 +163,8 @@ func (l *Log) GanttSVG(w io.Writer, nodes int, from, to units.Time) error {
 		leftPad = 60
 		topPad  = 24
 	)
-	height := topPad + nodes*(rowH+rowGap) + 24
+	footerY := topPad + nodes*(rowH+rowGap)
+	height := footerY + 24
 	span := float64(to - from)
 	x := func(t units.Time) float64 {
 		return leftPad + float64(t-from)/span*(width-leftPad-10)
@@ -186,6 +213,32 @@ func (l *Log) GanttSVG(w io.Writer, nodes int, from, to units.Time) error {
 			y := topPad + int(ev.Node)*(rowH+rowGap)
 			fmt.Fprintf(w, `<rect x="%.2f" y="%d" width="2" height="%d" fill="#cc2222"/>`+"\n",
 				x(ev.At), y, rowH-2)
+		case Degrade:
+			// Ladder level changes cut across all rows: a dashed purple line
+			// with the new rung labeled, so degradation episodes bracket the
+			// load they were reacting to.
+			if ev.At < from || ev.At > to {
+				continue
+			}
+			fmt.Fprintf(w, `<line x1="%.2f" y1="%d" x2="%.2f" y2="%d" stroke="#7733aa" stroke-dasharray="3,2"/>`+"\n",
+				x(ev.At), topPad, x(ev.At), footerY)
+			fmt.Fprintf(w, `<text x="%.2f" y="%d" fill="#7733aa">L%d</text>`+"\n",
+				x(ev.At)+2, topPad+10, ev.Level)
+		case Shed, Reject, Throttle:
+			// Admission pushback lands in the footer band: sheds dark red,
+			// rejects red-orange, throttles amber ticks.
+			if ev.At < from || ev.At > to {
+				continue
+			}
+			color := "#aa2222"
+			switch ev.Kind {
+			case Reject:
+				color = "#dd5522"
+			case Throttle:
+				color = "#ddaa22"
+			}
+			fmt.Fprintf(w, `<rect x="%.2f" y="%d" width="1.5" height="10" fill="%s"/>`+"\n",
+				x(ev.At), footerY+2, color)
 		}
 	}
 	fmt.Fprintln(w, `</svg>`)

@@ -23,6 +23,7 @@ type Request struct {
 	At      units.Time
 	Class   core.Class
 	Action  core.ActionID
+	Tenant  core.TenantID
 	Dataset volume.DatasetID
 }
 
@@ -31,6 +32,7 @@ type Request struct {
 type Action struct {
 	ID      core.ActionID
 	Dataset volume.DatasetID
+	Tenant  core.TenantID
 	Start   units.Time
 	End     units.Time
 	Period  units.Duration
@@ -42,7 +44,7 @@ type Action struct {
 func (a Action) Requests() []Request {
 	var out []Request
 	for t := a.Start; !t.After(a.End); t = t.Add(a.Period) {
-		out = append(out, Request{At: t, Class: core.Interactive, Action: a.ID, Dataset: a.Dataset})
+		out = append(out, Request{At: t, Class: core.Interactive, Action: a.ID, Tenant: a.Tenant, Dataset: a.Dataset})
 	}
 	return out
 }
@@ -55,6 +57,7 @@ func (a Action) Requests() []Request {
 type BatchSubmission struct {
 	ID      core.ActionID
 	Dataset volume.DatasetID
+	Tenant  core.TenantID
 	At      units.Time
 	Frames  int
 	// TimeSeries makes frame i use dataset Dataset+i (wrapping at
@@ -72,7 +75,7 @@ func (b BatchSubmission) Requests() []Request {
 		if b.TimeSeries && b.Datasets > 0 {
 			ds = volume.DatasetID((int(b.Dataset)-1+i)%b.Datasets + 1)
 		}
-		out[i] = Request{At: b.At, Class: core.Batch, Action: b.ID, Dataset: ds}
+		out[i] = Request{At: b.At, Class: core.Batch, Action: b.ID, Tenant: b.Tenant, Dataset: ds}
 	}
 	return out
 }
@@ -147,6 +150,13 @@ type Spec struct {
 	// datasets (timesteps) instead of orbiting one — the paper's
 	// time-varying-data use case and the worst case for locality.
 	BatchTimeSeries bool
+	// Tenants, when > 1, assigns each action and batch submission to a
+	// tenant 1..Tenants; TenantSkew makes tenant r's share proportional to
+	// 1/r^s (zero = uniform), so tenant 1 is the greedy customer the QoS
+	// layer exists to contain. Tenant draws come from a separate rng, so
+	// single-tenant schedules are bit-identical with or without the fields.
+	Tenants    int
+	TenantSkew float64
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -251,6 +261,20 @@ func Generate(spec Spec) *Schedule {
 		}
 	}
 
+	if spec.Tenants > 1 {
+		// A dedicated rng keeps tenant assignment from disturbing the
+		// dataset/timing draws above: Tenants=0/1 schedules stay
+		// bit-identical to pre-tenant generation.
+		trng := rand.New(rand.NewSource(spec.Seed + 7777))
+		tpick := tenantPicker(spec.Tenants, spec.TenantSkew)
+		for i := range s.Actions {
+			s.Actions[i].Tenant = tpick(trng)
+		}
+		for i := range s.Submissions {
+			s.Submissions[i].Tenant = tpick(trng)
+		}
+	}
+
 	for _, a := range s.Actions {
 		s.Requests = append(s.Requests, a.Requests()...)
 	}
@@ -259,6 +283,48 @@ func Generate(spec Spec) *Schedule {
 	}
 	slices.SortStableFunc(s.Requests, func(a, b Request) int { return cmp.Compare(a.At, b.At) })
 	return s
+}
+
+// TenantSampler returns a self-seeded sampler over tenant IDs 1..n for
+// callers outside Generate (live load drivers): Zipf-weighted with exponent
+// skew (tenant 1 hottest), uniform when skew <= 0. n <= 1 always yields the
+// default tenant 0.
+func TenantSampler(n int, skew float64, seed int64) func() core.TenantID {
+	if n <= 1 {
+		return func() core.TenantID { return 0 }
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pick := tenantPicker(n, skew)
+	return func() core.TenantID { return pick(rng) }
+}
+
+// tenantPicker returns a sampler over tenant IDs 1..n: Zipf-weighted with
+// exponent s (tenant 1 hottest), uniform when s <= 0.
+func tenantPicker(n int, s float64) func(*rand.Rand) core.TenantID {
+	if s <= 0 {
+		return func(rng *rand.Rand) core.TenantID {
+			return core.TenantID(rng.Intn(n) + 1)
+		}
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for r := 1; r <= n; r++ {
+		sum += 1 / math.Pow(float64(r), s)
+		cdf[r-1] = sum
+	}
+	return func(rng *rand.Rand) core.TenantID {
+		u := rng.Float64() * sum
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return core.TenantID(lo + 1)
+	}
 }
 
 // datasetPicker returns a sampler over dataset IDs 1..n per the spec's
