@@ -34,7 +34,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	only := flag.String("only", "all",
-		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep")
+		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep, prefsweep")
 	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
 		"max concurrent simulation runs; 1 = sequential (reference scheduling-cost numbers)")
@@ -148,6 +148,13 @@ func main() {
 		points := experiments.QoSSweepN(skews, loads, *scale, workers)
 		experiments.PrintQoSSweep(out, points)
 		writeCSV("qossweep.csv", func(f *os.File) error { return experiments.QoSSweepCSV(f, points) })
+	}
+	if has("prefsweep") {
+		quotas := []int{2, 3}
+		loads := []float64{0.5, 1, 2}
+		points := experiments.PrefetchSweepN(quotas, loads, workers)
+		experiments.PrintPrefetchSweep(out, points)
+		writeCSV("prefsweep.csv", func(f *os.File) error { return experiments.PrefetchSweepCSV(f, points) })
 	}
 	fmt.Fprintf(out, "done. (%v, -parallel %d)\n", time.Since(start).Round(time.Millisecond), workers)
 }

@@ -24,6 +24,7 @@ import (
 
 	"vizsched/internal/core"
 	"vizsched/internal/experiments"
+	"vizsched/internal/prefetch"
 	"vizsched/internal/qos"
 	"vizsched/internal/service"
 	"vizsched/internal/transport"
@@ -63,6 +64,8 @@ func main() {
 		"replication degree k (head mode): keep hot chunks on k workers and re-home on failure; 1 disables")
 	useQoS := flag.Bool("qos", false,
 		"enable the QoS subsystem (head mode): per-tenant admission control, fair queuing, SLO-driven degradation")
+	usePrefetch := flag.Bool("prefetch", false,
+		"enable predictive chunk prefetching (head mode, OURS scheduler): warm predicted bricks into worker caches during idle windows")
 	flag.Parse()
 
 	catalog := service.NewCatalog()
@@ -90,6 +93,10 @@ func main() {
 		if *useQoS {
 			head.QoS = qos.DefaultConfig()
 			log.Printf("head: QoS enabled (admission control + fair queuing + degradation ladder)")
+		}
+		if *usePrefetch {
+			head.Prefetch = prefetch.DefaultConfig()
+			log.Printf("head: predictive prefetching enabled (Markov trajectory + frequency prior, governed warming)")
 		}
 		wl, err := transport.ListenTCP(*workerAddr)
 		if err != nil {

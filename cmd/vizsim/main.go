@@ -22,6 +22,7 @@ import (
 
 	"vizsched/internal/experiments"
 	"vizsched/internal/metrics"
+	"vizsched/internal/prefetch"
 	"vizsched/internal/sim"
 	"vizsched/internal/trace"
 	"vizsched/internal/units"
@@ -47,6 +48,8 @@ func main() {
 		"max concurrent runs with -sched all; 1 = sequential (reference scheduling-cost numbers)")
 	useQoS := flag.Bool("qos", false,
 		"enable the QoS subsystem: per-tenant admission control, DRR fair queuing, SLO-driven degradation")
+	usePrefetch := flag.Bool("prefetch", false,
+		"enable predictive chunk prefetching for OURS: trajectory-aware cache warming in scheduler idle windows")
 	tenants := flag.Int("tenants", 0, "spread users over this many tenants (0: single default tenant)")
 	tenantSkew := flag.Float64("skew", 0, "Zipf exponent for tenant demand skew with -tenants; 0 = uniform")
 	flag.Parse()
@@ -105,6 +108,15 @@ func main() {
 			q.Admitted, q.Throttled, q.Rejected, q.Shed, q.MaxLevel, q.FinalLevel, rep.JainFairness())
 	}
 
+	printPrefetch := func(rep *metrics.Report) {
+		if rep.Prefetch == nil {
+			return
+		}
+		p := rep.Prefetch
+		fmt.Printf("       prefetch: issued=%d loaded=%d cancelled=%d hits=%d hidden=%d wasted=%d moved=%v\n",
+			p.Issued, p.Loaded, p.Cancelled, p.Hits, p.HiddenHits, p.Wasted, p.BytesMoved)
+	}
+
 	run := func(name string) error {
 		s, err := experiments.SchedulerByName(name)
 		if err != nil {
@@ -116,6 +128,9 @@ func main() {
 		if *useQoS {
 			ecfg.QoS = experiments.SweepQoSConfig()
 		}
+		if *usePrefetch {
+			ecfg.Prefetch = prefetch.DefaultConfig()
+		}
 		var tl *trace.Log
 		if (*traceCSV != "" || *ganttSVG != "") && *sched != "all" {
 			tl = trace.New(2_000_000)
@@ -125,6 +140,7 @@ func main() {
 		fmt.Println(rep)
 		printRecovery(rep)
 		printQoS(rep)
+		printPrefetch(rep)
 		if *verbose {
 			fmt.Printf("interactive latency distribution:\n%s", rep.Interactive.LatencyHist.Render(12))
 		}
@@ -181,12 +197,16 @@ func main() {
 			if *useQoS {
 				ecfg.QoS = experiments.SweepQoSConfig()
 			}
+			if *usePrefetch {
+				ecfg.Prefetch = prefetch.DefaultConfig()
+			}
 			reports[i] = sim.New(ecfg).Run(wl, 0)
 		})
 		for _, rep := range reports {
 			fmt.Println(rep)
 			printRecovery(rep)
 			printQoS(rep)
+			printPrefetch(rep)
 			if *verbose {
 				fmt.Printf("interactive latency distribution:\n%s", rep.Interactive.LatencyHist.Render(12))
 			}

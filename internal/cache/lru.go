@@ -6,130 +6,79 @@
 package cache
 
 import (
-	"container/list"
-	"fmt"
-
 	"vizsched/internal/units"
 	"vizsched/internal/volume"
 )
 
 // LRU is a least-recently-used cache of data chunks bounded by a byte quota.
-// It is not safe for concurrent use; each owner guards its own instance.
+// It is a thin wrapper over Store with PolicyLRU — one eviction
+// implementation serves both the named LRU type and the policy ablation —
+// kept as a distinct type for its Clone method and as the concrete type the
+// head's prediction tables use. It is not safe for concurrent use; each
+// owner guards its own instance.
 type LRU struct {
-	quota units.Bytes
-	used  units.Bytes
-	order *list.List // front = most recently used; values are *entry
-	items map[volume.ChunkID]*list.Element
-
-	// Evictions counts chunks dropped to make room, an input to the swap
-	// diagnostics in the experiment reports.
-	Evictions int64
-}
-
-type entry struct {
-	id   volume.ChunkID
-	size units.Bytes
+	s *Store
 }
 
 // NewLRU returns an empty cache with the given quota. A zero or negative
 // quota panics: a cacheless node cannot render at all.
 func NewLRU(quota units.Bytes) *LRU {
-	if quota <= 0 {
-		panic(fmt.Sprintf("cache: non-positive quota %v", quota))
-	}
-	return &LRU{
-		quota: quota,
-		order: list.New(),
-		items: make(map[volume.ChunkID]*list.Element),
-	}
+	return &LRU{s: NewStore(PolicyLRU, quota, 0)}
 }
 
 // Quota returns the configured byte limit.
-func (c *LRU) Quota() units.Bytes { return c.quota }
+func (c *LRU) Quota() units.Bytes { return c.s.Quota() }
 
 // Used returns the bytes currently resident.
-func (c *LRU) Used() units.Bytes { return c.used }
+func (c *LRU) Used() units.Bytes { return c.s.Used() }
 
 // Len returns the number of resident chunks.
-func (c *LRU) Len() int { return len(c.items) }
+func (c *LRU) Len() int { return c.s.Len() }
+
+// Stats returns the cumulative hit/miss/eviction counters.
+func (c *LRU) Stats() Stats { return c.s.Stats() }
 
 // Contains reports residency without updating recency.
-func (c *LRU) Contains(id volume.ChunkID) bool {
-	_, ok := c.items[id]
-	return ok
-}
+func (c *LRU) Contains(id volume.ChunkID) bool { return c.s.Contains(id) }
 
 // Touch marks the chunk most-recently-used and reports whether it was
 // resident.
-func (c *LRU) Touch(id volume.ChunkID) bool {
-	el, ok := c.items[id]
-	if !ok {
-		return false
-	}
-	c.order.MoveToFront(el)
-	return true
-}
+func (c *LRU) Touch(id volume.ChunkID) bool { return c.s.Touch(id) }
 
 // Insert adds the chunk (or touches it if already resident), evicting
 // least-recently-used chunks as needed. It returns the IDs evicted. A chunk
 // larger than the whole quota panics: the decomposition policy must prevent
 // that configuration.
 func (c *LRU) Insert(id volume.ChunkID, size units.Bytes) []volume.ChunkID {
-	if size <= 0 {
-		panic(fmt.Sprintf("cache: non-positive chunk size %v", size))
-	}
-	if size > c.quota {
-		panic(fmt.Sprintf("cache: chunk %v (%v) exceeds quota %v", id, size, c.quota))
-	}
-	if el, ok := c.items[id]; ok {
-		c.order.MoveToFront(el)
-		return nil
-	}
-	var evicted []volume.ChunkID
-	for c.used+size > c.quota {
-		back := c.order.Back()
-		e := back.Value.(*entry)
-		c.order.Remove(back)
-		delete(c.items, e.id)
-		c.used -= e.size
-		c.Evictions++
-		evicted = append(evicted, e.id)
-	}
-	c.items[id] = c.order.PushFront(&entry{id: id, size: size})
-	c.used += size
-	return evicted
+	return c.s.Insert(id, size)
 }
+
+// InsertCold admits the chunk at the least-recently-used end without
+// evicting pinned chunks; see Store.InsertCold.
+func (c *LRU) InsertCold(id volume.ChunkID, size units.Bytes) ([]volume.ChunkID, bool) {
+	return c.s.InsertCold(id, size)
+}
+
+// Pin protects a resident chunk from InsertCold eviction; see Store.Pin.
+func (c *LRU) Pin(id volume.ChunkID) bool { return c.s.Pin(id) }
+
+// Unpin releases one pin on the chunk; see Store.Unpin.
+func (c *LRU) Unpin(id volume.ChunkID) { c.s.Unpin(id) }
+
+// Pinned reports whether the chunk currently holds at least one pin.
+func (c *LRU) Pinned(id volume.ChunkID) bool { return c.s.Pinned(id) }
+
+// PinnedBytes returns the total size of pinned residents.
+func (c *LRU) PinnedBytes() units.Bytes { return c.s.PinnedBytes() }
 
 // Remove drops the chunk if resident and reports whether it was.
-func (c *LRU) Remove(id volume.ChunkID) bool {
-	el, ok := c.items[id]
-	if !ok {
-		return false
-	}
-	e := el.Value.(*entry)
-	c.order.Remove(el)
-	delete(c.items, id)
-	c.used -= e.size
-	return true
-}
+func (c *LRU) Remove(id volume.ChunkID) bool { return c.s.Remove(id) }
 
 // Resident returns the resident chunk IDs from most- to least-recently used.
-func (c *LRU) Resident() []volume.ChunkID {
-	out := make([]volume.ChunkID, 0, len(c.items))
-	for el := c.order.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*entry).id)
-	}
-	return out
-}
+func (c *LRU) Resident() []volume.ChunkID { return c.s.Resident() }
 
 // Clone returns an independent copy with identical contents and recency
 // order, used when the head node seeds a what-if projection.
 func (c *LRU) Clone() *LRU {
-	n := NewLRU(c.quota)
-	for el := c.order.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*entry)
-		n.Insert(e.id, e.size)
-	}
-	n.Evictions = c.Evictions
-	return n
+	return &LRU{s: c.s.Clone()}
 }

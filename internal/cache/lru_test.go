@@ -38,8 +38,8 @@ func TestEvictionOrderIsLRU(t *testing.T) {
 	if len(ev) != 1 || ev[0] != cid(1, 1) {
 		t.Errorf("evicted %v, want [d1/c1]", ev)
 	}
-	if c.Evictions != 1 {
-		t.Errorf("Evictions = %d", c.Evictions)
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("Evictions = %d", got)
 	}
 }
 

@@ -38,23 +38,51 @@ func (p Policy) String() string {
 	}
 }
 
-// Store is a byte-quota chunk cache with a pluggable eviction policy. It
-// exposes the same operations as LRU; LRU remains the concrete type used on
-// hot paths, while Store backs the eviction-policy ablation.
+// Stats is a cache's cumulative access accounting. Hits and misses are
+// counted at Touch (the access point); inserts do not re-count the miss
+// that triggered them.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Store is a byte-quota chunk cache with a pluggable eviction policy.
+// LRU is a thin wrapper over a Store with PolicyLRU; the scheduler's hot
+// paths and the eviction ablation share this one implementation.
+//
+// Chunks may be pinned (Pin/Unpin) while a scheduled task depends on them:
+// demand Insert ignores pins entirely — its eviction choices are identical
+// with and without pins, keeping golden outputs stable — but InsertCold
+// (the prefetch admission path) never evicts a pinned chunk.
 type Store struct {
 	policy Policy
 	quota  units.Bytes
 	used   units.Bytes
+	seed   int64
 
 	// order is maintained for LRU (recency) and FIFO (insertion).
 	order *list.List
 	items map[volume.ChunkID]*storeEntry
 
-	// freq tracks access counts for LFU.
+	// rng drives random eviction.
 	rng *rand.Rand
 
-	// Evictions counts chunks dropped to make room.
-	Evictions int64
+	// pins maps pinned chunks to their pin counts; pinnedBytes is the total
+	// size of pinned residents, maintained for InsertCold's feasibility check.
+	pins        map[volume.ChunkID]int
+	pinnedBytes units.Bytes
+
+	stats Stats
 }
 
 type storeEntry struct {
@@ -73,9 +101,11 @@ func NewStore(policy Policy, quota units.Bytes, seed int64) *Store {
 	return &Store{
 		policy: policy,
 		quota:  quota,
+		seed:   seed,
 		order:  list.New(),
 		items:  make(map[volume.ChunkID]*storeEntry),
 		rng:    rand.New(rand.NewSource(seed)),
+		pins:   make(map[volume.ChunkID]int),
 	}
 }
 
@@ -91,6 +121,9 @@ func (s *Store) Used() units.Bytes { return s.used }
 // Len returns the number of resident chunks.
 func (s *Store) Len() int { return len(s.items) }
 
+// Stats returns the cumulative hit/miss/eviction counters.
+func (s *Store) Stats() Stats { return s.stats }
+
 // Contains reports residency without recording an access.
 func (s *Store) Contains(id volume.ChunkID) bool {
 	_, ok := s.items[id]
@@ -99,6 +132,17 @@ func (s *Store) Contains(id volume.ChunkID) bool {
 
 // Touch records an access and reports whether the chunk was resident.
 func (s *Store) Touch(id volume.ChunkID) bool {
+	if !s.touch(id) {
+		s.stats.Misses++
+		return false
+	}
+	s.stats.Hits++
+	return true
+}
+
+// touch is Touch without the hit/miss accounting, used by Insert so the
+// miss that triggered an insert is not counted twice.
+func (s *Store) touch(id volume.ChunkID) bool {
 	e, ok := s.items[id]
 	if !ok {
 		return false
@@ -136,8 +180,62 @@ func (s *Store) victim() *storeEntry {
 	}
 }
 
+// victimUnpinned selects the entry InsertCold evicts: the policy's choice
+// restricted to unpinned residents. Callers must ensure at least one
+// unpinned entry exists.
+func (s *Store) victimUnpinned() *storeEntry {
+	switch s.policy {
+	case PolicyLRU, PolicyFIFO:
+		for el := s.order.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*storeEntry)
+			if _, pinned := s.pins[e.id]; !pinned {
+				return e
+			}
+		}
+	case PolicyRandom:
+		free := len(s.items) - len(s.pins)
+		n := s.rng.Intn(free)
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*storeEntry)
+			if _, pinned := s.pins[e.id]; pinned {
+				continue
+			}
+			if n == 0 {
+				return e
+			}
+			n--
+		}
+	case PolicyLFU:
+		var worst *storeEntry
+		for el := s.order.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*storeEntry)
+			if _, pinned := s.pins[e.id]; pinned {
+				continue
+			}
+			if worst == nil || e.freq < worst.freq {
+				worst = e
+			}
+		}
+		return worst
+	}
+	panic("cache: victimUnpinned with no unpinned entries")
+}
+
+// drop removes an entry from all bookkeeping (clearing its pins, if any).
+func (s *Store) drop(e *storeEntry) {
+	s.order.Remove(e.el)
+	delete(s.items, e.id)
+	s.used -= e.size
+	if _, pinned := s.pins[e.id]; pinned {
+		delete(s.pins, e.id)
+		s.pinnedBytes -= e.size
+	}
+}
+
 // Insert adds the chunk (or touches it if resident), evicting under the
-// policy as needed, and returns the evicted IDs.
+// policy as needed, and returns the evicted IDs. Demand inserts ignore
+// pins: a pinned chunk can be evicted here (the pin is cleared), so
+// eviction behaviour is byte-identical whether or not pinning is in use.
 func (s *Store) Insert(id volume.ChunkID, size units.Bytes) []volume.ChunkID {
 	if size <= 0 {
 		panic(fmt.Sprintf("cache: non-positive chunk size %v", size))
@@ -145,16 +243,14 @@ func (s *Store) Insert(id volume.ChunkID, size units.Bytes) []volume.ChunkID {
 	if size > s.quota {
 		panic(fmt.Sprintf("cache: chunk %v (%v) exceeds quota %v", id, size, s.quota))
 	}
-	if s.Touch(id) {
+	if s.touch(id) {
 		return nil
 	}
 	var evicted []volume.ChunkID
 	for s.used+size > s.quota {
 		v := s.victim()
-		s.order.Remove(v.el)
-		delete(s.items, v.id)
-		s.used -= v.size
-		s.Evictions++
+		s.drop(v)
+		s.stats.Evictions++
 		evicted = append(evicted, v.id)
 	}
 	e := &storeEntry{id: id, size: size, freq: 1}
@@ -164,19 +260,91 @@ func (s *Store) Insert(id volume.ChunkID, size units.Bytes) []volume.ChunkID {
 	return evicted
 }
 
-// Remove drops the chunk if resident and reports whether it was.
+// InsertCold admits a chunk at the cold end of the cache — the prefetch
+// admission path. Unlike Insert it is best-effort: it never evicts a
+// pinned chunk, and reports ok=false (without mutating anything) when the
+// chunk cannot fit after evicting every unpinned resident. A resident
+// chunk is left where it is (no promotion) and reported ok=true. The
+// admitted chunk starts with zero frequency so LFU also sees it as cold.
+func (s *Store) InsertCold(id volume.ChunkID, size units.Bytes) (evicted []volume.ChunkID, ok bool) {
+	if size <= 0 {
+		panic(fmt.Sprintf("cache: non-positive chunk size %v", size))
+	}
+	if s.Contains(id) {
+		return nil, true
+	}
+	if size > s.quota-s.pinnedBytes {
+		return nil, false
+	}
+	for s.used+size > s.quota {
+		v := s.victimUnpinned()
+		s.drop(v)
+		s.stats.Evictions++
+		evicted = append(evicted, v.id)
+	}
+	e := &storeEntry{id: id, size: size, freq: 0}
+	e.el = s.order.PushBack(e)
+	s.items[id] = e
+	s.used += size
+	return evicted, true
+}
+
+// Pin marks a resident chunk as depended on by a scheduled task, protecting
+// it from InsertCold eviction. Pins nest (counted); a non-resident chunk
+// cannot be pinned and Pin reports false.
+func (s *Store) Pin(id volume.ChunkID) bool {
+	e, ok := s.items[id]
+	if !ok {
+		return false
+	}
+	if s.pins[id] == 0 {
+		s.pinnedBytes += e.size
+	}
+	s.pins[id]++
+	return true
+}
+
+// Unpin releases one pin on the chunk. It is a no-op if the chunk is not
+// pinned (e.g. it was evicted by a demand insert, which clears all pins).
+func (s *Store) Unpin(id volume.ChunkID) {
+	n, ok := s.pins[id]
+	if !ok {
+		return
+	}
+	if n <= 1 {
+		delete(s.pins, id)
+		if e, resident := s.items[id]; resident {
+			s.pinnedBytes -= e.size
+		}
+		return
+	}
+	s.pins[id] = n - 1
+}
+
+// Pinned reports whether the chunk currently holds at least one pin.
+func (s *Store) Pinned(id volume.ChunkID) bool {
+	_, ok := s.pins[id]
+	return ok
+}
+
+// PinnedBytes returns the total size of pinned residents.
+func (s *Store) PinnedBytes() units.Bytes { return s.pinnedBytes }
+
+// Remove drops the chunk if resident (clearing its pins) and reports
+// whether it was.
 func (s *Store) Remove(id volume.ChunkID) bool {
 	e, ok := s.items[id]
 	if !ok {
 		return false
 	}
-	s.order.Remove(e.el)
-	delete(s.items, id)
-	s.used -= e.size
+	s.drop(e)
 	return true
 }
 
-// Resident returns resident chunk IDs, most-recent/newest first.
+// Resident returns resident chunk IDs, most-recent/newest first. The order
+// is the deterministic recency/insertion list (never map order), so
+// snapshots and golden comparisons are reproducible; it matches
+// LRU.Resident exactly because LRU is a wrapper over this Store.
 func (s *Store) Resident() []volume.ChunkID {
 	out := make([]volume.ChunkID, 0, len(s.items))
 	for el := s.order.Front(); el != nil; el = el.Next() {
@@ -185,17 +353,42 @@ func (s *Store) Resident() []volume.ChunkID {
 	return out
 }
 
-// Chunks is the minimal cache interface shared by LRU and Store, which the
+// Clone returns an independent copy with identical contents, order,
+// frequencies, pins, and counters. The random-eviction stream restarts
+// from the original seed (exact for the deterministic policies, which is
+// every use the head's prediction tables make of it).
+func (s *Store) Clone() *Store {
+	n := NewStore(s.policy, s.quota, s.seed)
+	for el := s.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*storeEntry)
+		ne := &storeEntry{id: e.id, size: e.size, freq: e.freq}
+		ne.el = n.order.PushFront(ne)
+		n.items[ne.id] = ne
+		n.used += ne.size
+	}
+	for id, cnt := range s.pins {
+		n.pins[id] = cnt
+	}
+	n.pinnedBytes = s.pinnedBytes
+	n.stats = s.stats
+	return n
+}
+
+// Chunks is the cache interface shared by LRU and Store, which the
 // simulation engine's nodes program against.
 type Chunks interface {
 	Contains(volume.ChunkID) bool
 	Touch(volume.ChunkID) bool
 	Insert(volume.ChunkID, units.Bytes) []volume.ChunkID
+	InsertCold(volume.ChunkID, units.Bytes) ([]volume.ChunkID, bool)
+	Pin(volume.ChunkID) bool
+	Unpin(volume.ChunkID)
 	Remove(volume.ChunkID) bool
 	Resident() []volume.ChunkID
 	Used() units.Bytes
 	Quota() units.Bytes
 	Len() int
+	Stats() Stats
 }
 
 // Compile-time interface checks.

@@ -44,6 +44,13 @@ type LocalityScheduler struct {
 	// deterministic, so identical runs divert identical tasks.
 	spreadTick int
 
+	// prefetch, when set, plans background chunk warming (§5.8) after every
+	// demand pass has committed — prefetch work ranks strictly below cached
+	// batch and ε-eligible batch work by running last over the idle windows
+	// they left. nil (the default) changes nothing.
+	prefetch   PrefetchPlanner
+	prefetches []PrefetchDirective
+
 	// Per-cycle scratch, reused across Schedule calls.
 	byChunk                 map[volume.ChunkID]*chunkGroup
 	groupSlab               []*chunkGroup
@@ -84,6 +91,13 @@ func (s *LocalityScheduler) Cycle() units.Duration { return s.cycle }
 
 // SetReplicas implements ReplicaSetter.
 func (s *LocalityScheduler) SetReplicas(k int) { s.Replicas = k }
+
+// SetPrefetchPlanner implements PrefetchSetter.
+func (s *LocalityScheduler) SetPrefetchPlanner(p PrefetchPlanner) { s.prefetch = p }
+
+// PlannedPrefetches implements PrefetchSource. The slice is valid until the
+// next Schedule call.
+func (s *LocalityScheduler) PlannedPrefetches() []PrefetchDirective { return s.prefetches }
 
 // spreadEvery returns the effective diversion stride.
 func (s *LocalityScheduler) spreadEvery() int {
@@ -330,6 +344,12 @@ func (s *LocalityScheduler) Schedule(now units.Time, queue []*Job, head *HeadSta
 			assign(g.tasks[0], target)
 			g.tasks = g.tasks[1:]
 		}
+	}
+	// Prefetch pass (§5.8): runs last, over whatever idle capacity the
+	// demand passes left inside [now, λ).
+	s.prefetches = s.prefetches[:0]
+	if s.prefetch != nil {
+		s.prefetches = append(s.prefetches, s.prefetch.Plan(now, lambda, head)...)
 	}
 	s.out = out
 	return out

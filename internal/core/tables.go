@@ -55,6 +55,15 @@ type HeadState struct {
 	// slots the policy has assigned to it. Secondary selection steers to
 	// low-pressure nodes.
 	pressure []int
+
+	// prefetched tags residencies created by the prefetching layer (§5.8)
+	// that no demand task has touched yet; the counters below settle its
+	// entries into hits, hidden hits, or waste. Lazily allocated — nil until
+	// the first MarkPrefetched, so prefetch-off runs never touch it.
+	prefetched map[prefKey]struct{}
+	prefHits   int64
+	prefHidden int64
+	prefWasted int64
 }
 
 // Health is a node's liveness state as seen by the head.
@@ -143,6 +152,7 @@ func (h *HeadState) MarkUp(k NodeID) {
 // warm. Disabled or untracked, the report is zero.
 func (h *HeadState) MarkFailed(k NodeID) RehomeReport {
 	h.health[k] = HealthDown
+	h.dropPrefetchedOn(k)
 	h.Caches[k] = cache.NewLRU(h.Caches[k].Quota())
 	return h.rehomeFailed(k)
 }
@@ -285,6 +295,7 @@ func (h *HeadState) Correct(res TaskResult, now units.Time) {
 	c := h.Caches[res.Node]
 	for _, ev := range res.Evicted {
 		c.Remove(ev)
+		h.NotePrefetchEvicted(ev, res.Node)
 	}
 	// If the prediction said resident but the node actually missed, the
 	// node has (re)loaded it now either way; make sure the table agrees.

@@ -50,6 +50,10 @@ type ActionStat struct {
 	Completed   int64
 	FirstFinish units.Time
 	LastFinish  units.Time
+	// FirstLatency is the latency of the action's first completed job — the
+	// cold-start cost a user feels when a session starts, and the number
+	// predictive prefetching (§5.8) attacks.
+	FirstLatency units.Duration
 }
 
 // Finish folds one job completion in. Finish times from a DES arrive in
@@ -126,6 +130,9 @@ type Report struct {
 	// QoS carries the admission/degradation outcome when the run had the
 	// QoS subsystem enabled; nil otherwise.
 	QoS *QoSOutcome
+	// Prefetch carries the chunk-warming outcome when the run had the
+	// prefetching layer enabled; nil otherwise.
+	Prefetch *PrefetchOutcome
 }
 
 // Recovery tracks what faults cost a run: how much work had to be
@@ -298,6 +305,9 @@ func (r *Report) JobCompleted(interactive bool, action int, issued, started, fin
 			a = &ActionStat{}
 			r.actions[action] = a
 		}
+		if a.Completed == 0 {
+			a.FirstLatency = finished.Sub(issued)
+		}
 		a.Finish(finished)
 		r.Recovery.Frame(finished)
 	}
@@ -367,6 +377,29 @@ func (r *Report) MeanFramerate() float64 {
 		return 0
 	}
 	return sum / float64(n)
+}
+
+// MeanFirstFrameLatency averages each interactive action's first-frame
+// latency — the session cold-start cost. Summation runs in action order for
+// the same bit-determinism reason as MeanFramerate.
+func (r *Report) MeanFirstFrameLatency() units.Duration {
+	ids := make([]int, 0, len(r.actions))
+	for id := range r.actions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sum float64
+	var n int
+	for _, id := range ids {
+		if a := r.actions[id]; a.Completed > 0 {
+			sum += float64(a.FirstLatency)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return units.Duration(sum / float64(n))
 }
 
 // MinFramerate returns the worst per-action framerate (fairness floor).

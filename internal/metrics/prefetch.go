@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"fmt"
+
+	"vizsched/internal/units"
+)
+
+// PrefetchOutcome is the prefetching layer's run summary (§5.8): volume
+// moved, and how the warmed chunks settled — demand-hit, hidden-hit
+// (absorbed in flight), or evicted unused.
+type PrefetchOutcome struct {
+	// Issued counts directives the planner emitted; Loaded counts warms
+	// that completed; Cancelled counts warms abandoned before completion
+	// (node busy/failed or demand absorbed them).
+	Issued    int64
+	Loaded    int64
+	Cancelled int64
+
+	// Hits counts demand tasks that found their chunk prefetch-resident;
+	// HiddenHits counts demand tasks that absorbed an in-flight warm and
+	// paid only the remaining load time; Wasted counts warmed chunks
+	// evicted before any demand touch.
+	Hits       int64
+	HiddenHits int64
+	Wasted     int64
+
+	// BytesMoved is the total warming volume the governor granted.
+	BytesMoved units.Bytes
+}
+
+// HitRatio returns hits per loaded warm; with nothing loaded, zero.
+func (o *PrefetchOutcome) HitRatio() float64 { return o.ratio(o.Hits) }
+
+// HiddenHitRatio returns hidden hits per issued warm.
+func (o *PrefetchOutcome) HiddenHitRatio() float64 { return o.ratio(o.HiddenHits) }
+
+// WasteRatio returns warmed-then-evicted chunks per loaded warm.
+func (o *PrefetchOutcome) WasteRatio() float64 { return o.ratio(o.Wasted) }
+
+func (o *PrefetchOutcome) ratio(n int64) float64 {
+	if o.Loaded == 0 {
+		return 0
+	}
+	return float64(n) / float64(o.Loaded)
+}
+
+// String renders a one-line summary.
+func (o *PrefetchOutcome) String() string {
+	return fmt.Sprintf(
+		"prefetch: issued=%d loaded=%d cancelled=%d hits=%d hidden=%d wasted=%d moved=%v",
+		o.Issued, o.Loaded, o.Cancelled, o.Hits, o.HiddenHits, o.Wasted, o.BytesMoved)
+}

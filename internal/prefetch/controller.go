@@ -1,0 +1,216 @@
+package prefetch
+
+import (
+	"vizsched/internal/core"
+	"vizsched/internal/metrics"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// Controller glues predictor and governor into a core.PrefetchPlanner: one
+// instance per engine or live head, wired into the scheduler with
+// core.PrefetchSetter and trained by the execution layer's completion
+// stream. Not safe for concurrent use; its owner serializes access the
+// same way it serializes Schedule calls.
+type Controller struct {
+	cfg    Config
+	pred   *Predictor
+	gov    *Governor
+	sizeOf func(volume.ChunkID) units.Bytes
+
+	// inflight tracks the (at most one) warm each node is running;
+	// inflightChunk counts in-flight warms per chunk so two nodes never
+	// warm the same chunk concurrently.
+	inflight      map[core.NodeID]volume.ChunkID
+	inflightChunk map[volume.ChunkID]int
+
+	// churned tracks chunks a warm landing displaced from each node since
+	// the node last completed demand work. A displaced chunk immediately
+	// becomes a top-ranked non-resident candidate, so without this guard a
+	// long idle window lets warm → evict → re-warm cycles rotate the entire
+	// cache, wasting the whole gap's bandwidth. Demand completions clear it:
+	// real work re-anchors what is worth keeping.
+	churned map[core.NodeID]map[volume.ChunkID]bool
+
+	issued    int64
+	loaded    int64
+	cancelled int64
+	bytes     units.Bytes
+
+	scratch []core.PrefetchDirective
+}
+
+// NewController builds the prefetching layer for n nodes. sizeOf resolves a
+// candidate chunk to its byte size, returning 0 for chunks that do not
+// exist (the predictor may extrapolate past a dataset edge); the engine
+// backs it with the library, the live head with its manifest catalog.
+// A nil cfg selects all defaults.
+func NewController(cfg *Config, n int, sizeOf func(volume.ChunkID) units.Bytes) *Controller {
+	c := Config{}
+	if cfg != nil {
+		c = *cfg
+	}
+	c = c.withDefaults()
+	return &Controller{
+		cfg:           c,
+		pred:          NewPredictor(&c),
+		gov:           NewGovernor(n, c.RateBytesPerSec, c.Burst),
+		sizeOf:        sizeOf,
+		inflight:      make(map[core.NodeID]volume.ChunkID),
+		inflightChunk: make(map[volume.ChunkID]int),
+		churned:       make(map[core.NodeID]map[volume.ChunkID]bool),
+	}
+}
+
+// Predictor exposes the trained predictor for tests and introspection.
+func (c *Controller) Predictor() *Predictor { return c.pred }
+
+// Governor exposes the bandwidth governor for tests and introspection.
+func (c *Controller) Governor() *Governor { return c.gov }
+
+// Observe trains the predictor with one completed task. It also clears the
+// churn guard: demand work re-anchors the caches, so chunks a warm once
+// displaced become fair candidates again.
+func (c *Controller) Observe(action core.ActionID, chunk volume.ChunkID, now units.Time) {
+	c.pred.Observe(action, chunk, now)
+	clear(c.churned)
+}
+
+// NoteEvicted records that landing a warm displaced chunk from node k. The
+// execution layer calls it for every eviction a cold insert causes; Plan
+// refuses to re-warm such a chunk onto the same node until demand work runs
+// again, breaking warm/evict rotation cycles in long idle windows.
+func (c *Controller) NoteEvicted(k core.NodeID, chunk volume.ChunkID) {
+	set := c.churned[k]
+	if set == nil {
+		set = make(map[volume.ChunkID]bool)
+		c.churned[k] = set
+	}
+	set[chunk] = true
+}
+
+// Plan implements core.PrefetchPlanner. It runs at the end of Schedule,
+// after every demand assignment has been committed to the head tables, so
+// the idle test below sees the cycle's true leftover capacity: a node is a
+// warming target only if its predicted queue drains inside [now, λ) and it
+// has been free of interactive work for the ε-style guard Estimate[c]/2 —
+// the same idleness reasoning Algorithm 1 applies to non-cached batch,
+// reusing the same Estimate table.
+func (c *Controller) Plan(now, lambda units.Time, head *core.HeadState) []core.PrefetchDirective {
+	out := c.scratch[:0]
+	for _, cand := range c.pred.Candidates(now, c.cfg.TopK) {
+		size := c.sizeOf(cand.Chunk)
+		if size <= 0 {
+			continue // extrapolated past a dataset edge
+		}
+		if c.inflightChunk[cand.Chunk] > 0 {
+			continue // already warming somewhere
+		}
+		if head.ReplicaCount(cand.Chunk) > 0 {
+			continue // already predicted resident
+		}
+		guard := head.IdleThreshold(cand.Chunk, size, 1)
+		best := core.NodeID(-1)
+		for k := 0; k < head.Nodes(); k++ {
+			node := core.NodeID(k)
+			if !head.Alive(node) {
+				continue
+			}
+			if _, busy := c.inflight[node]; busy {
+				continue
+			}
+			if !head.Available[k].Before(lambda) {
+				continue // demand work fills past λ: no idle window
+			}
+			if c.churned[node][cand.Chunk] {
+				continue // a warm displaced it here; re-warming would cycle
+			}
+			if head.InteractiveIdle(node, now) <= guard {
+				continue // served interactive work too recently
+			}
+			if best < 0 || head.Available[k] < head.Available[best] {
+				best = node
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		if !c.gov.Allow(best, size, now) {
+			continue
+		}
+		c.inflight[best] = cand.Chunk
+		c.inflightChunk[cand.Chunk]++
+		c.issued++
+		c.bytes += size
+		out = append(out, core.PrefetchDirective{Node: best, Chunk: cand.Chunk, Size: size})
+	}
+	c.scratch = out
+	return out
+}
+
+// settle clears node k's in-flight record if it matches the chunk.
+func (c *Controller) settle(k core.NodeID, chunk volume.ChunkID) bool {
+	cur, ok := c.inflight[k]
+	if !ok || cur != chunk {
+		return false
+	}
+	delete(c.inflight, k)
+	if n := c.inflightChunk[chunk]; n <= 1 {
+		delete(c.inflightChunk, chunk)
+	} else {
+		c.inflightChunk[chunk] = n - 1
+	}
+	return true
+}
+
+// Loaded records a warm that completed and entered node k's cache.
+func (c *Controller) Loaded(k core.NodeID, chunk volume.ChunkID) {
+	if c.settle(k, chunk) {
+		c.loaded++
+	}
+}
+
+// Cancel records a warm abandoned before completion: the node was busy,
+// failed, or the chunk turned out resident.
+func (c *Controller) Cancel(k core.NodeID, chunk volume.ChunkID) {
+	if c.settle(k, chunk) {
+		c.cancelled++
+	}
+}
+
+// Absorbed records a warm cancelled because a demand task for the same
+// chunk arrived and absorbed the in-flight load (counted as a hidden hit by
+// the head tables, and as a cancellation here — the warm itself never
+// finished).
+func (c *Controller) Absorbed(k core.NodeID, chunk volume.ChunkID) {
+	c.Cancel(k, chunk)
+}
+
+// FailNode abandons whatever warm node k had in flight (crash/stall).
+func (c *Controller) FailNode(k core.NodeID) {
+	if chunk, ok := c.inflight[k]; ok {
+		c.Cancel(k, chunk)
+	}
+	delete(c.churned, k)
+}
+
+// InFlight reports the warm node k is currently running, if any.
+func (c *Controller) InFlight(k core.NodeID) (volume.ChunkID, bool) {
+	chunk, ok := c.inflight[k]
+	return chunk, ok
+}
+
+// Outcome summarizes the run, folding in the head tables' accuracy
+// counters.
+func (c *Controller) Outcome(head *core.HeadState) *metrics.PrefetchOutcome {
+	hits, hidden, wasted := head.PrefetchAccuracy()
+	return &metrics.PrefetchOutcome{
+		Issued:     c.issued,
+		Loaded:     c.loaded,
+		Cancelled:  c.cancelled,
+		Hits:       hits,
+		HiddenHits: hidden,
+		Wasted:     wasted,
+		BytesMoved: c.bytes,
+	}
+}

@@ -1,0 +1,156 @@
+package prefetch
+
+import (
+	"reflect"
+	"testing"
+
+	"vizsched/internal/core"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+func cid(ds, idx int) volume.ChunkID {
+	return volume.ChunkID{Dataset: volume.DatasetID(ds), Index: idx}
+}
+
+func at(s float64) units.Time { return units.Time(float64(units.Second) * s) }
+
+// An action walking indexes 0,1,2 within a dataset should predict index 3
+// as the top candidate.
+func TestPredictorOrder1Continuation(t *testing.T) {
+	p := NewPredictor(nil)
+	for i := 0; i < 3; i++ {
+		p.Observe(1, cid(0, i), at(float64(i)))
+	}
+	cands := p.Candidates(at(2.5), 8)
+	if len(cands) == 0 {
+		t.Fatal("no candidates after a 3-chunk run")
+	}
+	if cands[0].Chunk != cid(0, 3) {
+		t.Fatalf("top candidate = %v, want %v", cands[0].Chunk, cid(0, 3))
+	}
+}
+
+// With order 2 enabled, a zig-zag stream (+1,+2,+1,+2,...) should use the
+// two-delta context to pick the right continuation, where order 1 alone
+// would mix both deltas.
+func TestPredictorOrder2Context(t *testing.T) {
+	p := NewPredictor(&Config{Order: 2})
+	// Indexes: 0,1,3,4,6,7,9 -> deltas +1,+2,+1,+2,+1,+2. After trailing
+	// (+1,+2) the learned continuation is +1 -> index 10.
+	idxs := []int{0, 1, 3, 4, 6, 7, 9}
+	for i, idx := range idxs {
+		p.Observe(1, cid(0, idx), at(float64(i)))
+	}
+	cands := p.Candidates(at(6.5), 8)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if cands[0].Chunk != cid(0, 10) {
+		t.Fatalf("top candidate = %v, want %v (order-2 continuation)", cands[0].Chunk, cid(0, 10))
+	}
+}
+
+// A dataset-sweep stream (ds+1, idx fixed) predicts the next dataset's
+// chunk — the BatchTimeSeries shape.
+func TestPredictorDatasetSweep(t *testing.T) {
+	p := NewPredictor(nil)
+	for i := 0; i < 4; i++ {
+		p.Observe(7, cid(i, 2), at(float64(i)))
+	}
+	cands := p.Candidates(at(3.5), 8)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if cands[0].Chunk != cid(4, 2) {
+		t.Fatalf("top candidate = %v, want %v", cands[0].Chunk, cid(4, 2))
+	}
+}
+
+// Identical observation sequences must yield identical rankings — the
+// simulator's determinism depends on it.
+func TestPredictorDeterministicRanking(t *testing.T) {
+	build := func() []Candidate {
+		p := NewPredictor(nil)
+		seq := []struct {
+			a core.ActionID
+			c volume.ChunkID
+		}{
+			{1, cid(0, 0)}, {2, cid(3, 1)}, {1, cid(0, 1)}, {2, cid(3, 2)},
+			{1, cid(0, 2)}, {3, cid(5, 0)}, {2, cid(3, 3)}, {3, cid(5, 1)},
+			{1, cid(0, 3)}, {3, cid(5, 2)},
+		}
+		for i, o := range seq {
+			p.Observe(o.a, o.c, at(float64(i)*0.3))
+		}
+		return p.Candidates(at(3.0), 16)
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("rankings differ across identical runs:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("expected candidates from a mixed stream")
+	}
+}
+
+// Streams older than StreamTTL stop contributing Markov continuations but
+// the frequency prior persists (decayed).
+func TestPredictorStreamTTLExpiry(t *testing.T) {
+	p := NewPredictor(&Config{StreamTTL: units.Second})
+	for i := 0; i < 3; i++ {
+		p.Observe(1, cid(0, i), at(float64(i)*0.1))
+	}
+	// Just after the run: continuation present.
+	fresh := p.Candidates(at(0.3), 8)
+	found := false
+	for _, c := range fresh {
+		if c.Chunk == cid(0, 3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("live stream should predict its continuation")
+	}
+	// Well past TTL: the never-observed continuation chunk must be gone.
+	stale := p.Candidates(at(10), 8)
+	for _, c := range stale {
+		if c.Chunk == cid(0, 3) {
+			t.Fatalf("expired stream still predicting continuation: %v", stale)
+		}
+	}
+}
+
+// The EMA prior decays: a chunk hot long ago ranks below a chunk hot now.
+func TestPredictorFrequencyDecay(t *testing.T) {
+	p := NewPredictor(&Config{HalfLife: 2 * units.Second})
+	// Old-hot chunk: 4 touches at t=0, distinct actions so no Markov stream forms.
+	for i := 0; i < 4; i++ {
+		p.Observe(core.ActionID(10+i), cid(0, 0), at(0))
+	}
+	// Recent chunk: 2 touches at t=10.
+	for i := 0; i < 2; i++ {
+		p.Observe(core.ActionID(20+i), cid(1, 0), at(10))
+	}
+	cands := p.Candidates(at(10), 8)
+	if len(cands) < 2 {
+		t.Fatalf("want both chunks in candidates, got %v", cands)
+	}
+	if cands[0].Chunk != cid(1, 0) {
+		t.Fatalf("recent chunk should outrank decayed one, got %v first", cands[0].Chunk)
+	}
+}
+
+// Self-transitions (delta 0,0 — repeated touches of the same chunk) never
+// propose the chunk the stream is already on.
+func TestPredictorSkipsSelfTransition(t *testing.T) {
+	p := NewPredictor(&Config{PriorWeight: -1}) // isolate the Markov part
+	for i := 0; i < 5; i++ {
+		p.Observe(1, cid(0, 0), at(float64(i)))
+	}
+	for _, c := range p.Candidates(at(4.5), 8) {
+		if c.Chunk == cid(0, 0) {
+			t.Fatal("self-transition proposed the current chunk")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package prefetch is the predictive chunk-warming layer (§5.8), shared by
+// the discrete-event simulator and the live service the same way
+// internal/qos is: one controller object implements core.PrefetchPlanner
+// and is wired into the scheduler via core.PrefetchSetter.
+//
+// Three parts cooperate:
+//
+//   - A predictor (predictor.go) watches the per-action chunk-footprint
+//     stream from completed tasks: an order-1/order-2 Markov transition
+//     table over ChunkID deltas captures trajectories (camera paths,
+//     time-series sweeps), and an exponentially-decayed frequency prior
+//     re-ranks historically hot chunks that churn evicted. It emits ranked
+//     candidate chunks.
+//
+//   - The controller (controller.go) turns candidates into per-node
+//     directives inside the scheduler's idle windows: it runs after every
+//     demand pass of Schedule (strictly lower rank), reuses the Estimate[c]
+//     table for the ε-style idle guard, and keeps at most one warm in
+//     flight per node so a demand task can always absorb it ("hidden hit").
+//
+//   - A bandwidth governor (governor.go) meters warming bytes per node
+//     with a token bucket, so background warming can never starve demand
+//     I/O no matter how confident the predictor gets.
+//
+// Prefetched chunks enter caches through InsertCold: at the cold end of
+// the recency order, never evicting a chunk pinned by a scheduled task.
+// The layer is off by default; with it off, no code path below is reached
+// and golden outputs are bit-identical.
+package prefetch
+
+import (
+	"vizsched/internal/units"
+)
+
+// Config parameterizes the prefetching layer. The zero value of any field
+// selects its default, so callers can set only what they study.
+type Config struct {
+	// Order is the Markov model depth over chunk deltas: 1 conditions the
+	// next delta on the last one, 2 on the last two (falling back to
+	// order 1 until a stream has enough history). Default 2.
+	Order int
+	// TopK bounds how many ranked candidates the controller considers per
+	// scheduling cycle. Default 32.
+	TopK int
+	// RateBytesPerSec is each node's sustained warming budget — the token
+	// bucket's refill rate. Default 128 MB/s.
+	RateBytesPerSec units.Bytes
+	// Burst is the token bucket depth: the largest warming burst a node may
+	// issue after sitting idle. Must cover the largest chunk or that chunk
+	// can never be prefetched. Default 1 GB.
+	Burst units.Bytes
+	// HalfLife is the frequency prior's exponential decay half-life: how
+	// long ago an access may be and still count half. Default 10 s.
+	HalfLife units.Duration
+	// StreamTTL stops a per-action stream from generating Markov candidates
+	// this long after its last observation (the action likely ended).
+	// Default 2 s.
+	StreamTTL units.Duration
+	// MarkovWeight and PriorWeight blend the two signal sources into one
+	// candidate score. Defaults 1.0 and 0.5; negative disables that source
+	// entirely (zero means "use the default").
+	MarkovWeight float64
+	PriorWeight  float64
+	// MinScore drops candidates scoring below this floor — noise from
+	// near-uniform transition rows. Default 0.02.
+	MinScore float64
+}
+
+// DefaultConfig returns the defaults documented on Config.
+func DefaultConfig() *Config {
+	c := Config{}
+	c = c.withDefaults()
+	return &c
+}
+
+// withDefaults returns a copy with zero fields resolved.
+func (c Config) withDefaults() Config {
+	if c.Order <= 0 {
+		c.Order = 2
+	}
+	if c.Order > 2 {
+		c.Order = 2
+	}
+	if c.TopK <= 0 {
+		c.TopK = 32
+	}
+	if c.RateBytesPerSec <= 0 {
+		c.RateBytesPerSec = 128 * units.MB
+	}
+	if c.Burst <= 0 {
+		c.Burst = units.GB
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = 10 * units.Second
+	}
+	if c.StreamTTL <= 0 {
+		c.StreamTTL = 2 * units.Second
+	}
+	if c.MarkovWeight == 0 {
+		c.MarkovWeight = 1.0
+	} else if c.MarkovWeight < 0 {
+		c.MarkovWeight = 0
+	}
+	if c.PriorWeight == 0 {
+		c.PriorWeight = 0.5
+	} else if c.PriorWeight < 0 {
+		c.PriorWeight = 0
+	}
+	if c.MinScore <= 0 {
+		c.MinScore = 0.02
+	}
+	return c
+}

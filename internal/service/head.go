@@ -12,6 +12,7 @@ import (
 	"vizsched/internal/compositing"
 	"vizsched/internal/core"
 	"vizsched/internal/img"
+	"vizsched/internal/prefetch"
 	"vizsched/internal/qos"
 	"vizsched/internal/transport"
 	"vizsched/internal/units"
@@ -185,6 +186,17 @@ type Head struct {
 	QoS  *qos.Config
 	qosc *qos.Controller
 
+	// Prefetch, when set before Start, enables the predictive chunk-warming
+	// layer (§5.8): a Markov/frequency predictor trained on the fragment
+	// completion stream plans warms into the scheduler's idle windows, a
+	// token-bucket governor bounds warming bandwidth per worker, and warmed
+	// bricks enter worker caches at the cold end. Requires a scheduler that
+	// implements core.PrefetchSetter (OURS); inert otherwise. Nil keeps the
+	// demand-only behaviour exactly.
+	Prefetch *prefetch.Config
+	prefc    *prefetch.Controller
+	prefSrc  core.PrefetchSource
+
 	// BatchWindow caps how many batch jobs the fair queue releases into the
 	// scheduler's working set per pass when QoS is active; zero means the
 	// default of 256 (matching the simulator).
@@ -335,6 +347,13 @@ func (h *Head) Start() error {
 		}
 		h.qosc = qos.NewController(&cfg)
 	}
+	if h.Prefetch != nil {
+		if ps, ok := h.sched.(core.PrefetchSetter); ok {
+			h.prefc = prefetch.NewController(h.Prefetch, n, h.chunkSize)
+			ps.SetPrefetchPlanner(h.prefc)
+			h.prefSrc, _ = h.sched.(core.PrefetchSource)
+		}
+	}
 	h.start = time.Now()
 	h.started = true
 	h.gens = make([]uint64, n)
@@ -380,6 +399,16 @@ func (h *Head) Stop() {
 
 // now returns service-relative time for the scheduler's tables.
 func (h *Head) now() units.Time { return units.Time(time.Since(h.start)) }
+
+// chunkSize resolves a scheduler chunk ID to its manifest byte size; zero
+// for chunks the predictor extrapolated past a dataset edge.
+func (h *Head) chunkSize(c volume.ChunkID) units.Bytes {
+	m := h.catalog.Get(h.dsNames[c.Dataset])
+	if m == nil || c.Index < 0 || c.Index >= len(m.Chunks) {
+		return 0
+	}
+	return m.Chunks[c.Index].SizeBytes
+}
 
 // WorkerHealth returns the head's current liveness verdict for worker k.
 // Safe from any goroutine.
@@ -433,6 +462,28 @@ func (h *Head) dispatch() {
 	check := time.NewTicker(checkEvery)
 	defer check.Stop()
 
+	// sendPrefetches ships warm directives to their workers. A failed send
+	// is left to the connection reader: the node-down path abandons the
+	// controller's in-flight record along with everything else.
+	sendPrefetches := func(ds []core.PrefetchDirective) {
+		for _, d := range ds {
+			h.stats.prefetchIssued.Add(1)
+			h.stats.prefetchBytes.Add(int64(d.Size))
+			raw, err := transport.Encode(PrefetchBody{Dataset: h.dsNames[d.Chunk.Dataset], Chunk: d.Chunk.Index})
+			if err != nil {
+				h.Logf("head: encoding prefetch: %v", err)
+				continue
+			}
+			if err := h.senders[d.Node].Send(transport.Message{Kind: transport.KindPrefetch, Body: raw}); err != nil {
+				h.Logf("head: prefetch send to node %d failed: %v", d.Node, err)
+			}
+		}
+	}
+	pcycle := cycle
+	if pcycle <= 0 {
+		pcycle = core.DefaultCycle
+	}
+
 	runSched := func() {
 		if h.qosc != nil {
 			// Refill the working window from the fair queue: every queued
@@ -460,6 +511,11 @@ func (h *Head) dispatch() {
 			}
 		}
 		if len(queue) == 0 {
+			// A truly idle cycle still warms: the in-Schedule planner only
+			// runs when there is demand work to schedule around.
+			if h.prefc != nil {
+				sendPrefetches(h.prefc.Plan(h.now(), h.now().Add(pcycle), h.state))
+			}
 			return
 		}
 		jobs := make([]*core.Job, 0, len(queue))
@@ -495,6 +551,11 @@ func (h *Head) dispatch() {
 					h.Logf("head: send to node %d failed: %v", a.Node, err)
 				}
 			}
+		}
+		// The scheduler's own planner fitted warms into this cycle's leftover
+		// idle windows (strictly below every demand assignment); ship them.
+		if h.prefSrc != nil {
+			sendPrefetches(h.prefSrc.PlannedPrefetches())
 		}
 		live := queue[:0]
 		for _, lj := range queue {
@@ -555,7 +616,11 @@ func (h *Head) dispatch() {
 		}
 		h.Logf("head: node %d down; re-scheduling its tasks", node)
 		h.stats.workersDown.Add(1)
-		rehome := h.state.MarkFailed(node)
+		if h.prefc != nil {
+			h.prefc.FailNode(node)
+		}
+		var rehome core.RehomeReport
+		h.trackWaste(func() { rehome = h.state.MarkFailed(node) })
 		if rehome.Rehomed > 0 || rehome.Reseeded > 0 {
 			h.stats.chunksRehomed.Add(int64(rehome.Rehomed))
 			h.stats.chunksReseeded.Add(int64(rehome.Reseeded))
@@ -852,6 +917,13 @@ func (h *Head) dispatch() {
 					delete(inflight, lj.job.ID)
 					go h.finalize(lj)
 				}
+			case transport.KindPrefetchDone:
+				var pd PrefetchDoneBody
+				if err := transport.Decode(ev.msg.Body, &pd); err != nil {
+					h.Logf("head: bad prefetch report from node %d: %v", ev.node, err)
+					continue
+				}
+				h.prefetchDone(ev.node, pd)
 			case transport.KindError:
 				var eb ErrorBody
 				_ = transport.Decode(ev.msg.Body, &eb)
@@ -874,21 +946,84 @@ func (h *Head) correct(lj *liveJob, node core.NodeID, frag *FragmentBody) {
 			evicted = append(evicted, volume.ChunkID{Dataset: id, Index: ev.Index})
 		}
 	}
-	h.state.Correct(core.TaskResult{
-		Task:      task,
-		Node:      node,
-		Hit:       frag.Hit,
-		Exec:      units.Duration(frag.ExecNanos),
-		Predicted: task.PredictedExec,
-		Evicted:   evicted,
-		Finished:  h.now(),
-	}, h.now())
+	if h.prefc != nil && frag.Hit && h.state.DemandTouchPrefetched(task.Chunk, node) {
+		h.stats.prefetchHits.Add(1)
+	}
+	h.trackWaste(func() {
+		h.state.Correct(core.TaskResult{
+			Task:      task,
+			Node:      node,
+			Hit:       frag.Hit,
+			Exec:      units.Duration(frag.ExecNanos),
+			Predicted: task.PredictedExec,
+			Evicted:   evicted,
+			Finished:  h.now(),
+		}, h.now())
+	})
+	if h.prefc != nil {
+		// Every completed fragment trains the predictor's trajectory model.
+		h.prefc.Observe(lj.job.Action, task.Chunk, h.now())
+	}
+	h.stats.evictions.Add(int64(len(frag.Evicted)))
 	if frag.Hit {
 		h.stats.hits.Add(1)
 	} else {
 		h.stats.misses.Add(1)
 	}
 	h.stats.renderNanos.Add(frag.ExecNanos)
+}
+
+// prefetchDone settles a warm the head had in flight on the reporting node,
+// syncing the prediction tables with what actually landed (or did not).
+// Dispatcher-owned: called only from the event loop.
+func (h *Head) prefetchDone(node core.NodeID, pd PrefetchDoneBody) {
+	if h.prefc == nil {
+		return
+	}
+	id, ok := h.dsIDs[pd.Dataset]
+	if !ok {
+		return
+	}
+	c := volume.ChunkID{Dataset: id, Index: pd.Chunk}
+	if !pd.Loaded {
+		// Already resident, load failure, or a pin-saturated cache: nothing
+		// landed, so release the node for the next plan.
+		h.prefc.Cancel(node, c)
+		h.stats.prefetchCancelled.Add(1)
+		return
+	}
+	h.prefc.Loaded(node, c)
+	h.stats.prefetchLoaded.Add(1)
+	h.stats.prefetchNanos.Add(pd.Nanos)
+	h.state.MarkPrefetched(c, node, h.chunkSize(c))
+	for _, ev := range pd.Evicted {
+		did, ok := h.dsIDs[ev.Dataset]
+		if !ok {
+			continue
+		}
+		evc := volume.ChunkID{Dataset: did, Index: ev.Index}
+		h.state.Caches[node].Remove(evc)
+		h.prefc.NoteEvicted(node, evc)
+		if h.state.NotePrefetchEvicted(evc, node) {
+			h.stats.prefetchWasted.Add(1)
+		}
+	}
+	h.stats.evictions.Add(int64(len(pd.Evicted)))
+}
+
+// trackWaste runs fn and folds any prefetch waste the head tables recorded
+// during it (warmed chunks evicted untouched) into the stats mirror.
+func (h *Head) trackWaste(fn func()) {
+	if h.prefc == nil {
+		fn()
+		return
+	}
+	_, _, before := h.state.PrefetchAccuracy()
+	fn()
+	_, _, after := h.state.PrefetchAccuracy()
+	if after > before {
+		h.stats.prefetchWasted.Add(after - before)
+	}
 }
 
 // finalize composites a completed job's fragments and replies to the client.

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vizsched/internal/core"
+	"vizsched/internal/prefetch"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// scrubCatalog writes n single-chunk datasets whose names sort in scrub
+// order, so a client stepping through them in catalog order produces the
+// dataset-delta trajectory the Markov predictor learns.
+func scrubCatalog(t *testing.T, n int) *Catalog {
+	t.Helper()
+	dir := t.TempDir()
+	cat := NewCatalog()
+	g := volume.Generate(volume.Plume, 20, 20, 20)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("scrub%d", i)
+		m, err := WriteDataset(filepath.Join(dir, name), name, g, 1, "plume")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+// TestPrefetchLiveServiceWarms drives the live service through a dataset
+// scrub with prefetching on: after the first couple of steps the head's
+// planner warms the next dataset's brick into the worker during the idle
+// gap between frames, so later frames land as cache hits and the stats
+// snapshot reports the warm → hit pipeline end to end.
+func TestPrefetchLiveServiceWarms(t *testing.T) {
+	cat := scrubCatalog(t, 6)
+	cl, err := StartClusterWith(core.NewLocalityScheduler(2*units.Millisecond), cat, 1, 64*units.MB, func(h *Head) {
+		h.Prefetch = prefetch.DefaultConfig()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	client := cl.Connect()
+	defer client.Close()
+
+	hits := 0
+	for _, name := range cat.Names() {
+		res, err := client.Render(RenderBody{
+			Dataset: name,
+			Angle:   0.4, Elevation: 0.2, Dist: 2.2,
+			Width: 32, Height: 32,
+			Action: 7,
+		})
+		if err != nil {
+			t.Fatalf("render %s: %v", name, err)
+		}
+		hits += res.Hits
+		// The idle gap the planner warms into; a real viewer thinks far
+		// longer than this between frames.
+		time.Sleep(80 * time.Millisecond)
+	}
+
+	s := cl.Head.Stats()
+	if s.Prefetch == nil {
+		t.Fatal("prefetch-enabled head reports no prefetch snapshot")
+	}
+	if s.Prefetch.Issued == 0 {
+		t.Fatalf("no warms issued across a predictable scrub: %+v", s.Prefetch)
+	}
+	if s.Prefetch.Hits < 1 || hits < 1 {
+		t.Fatalf("warmed bricks never hit: snapshot=%+v client hits=%d", s.Prefetch, hits)
+	}
+	if s.Prefetch.BytesMoved <= 0 {
+		t.Fatalf("issued warms moved no bytes: %+v", s.Prefetch)
+	}
+	// The worker's own cache counters (satellite of §5.8): the scrub's
+	// demand misses plus prefetch hits must all be visible.
+	ws := cl.workers[0].CacheStats()
+	if ws.Hits < int64(hits) || ws.Misses == 0 {
+		t.Fatalf("worker cache counters inconsistent: %+v (client hits %d)", ws, hits)
+	}
+}
+
+// TestPrefetchLiveServiceOffNoSnapshot: without a prefetch config the head
+// must not expose a prefetch snapshot, issue directives, or touch the
+// prediction tables.
+func TestPrefetchLiveServiceOffNoSnapshot(t *testing.T) {
+	cat := scrubCatalog(t, 2)
+	cl, err := StartCluster(core.NewLocalityScheduler(2*units.Millisecond), cat, 1, 64*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	client := cl.Connect()
+	defer client.Close()
+	for _, name := range cat.Names() {
+		if _, err := client.Render(RenderBody{
+			Dataset: name,
+			Angle:   0.4, Elevation: 0.2, Dist: 2.2,
+			Width: 24, Height: 24,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := cl.Head.Stats(); s.Prefetch != nil {
+		t.Fatalf("prefetch snapshot present on a plain head: %+v", s.Prefetch)
+	}
+}

@@ -70,6 +70,30 @@ type FragmentBody struct {
 	Evicted []ChunkRef
 }
 
+// PrefetchBody asks a worker to warm one chunk into its cache ahead of
+// predicted demand (§5.8). The worker admits it at the cache's cold end —
+// never displacing recently-demanded bricks — and reports the outcome with
+// a PrefetchDoneBody.
+type PrefetchBody struct {
+	Dataset string
+	Chunk   int
+}
+
+// PrefetchDoneBody reports one warm's outcome. Resident means the chunk was
+// already cached (nothing moved); Loaded means it was read from disk and
+// admitted cold. Both false means the load failed or the cache refused the
+// cold insert, and the warm was dropped.
+type PrefetchDoneBody struct {
+	Dataset  string
+	Chunk    int
+	Resident bool
+	Loaded   bool
+	// Nanos is the wall time the load took, for operator visibility.
+	Nanos int64
+	// Evicted lists bricks the cold insert displaced.
+	Evicted []ChunkRef
+}
+
 // ResultBody returns the final composited image to the client.
 type ResultBody struct {
 	Width, Height int

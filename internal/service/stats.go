@@ -38,6 +38,18 @@ type headStats struct {
 	// QoS counters (§5.7): admission-control verdicts beyond plain admit.
 	jobsThrottled atomic.Int64
 	jobsRejected  atomic.Int64
+
+	// Cache and prefetch counters (§5.8): evictions the workers report
+	// (demand loads and cold warms alike), and the warming pipeline's
+	// lifecycle from directive to demand hit.
+	evictions         atomic.Int64
+	prefetchIssued    atomic.Int64
+	prefetchLoaded    atomic.Int64
+	prefetchCancelled atomic.Int64
+	prefetchHits      atomic.Int64
+	prefetchWasted    atomic.Int64
+	prefetchBytes     atomic.Int64
+	prefetchNanos     atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time view of the service counters.
@@ -63,8 +75,28 @@ type StatsSnapshot struct {
 	ChunksRehomed  int64 `json:"chunks_rehomed"`
 	ChunksReseeded int64 `json:"chunks_reseeded"`
 
+	// CacheEvictions counts bricks worker caches dropped to make room —
+	// with ChunkHits/ChunkMisses, the full cache-efficacy picture.
+	CacheEvictions int64 `json:"cache_evictions"`
+
 	// QoS is present only when the head runs with a QoS config.
 	QoS *QoSSnapshot `json:"qos,omitempty"`
+	// Prefetch is present only when the head runs with a prefetch config.
+	Prefetch *PrefetchSnapshot `json:"prefetch,omitempty"`
+}
+
+// PrefetchSnapshot is the predictive-warming layer's slice of a stats
+// snapshot (§5.8): how many warms were issued, how many landed, and how many
+// of those were touched by demand before eviction.
+type PrefetchSnapshot struct {
+	Issued         int64   `json:"issued"`
+	Loaded         int64   `json:"loaded"`
+	Cancelled      int64   `json:"cancelled"`
+	Hits           int64   `json:"hits"`
+	Wasted         int64   `json:"wasted"`
+	BytesMoved     int64   `json:"bytes_moved"`
+	HitRatePct     float64 `json:"hit_rate_pct"`
+	MeanLoadMillis float64 `json:"mean_load_ms"`
 }
 
 // QoSSnapshot is the QoS subsystem's slice of a stats snapshot: the
@@ -162,6 +194,7 @@ func (h *Head) Stats() StatsSnapshot {
 		WorkersRejoined:   h.stats.workersRejoined.Load(),
 		ChunksRehomed:     h.stats.chunksRehomed.Load(),
 		ChunksReseeded:    h.stats.chunksReseeded.Load(),
+		CacheEvictions:    h.stats.evictions.Load(),
 	}
 	if n := h.stats.mttrEvents.Load(); n > 0 {
 		s.MTTRSeconds = time.Duration(h.stats.mttrNanos.Load() / n).Seconds()
@@ -202,6 +235,21 @@ func (h *Head) Stats() StatsSnapshot {
 		}
 		s.QoS = q
 	}
+	if h.prefc != nil {
+		p := &PrefetchSnapshot{
+			Issued:     h.stats.prefetchIssued.Load(),
+			Loaded:     h.stats.prefetchLoaded.Load(),
+			Cancelled:  h.stats.prefetchCancelled.Load(),
+			Hits:       h.stats.prefetchHits.Load(),
+			Wasted:     h.stats.prefetchWasted.Load(),
+			BytesMoved: h.stats.prefetchBytes.Load(),
+		}
+		if p.Loaded > 0 {
+			p.HitRatePct = 100 * float64(p.Hits) / float64(p.Loaded)
+			p.MeanLoadMillis = float64(h.stats.prefetchNanos.Load()) / float64(p.Loaded) / 1e6
+		}
+		s.Prefetch = p
+	}
 	return s
 }
 
@@ -241,6 +289,7 @@ func (h *Head) StatsHandler() http.Handler {
 		write("workers_rejoined_total", float64(s.WorkersRejoined))
 		write("chunks_rehomed_total", float64(s.ChunksRehomed))
 		write("chunks_reseeded_total", float64(s.ChunksReseeded))
+		write("cache_evictions_total", float64(s.CacheEvictions))
 		write("mttr_seconds", s.MTTRSeconds)
 		write("uptime_seconds", s.UptimeSeconds)
 		if q := s.QoS; q != nil {
@@ -273,6 +322,15 @@ func (h *Head) StatsHandler() http.Handler {
 					writeL("tenant_latency_seconds", l+",quantile=\""+pq.q+"\"", pq.v/1e3)
 				}
 			}
+		}
+		if p := s.Prefetch; p != nil {
+			write("prefetch_issued_total", float64(p.Issued))
+			write("prefetch_loaded_total", float64(p.Loaded))
+			write("prefetch_cancelled_total", float64(p.Cancelled))
+			write("prefetch_hits_total", float64(p.Hits))
+			write("prefetch_wasted_total", float64(p.Wasted))
+			write("prefetch_bytes_moved_total", float64(p.BytesMoved))
+			write("prefetch_hit_rate_pct", p.HitRatePct)
 		}
 	})
 	return mux

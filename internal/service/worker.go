@@ -123,6 +123,44 @@ func (w *Worker) loadBrick(dataset string, chunk int) (*raycast.Brick, bool, []C
 	return brick, false, evicted, nil
 }
 
+// prefetch warms one chunk ahead of predicted demand (§5.8). It runs inline
+// in the serve loop: the head's planner only issues warms into windows it
+// predicts idle, so a directive racing queued demand work was mis-planned
+// and is cheap to absorb; a production worker would run it on the dedicated
+// I/O thread of the paper's §V-C split. The brick enters the cache at the
+// cold end so a warm can never displace recently-demanded data.
+func (w *Worker) prefetch(p PrefetchBody) PrefetchDoneBody {
+	start := time.Now()
+	done := PrefetchDoneBody{Dataset: p.Dataset, Chunk: p.Chunk}
+	cid := w.chunkID(p.Dataset, p.Chunk)
+	if w.lru.Contains(cid) {
+		done.Resident = true
+		return done
+	}
+	m := w.catalog.Get(p.Dataset)
+	if m == nil {
+		w.Logf("worker %s: prefetch for unknown dataset %q", w.Name, p.Dataset)
+		return done
+	}
+	brick, err := m.LoadBrick(p.Chunk)
+	if err != nil {
+		w.Logf("worker %s: prefetch %s/%d failed: %v", w.Name, p.Dataset, p.Chunk, err)
+		return done
+	}
+	evictedIDs, ok := w.lru.InsertCold(cid, brick.Grid.SizeBytes())
+	if !ok {
+		return done // quota pinned solid; drop the warm
+	}
+	for _, ev := range evictedIDs {
+		delete(w.bricks, ev)
+		done.Evicted = append(done.Evicted, ChunkRef{Dataset: w.datasetName(ev.Dataset), Index: ev.Index})
+	}
+	w.bricks[cid] = brick
+	done.Loaded = true
+	done.Nanos = time.Since(start).Nanoseconds()
+	return done
+}
+
 // execute runs one task and builds its fragment.
 func (w *Worker) execute(t TaskBody) (FragmentBody, error) {
 	start := time.Now()
@@ -234,6 +272,15 @@ func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 			if err := send(conn, transport.KindFragment, msg.ID, frag); err != nil {
 				return err
 			}
+		case transport.KindPrefetch:
+			var p PrefetchBody
+			if err := transport.Decode(msg.Body, &p); err != nil {
+				w.Logf("worker %s: bad prefetch: %v", w.Name, err)
+				continue
+			}
+			if err := send(conn, transport.KindPrefetchDone, msg.ID, w.prefetch(p)); err != nil {
+				return err
+			}
 		default:
 			w.Logf("worker %s: unexpected %v message", w.Name, msg.Kind)
 		}
@@ -242,3 +289,8 @@ func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 
 // CachedChunks reports the worker's resident chunk count, for tests.
 func (w *Worker) CachedChunks() int { return w.lru.Len() }
+
+// CacheStats reports the worker cache's cumulative hit/miss/eviction
+// counters. Like CachedChunks it is not synchronized with a live serve
+// loop; read it after Serve returns or accept approximate values.
+func (w *Worker) CacheStats() cache.Stats { return w.lru.Stats() }

@@ -6,6 +6,7 @@ import (
 
 	"vizsched/internal/core"
 	"vizsched/internal/des"
+	"vizsched/internal/trace"
 	"vizsched/internal/units"
 )
 
@@ -158,6 +159,21 @@ func (e *Engine) stallNode(k core.NodeID) *node {
 		n.loadRemaining = n.loadEnd.Sub(now)
 		if n.loadRemaining < 0 {
 			n.loadRemaining = 0
+		}
+	}
+	if e.pref != nil && n.pfActive {
+		// Warms are disposable: a stall cancels the in-flight warm rather
+		// than suspending it. Demand tasks that had absorbed it fall back to
+		// an ordinary load, restarted after the stall.
+		n.pfTimer.Cancel()
+		n.pfTimer = des.Timer{}
+		n.pfActive = false
+		e.pref.Cancel(n.id, n.pfChunk)
+		e.emit(trace.Event{Kind: trace.PrefetchCancel, Node: n.id, Chunk: n.pfChunk})
+		if len(n.pfWaiters) > 0 {
+			n.waiters[n.pfChunk] = append(n.waiters[n.pfChunk], n.pfWaiters...)
+			n.loadq = append(n.loadq, n.pfChunk)
+			n.pfWaiters = nil
 		}
 	}
 	return n

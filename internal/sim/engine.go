@@ -26,6 +26,7 @@ import (
 	"vizsched/internal/core"
 	"vizsched/internal/des"
 	"vizsched/internal/metrics"
+	"vizsched/internal/prefetch"
 	"vizsched/internal/qos"
 	"vizsched/internal/trace"
 	"vizsched/internal/units"
@@ -120,6 +121,14 @@ type Config struct {
 	// single FIFO exactly, so published figures are unaffected. All QoS
 	// decisions run in virtual time — results stay bit-reproducible.
 	QoS *qos.Config
+	// Prefetch enables the predictive chunk-warming layer (§5.8): a
+	// trajectory predictor trained on completed tasks plans background warms
+	// into the idle windows demand scheduling leaves open, metered by a
+	// per-node bandwidth governor. Requires a scheduler implementing
+	// core.PrefetchSetter (OURS); under other schedulers the setting is
+	// inert. nil (the default) leaves every code path untouched, so golden
+	// outputs are bit-identical.
+	Prefetch *prefetch.Config
 }
 
 // node is the actual state of one rendering node.
@@ -153,6 +162,17 @@ type node struct {
 	// missLoad remembers, per waiting task, the load duration it should
 	// report (only the load-triggering task carries it).
 	missLoad map[*core.Task]units.Duration
+
+	// Background warm channel (§5.8): at most one prefetch load in flight,
+	// modeled as an extra I/O stream that never occupies the executor.
+	pfActive bool
+	pfChunk  volume.ChunkID
+	pfSize   units.Bytes
+	pfEnd    units.Time
+	pfTimer  des.Timer
+	// pfWaiters are overlap-mode demand tasks that arrived while their chunk
+	// was warming and absorbed the in-flight load ("hidden hits").
+	pfWaiters []*core.Task
 
 	failed bool
 	// stalled freezes the node (FaultStall): nothing starts or completes,
@@ -216,6 +236,13 @@ type Engine struct {
 	report *metrics.Report
 	rng    *rand.Rand
 	qosc   *qos.Controller
+	// pref is the prefetch controller (nil when disabled); prefSrc reads the
+	// scheduler's planned directives back after each Schedule call.
+	pref    *prefetch.Controller
+	prefSrc core.PrefetchSource
+	// pinned tracks the demand tasks whose resident chunk the engine pinned
+	// at enqueue so a background warm can never evict it (prefetch only).
+	pinned map[*core.Task]bool
 
 	nextJob  core.JobID
 	started  map[core.JobID]units.Time // JS per in-flight job
@@ -274,6 +301,22 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.QoS != nil {
 		e.qosc = qos.NewController(cfg.QoS)
+	}
+	if cfg.Prefetch != nil {
+		if ps, ok := cfg.Scheduler.(core.PrefetchSetter); ok {
+			lib := cfg.Library
+			sizeOf := func(c volume.ChunkID) units.Bytes {
+				d := lib.Get(c.Dataset)
+				if d == nil || c.Index < 0 || c.Index >= len(d.Chunks) {
+					return 0
+				}
+				return d.Chunks[c.Index].Size
+			}
+			e.pref = prefetch.NewController(cfg.Prefetch, cfg.Nodes, sizeOf)
+			ps.SetPrefetchPlanner(e.pref)
+			e.prefSrc, _ = cfg.Scheduler.(core.PrefetchSource)
+			e.pinned = make(map[*core.Task]bool)
+		}
 	}
 	for k := 0; k < cfg.Nodes; k++ {
 		e.nodes = append(e.nodes, e.newNode(core.NodeID(k)))
@@ -341,12 +384,19 @@ func (e *Engine) Run(wl *workload.Schedule, horizon units.Time) *metrics.Report 
 	if e.qosc != nil {
 		e.report.QoS = e.qosc.Outcome()
 	}
+	if e.pref != nil {
+		e.report.Prefetch = e.pref.Outcome(e.head)
+	}
 	return e.report
 }
 
 // QoS exposes the run's QoS controller (nil when disabled) for tests and
 // post-run inspection of the degradation-ladder history.
 func (e *Engine) QoS() *qos.Controller { return e.qosc }
+
+// Prefetch exposes the run's prefetch controller (nil when disabled) for
+// tests and post-run inspection.
+func (e *Engine) Prefetch() *prefetch.Controller { return e.pref }
 
 // arrive turns a request into a decomposed job and queues it.
 func (e *Engine) arrive(req workload.Request) {
@@ -425,6 +475,15 @@ func (e *Engine) invokeScheduler() {
 		}
 	}
 	if len(e.queue) == 0 {
+		// Nothing to schedule is the deepest idle window there is: let the
+		// planner warm directly. With demand queued, planning runs inside
+		// Schedule instead, after the demand pass (strictly lower rank).
+		if e.pref != nil {
+			now := e.sim.Now()
+			for _, d := range e.pref.Plan(now, now.Add(e.schedulerCycle()), e.head) {
+				e.startPrefetch(d)
+			}
+		}
 		return
 	}
 	present := e.queue
@@ -478,11 +537,31 @@ func (e *Engine) invokeScheduler() {
 		e.queue[i] = nil
 	}
 	e.queue = live
+
+	// Launch whatever warms the scheduler's planner fitted into the cycle's
+	// leftover idle windows — strictly after every demand assignment above.
+	if e.pref != nil && e.prefSrc != nil {
+		for _, d := range e.prefSrc.PlannedPrefetches() {
+			e.startPrefetch(d)
+		}
+	}
+}
+
+// schedulerCycle returns the λ horizon used for idle-cycle prefetch
+// planning: the scheduler's own cycle, or the default when it has none.
+func (e *Engine) schedulerCycle() units.Duration {
+	if c := e.cfg.Scheduler.Cycle(); c > 0 {
+		return c
+	}
+	return core.DefaultCycle
 }
 
 // enqueue routes an assigned task into the node's execution machinery.
 func (e *Engine) enqueue(n *node, t *core.Task) {
 	if !e.cfg.OverlapIO {
+		if e.pref != nil && n.mem.Pin(t.Chunk) {
+			e.pinned[t] = true
+		}
 		n.push(t)
 		e.startSerial(n)
 		return
@@ -494,12 +573,31 @@ func (e *Engine) enqueue(n *node, t *core.Task) {
 	}
 	if n.mem.Touch(t.Chunk) {
 		e.report.TaskAccess(true)
+		if e.pref != nil {
+			if e.head.DemandTouchPrefetched(t.Chunk, n.id) {
+				e.emit(trace.Event{Kind: trace.PrefetchHit, Job: t.Job.ID, Class: t.Job.Class, Task: t.Index, Node: n.id, Chunk: t.Chunk, Hit: true})
+			}
+			if n.mem.Pin(t.Chunk) {
+				e.pinned[t] = true
+			}
+		}
 		n.push(t)
 		e.startOverlap(n)
 		return
 	}
 	e.report.TaskAccess(false)
 	n.missLoad[t] = 0 // marks the task as a miss; the trigger carries the load time
+	if e.pref != nil && n.pfActive && n.pfChunk == t.Chunk {
+		// The chunk is already warming: the demand task absorbs the
+		// in-flight load and waits only for its remainder ("hidden hit").
+		if len(n.pfWaiters) == 0 {
+			if rem := n.pfEnd.Sub(e.sim.Now()); rem > 0 {
+				n.missLoad[t] = rem
+			}
+		}
+		n.pfWaiters = append(n.pfWaiters, t)
+		return
+	}
 	if ws, loading := n.waiters[t.Chunk]; loading {
 		n.waiters[t.Chunk] = append(ws, t)
 		return
@@ -557,13 +655,39 @@ func (e *Engine) startSerial(n *node) {
 			return
 		}
 		now := e.sim.Now()
+		// A warm in flight for this very chunk is absorbed: the task pays
+		// only the load's remaining time instead of a full miss.
+		var absorbed units.Duration
+		absorbing := false
+		if e.pref != nil {
+			if e.pinned[t] {
+				delete(e.pinned, t)
+				n.mem.Unpin(t.Chunk)
+			}
+			if n.pfActive && n.pfChunk == t.Chunk {
+				absorbing = true
+				n.pfTimer.Cancel()
+				n.pfTimer = des.Timer{}
+				n.pfActive = false
+				n.pfWaiters = nil
+				if absorbed = n.pfEnd.Sub(now); absorbed < 0 {
+					absorbed = 0
+				}
+				e.pref.Absorbed(n.id, t.Chunk)
+				e.head.NotePrefetchHidden()
+				e.emit(trace.Event{Kind: trace.PrefetchHit, Job: t.Job.ID, Class: t.Job.Class, Task: t.Index, Node: n.id, Chunk: t.Chunk, Dur: absorbed})
+			}
+		}
 		hit := n.mem.Touch(t.Chunk)
+		if hit && e.pref != nil && e.head.DemandTouchPrefetched(t.Chunk, n.id) {
+			e.emit(trace.Event{Kind: trace.PrefetchHit, Job: t.Job.ID, Class: t.Job.Class, Task: t.Index, Node: n.id, Chunk: t.Chunk, Hit: true})
+		}
 		var evicted []volume.ChunkID
 		if !hit {
 			evicted = n.mem.Insert(t.Chunk, t.Size)
 		}
 		exec := e.renderCost(n, t)
-		if !hit {
+		if !hit && !absorbing {
 			if n.gpu != nil {
 				// Two-level: the load brings the chunk to main memory; the
 				// upload was already charged by renderCost's GPU miss.
@@ -573,6 +697,11 @@ func (e *Engine) startSerial(n *node) {
 			}
 		}
 		exec = e.jitter(exec)
+		if absorbing {
+			// The remainder is added after jitter: the load finishes when the
+			// in-flight transfer finishes, noise applies to the render only.
+			exec += absorbed
+		}
 		if _, seen := e.started[t.Job.ID]; !seen {
 			e.started[t.Job.ID] = now
 		}
@@ -661,6 +790,10 @@ func (e *Engine) startOverlap(n *node) {
 		if t == nil {
 			return
 		}
+		if e.pref != nil && e.pinned[t] {
+			delete(e.pinned, t)
+			n.mem.Unpin(t.Chunk)
+		}
 		n.mem.Touch(t.Chunk)
 		exec := e.jitter(e.renderCost(n, t))
 		// Utilization in overlap mode counts executor occupancy only: the
@@ -687,6 +820,9 @@ func (e *Engine) complete(n *node, res core.TaskResult) {
 	res.Finished = now
 	delete(n.running, res.Task)
 	e.head.Correct(res, now)
+	if e.pref != nil {
+		e.pref.Observe(res.Task.Job.Action, res.Task.Chunk, now)
+	}
 	e.emit(trace.Event{
 		Kind: trace.TaskDone, Job: res.Task.Job.ID, Class: res.Task.Job.Class,
 		Task: res.Task.Index, Node: n.id, Chunk: res.Task.Chunk,
@@ -736,10 +872,16 @@ func (e *Engine) fail(k core.NodeID) {
 	}
 	e.emit(trace.Event{Kind: trace.NodeFail, Node: k})
 
+	if e.pref != nil {
+		n.pfTimer.Cancel()
+		e.pref.FailNode(k)
+	}
+
 	requeue := func(t *core.Task) {
 		t.Assigned = false
 		t.PredictedExec = 0
 		delete(e.pendingEvictions, t)
+		delete(e.pinned, t)
 		if t.Job.Remaining == 0 {
 			// The job had left the queue; put it back.
 			e.queue = append(e.queue, t.Job)
@@ -764,6 +906,10 @@ func (e *Engine) fail(k core.NodeID) {
 		}
 		delete(n.waiters, c)
 	}
+	for _, t := range n.pfWaiters {
+		requeue(t)
+	}
+	n.pfWaiters = nil
 	n.loadq = nil
 	n.loadHead = 0
 	fresh := e.newNode(k)

@@ -37,6 +37,15 @@ const (
 	Reject
 	Shed
 	Degrade
+	// Prefetch lifecycle (internal/prefetch): PrefetchIssue starts a
+	// background warm (Dur carries the predicted load span), PrefetchHit
+	// marks a demand task finding a warmed chunk (Hit true for a resident
+	// hit, false for an in-flight absorption), PrefetchCancel abandons a
+	// warm, and PrefetchWaste marks a warmed chunk evicted untouched.
+	PrefetchIssue
+	PrefetchHit
+	PrefetchCancel
+	PrefetchWaste
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +75,14 @@ func (k Kind) String() string {
 		return "shed"
 	case Degrade:
 		return "degrade"
+	case PrefetchIssue:
+		return "prefetch-issue"
+	case PrefetchHit:
+		return "prefetch-hit"
+	case PrefetchCancel:
+		return "prefetch-cancel"
+	case PrefetchWaste:
+		return "prefetch-waste"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -224,6 +241,42 @@ func (l *Log) GanttSVG(w io.Writer, nodes int, from, to units.Time) error {
 				x(ev.At), topPad, x(ev.At), footerY)
 			fmt.Fprintf(w, `<text x="%.2f" y="%d" fill="#7733aa">L%d</text>`+"\n",
 				x(ev.At)+2, topPad+10, ev.Level)
+		case PrefetchIssue:
+			// Background warms draw as light-green bars spanning the predicted
+			// load, visibly thinner than demand work: idle-window filler.
+			start := ev.At
+			end := ev.At + units.Time(ev.Dur)
+			if end < from || start > to {
+				continue
+			}
+			if start < from {
+				start = from
+			}
+			if end > to {
+				end = to
+			}
+			y := topPad + int(ev.Node)*(rowH+rowGap)
+			wpx := x(end) - x(start)
+			if wpx < 0.5 {
+				wpx = 0.5
+			}
+			fmt.Fprintf(w, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="#7cc47c"/>`+"\n",
+				x(start), y+3, wpx, rowH-8)
+		case PrefetchHit, PrefetchCancel, PrefetchWaste:
+			// Warm outcomes land in the footer band next to the admission
+			// ticks: hits green, cancels gray, waste brown.
+			if ev.At < from || ev.At > to {
+				continue
+			}
+			color := "#2d8a2d"
+			switch ev.Kind {
+			case PrefetchCancel:
+				color = "#888888"
+			case PrefetchWaste:
+				color = "#8a5a2d"
+			}
+			fmt.Fprintf(w, `<rect x="%.2f" y="%d" width="1.5" height="10" fill="%s"/>`+"\n",
+				x(ev.At), footerY+2, color)
 		case Shed, Reject, Throttle:
 			// Admission pushback lands in the footer band: sheds dark red,
 			// rejects red-orange, throttles amber ticks.

@@ -35,6 +35,12 @@ const (
 	// KindHeartbeat is a liveness beacon (no body). Workers emit it on an
 	// interval so the head can tell a stalled node from an idle one.
 	KindHeartbeat
+	// KindPrefetch asks a worker to warm one chunk into its cache ahead of
+	// predicted demand (payload: PrefetchBody).
+	KindPrefetch
+	// KindPrefetchDone reports a warm's outcome back to the head (payload:
+	// PrefetchDoneBody).
+	KindPrefetchDone
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +62,10 @@ func (k Kind) String() string {
 		return "shutdown"
 	case KindHeartbeat:
 		return "heartbeat"
+	case KindPrefetch:
+		return "prefetch"
+	case KindPrefetchDone:
+		return "prefetch-done"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
