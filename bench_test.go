@@ -20,6 +20,7 @@ import (
 
 	"vizsched/internal/cache"
 	"vizsched/internal/compositing"
+	"vizsched/internal/compositing/dfb"
 	"vizsched/internal/core"
 	"vizsched/internal/des"
 	"vizsched/internal/experiments"
@@ -241,6 +242,43 @@ func BenchmarkAblationCompositing(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					_, st = alg.Composite(layers)
 				}
+				b.ReportMetric(float64(st.Messages), "msgs")
+				b.ReportMetric(float64(st.PixelsSent), "px_moved")
+			})
+		}
+	}
+}
+
+// BenchmarkComposite compares the synchronous swap collectives against the
+// asynchronous tile-owner distributed framebuffer (§5.9) at the render-group
+// sizes the compsweep experiment uses — the single-machine cost of each
+// algorithm's float work and data movement.
+func BenchmarkComposite(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	mkLayers := func(n int) []*img.Image {
+		layers := make([]*img.Image, n)
+		for i := range layers {
+			m := img.New(128, 128)
+			for p := range m.Pix {
+				a := rng.Float32()
+				m.Pix[p] = img.RGBA{R: rng.Float32() * a, G: rng.Float32() * a, B: rng.Float32() * a, A: a}
+			}
+			layers[i] = m
+		}
+		return layers
+	}
+	for _, n := range []int{8, 27, 64} {
+		layers := mkLayers(n)
+		for _, alg := range []compositing.Algorithm{
+			compositing.Serial{}, compositing.BinarySwap{},
+			compositing.TwoThreeSwap{}, dfb.DFB{},
+		} {
+			b.Run(fmt.Sprintf("%s/procs-%d", alg.Name(), n), func(b *testing.B) {
+				var st compositing.Stats
+				for i := 0; i < b.N; i++ {
+					_, st = alg.Composite(layers)
+				}
+				b.ReportMetric(float64(st.Rounds), "rounds")
 				b.ReportMetric(float64(st.Messages), "msgs")
 				b.ReportMetric(float64(st.PixelsSent), "px_moved")
 			})

@@ -34,7 +34,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	only := flag.String("only", "all",
-		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep, prefsweep")
+		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep, prefsweep, compsweep")
 	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
 		"max concurrent simulation runs; 1 = sequential (reference scheduling-cost numbers)")
@@ -155,6 +155,11 @@ func main() {
 		points := experiments.PrefetchSweepN(quotas, loads, workers)
 		experiments.PrintPrefetchSweep(out, points)
 		writeCSV("prefsweep.csv", func(f *os.File) error { return experiments.PrefetchSweepCSV(f, points) })
+	}
+	if has("compsweep") {
+		points := experiments.CompSweep(workers)
+		experiments.PrintCompSweep(out, points)
+		writeCSV("compsweep.csv", func(f *os.File) error { return experiments.CompSweepCSV(f, points) })
 	}
 	fmt.Fprintf(out, "done. (%v, -parallel %d)\n", time.Since(start).Round(time.Millisecond), workers)
 }

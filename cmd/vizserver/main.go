@@ -66,6 +66,9 @@ func main() {
 		"enable the QoS subsystem (head mode): per-tenant admission control, fair queuing, SLO-driven degradation")
 	usePrefetch := flag.Bool("prefetch", false,
 		"enable predictive chunk prefetching (head mode, OURS scheduler): warm predicted bricks into worker caches during idle windows")
+	compositing := flag.String("compositing", "",
+		"fragment assembly (head mode): dfb enables the asynchronous tile-based distributed framebuffer; empty keeps full-frame compositing")
+	tile := flag.Int("tile", 0, "dfb tile edge in pixels (head mode); 0 selects the default")
 	flag.Parse()
 
 	catalog := service.NewCatalog()
@@ -97,6 +100,11 @@ func main() {
 		if *usePrefetch {
 			head.Prefetch = prefetch.DefaultConfig()
 			log.Printf("head: predictive prefetching enabled (Markov trajectory + frequency prior, governed warming)")
+		}
+		if *compositing != "" {
+			head.Compositing = *compositing
+			head.TileSize = *tile
+			log.Printf("head: %s compositing enabled (asynchronous per-tile reduction)", *compositing)
 		}
 		wl, err := transport.ListenTCP(*workerAddr)
 		if err != nil {

@@ -14,11 +14,13 @@
 //
 // Faithfulness note: our 2-3 swap uses a uniform group size (2 or 3) per
 // round, which is exact for any processor count of the form 2^a·3^b. Other
-// counts are first reduced by folding trailing processors into their
-// depth-adjacent neighbors, a standard non-power-of-two fold-in. The
-// original paper instead mixes group sizes within a round with multi-piece
-// sends; the fold-in variant keeps every processor busy after the first
-// exchange and composites identically.
+// counts are first reduced by a single parallel fold-in pre-round: the
+// processors are partitioned into the largest feasible 2^a·3^b count of
+// contiguous depth runs and each run composites internally, concurrently.
+// The original paper instead mixes group sizes within a round with
+// multi-piece sends; the fold-in variant costs one extra round (never a
+// serial chain of them), keeps every processor busy after the first
+// exchange, and composites identically.
 package compositing
 
 import (
@@ -205,8 +207,11 @@ func swap(layers []*img.Image, radixOnly int) (*img.Image, Stats) {
 		procs[i] = &proc{rank: i, sp: full, pix: pix}
 	}
 
-	// Fold trailing processors into depth-adjacent neighbors until the
-	// count supports uniform rounds.
+	// Fold excess processors into depth-adjacent neighbors until the count
+	// supports uniform rounds. The processors are partitioned into `target`
+	// contiguous depth runs and every run composites internally at the same
+	// time, so the pre-step costs exactly one round no matter how many
+	// processors fold — the excess determines only the message count.
 	target := len(procs)
 	if radixOnly == 2 {
 		target = 1
@@ -216,16 +221,25 @@ func swap(layers []*img.Image, radixOnly int) (*img.Image, Stats) {
 	} else {
 		target = largest23LE(len(procs))
 	}
-	for len(procs) > target {
-		last := procs[len(procs)-1]
-		prev := procs[len(procs)-2]
-		// last is behind prev in depth order: prev's pixels go over last's.
-		compositePieces(prev.pix, last.pix)
-		prev.pix = last.pix
-		procs = procs[:len(procs)-1]
-		st.Rounds++ // folds serialize; count each as a round
-		st.Messages++
-		st.PixelsSent += int64(full.size())
+	if target < len(procs) {
+		st.Rounds++
+		runs := span{0, len(procs)}.split(target)
+		folded := make([]*proc, target)
+		for i, run := range runs {
+			members := procs[run.Lo:run.Hi]
+			// The run's front-to-back composite lands in the backmost
+			// member's buffer; the survivor keeps the front member's rank so
+			// rank 0 (the gather root) always outlives the fold.
+			keep := members[len(members)-1]
+			for m := len(members) - 2; m >= 0; m-- {
+				compositePieces(members[m].pix, keep.pix)
+				st.Messages++
+				st.PixelsSent += int64(full.size())
+			}
+			keep.rank = members[0].rank
+			folded[i] = keep
+		}
+		procs = folded
 	}
 
 	ks, ok := groupSizesFor(len(procs))
@@ -297,6 +311,52 @@ func (TwoThreeSwap) Name() string { return "2-3-swap" }
 // Composite implements Algorithm.
 func (TwoThreeSwap) Composite(layers []*img.Image) (*img.Image, Stats) {
 	return swap(layers, 0)
+}
+
+// BinarySwapRounds returns the synchronous round count binary swap performs
+// for n layers, including the final gather and any fold-in pre-round. The
+// simulator prices composites with these closed forms so it never has to
+// push pixels in virtual time.
+func BinarySwapRounds(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	target := 1
+	for target*2 <= n {
+		target *= 2
+	}
+	rounds := 1 // gather
+	if target < n {
+		rounds++
+	}
+	for t := target; t > 1; t /= 2 {
+		rounds++
+	}
+	return rounds
+}
+
+// TwoThreeSwapRounds returns the synchronous round count 2-3 swap performs
+// for n layers, including the final gather and any fold-in pre-round.
+func TwoThreeSwapRounds(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	target := largest23LE(n)
+	rounds := 1 // gather
+	if target < n {
+		rounds++
+	}
+	ks, _ := groupSizesFor(target)
+	return rounds + len(ks)
+}
+
+// DirectSendRounds returns direct send's round count for n layers: one
+// all-to-all exchange plus the gather.
+func DirectSendRounds(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 2
 }
 
 // ByDepth sorts fragments' layers front-to-back given parallel slices of

@@ -137,6 +137,90 @@ func TestTwoThreeSwapHandlesTriples(t *testing.T) {
 	}
 }
 
+// TestSwapFoldInSingleRound pins the parallel fold-in pre-step on awkward
+// (non-2^a·3^b) processor counts: folding costs exactly ONE extra round no
+// matter how many processors fold, and the excess shows up only in the
+// message count. The serial fold this replaced cost one round per excess
+// processor (N=100 would have paid 36 fold rounds; it now pays 1).
+func TestSwapFoldInSingleRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []struct {
+		n                   int
+		binRounds, ttRounds int
+		binExcess, ttExcess int
+	}{
+		// binary target / 2-3 target: 5→4/4, 7→4/6, 11→8/9, 100→64/96.
+		{5, 4, 4, 1, 1},
+		{7, 4, 4, 3, 1},
+		{11, 5, 4, 3, 2},
+		{100, 8, 8, 36, 4},
+	}
+	for _, c := range cases {
+		layers := randomLayers(rng, c.n, 8, 6)
+		want, _ := Serial{}.Composite(layers)
+
+		got, st := BinarySwap{}.Composite(layers)
+		if d := img.MaxDiff(want, got); d > 1e-5 {
+			t.Errorf("binary-swap n=%d differs from serial by %v", c.n, d)
+		}
+		if st.Rounds != c.binRounds {
+			t.Errorf("binary-swap n=%d rounds = %d, want %d", c.n, st.Rounds, c.binRounds)
+		}
+
+		got, st2 := TwoThreeSwap{}.Composite(layers)
+		if d := img.MaxDiff(want, got); d > 1e-5 {
+			t.Errorf("2-3-swap n=%d differs from serial by %v", c.n, d)
+		}
+		if st2.Rounds != c.ttRounds {
+			t.Errorf("2-3-swap n=%d rounds = %d, want %d", c.n, st2.Rounds, c.ttRounds)
+		}
+
+		// The fold messages are full-image sends, one per excess processor;
+		// they dominate PixelsSent differences, so pin them via the excess.
+		full := int64(8 * 6)
+		if min := full * int64(c.binExcess); st.PixelsSent < min {
+			t.Errorf("binary-swap n=%d moved %d pixels, folds alone need %d", c.n, st.PixelsSent, min)
+		}
+		if min := full * int64(c.ttExcess); st2.PixelsSent < min {
+			t.Errorf("2-3-swap n=%d moved %d pixels, folds alone need %d", c.n, st2.PixelsSent, min)
+		}
+	}
+}
+
+// TestSwapFoldInMessageCounts pins exact message totals for the fold cases
+// small enough to count by hand.
+func TestSwapFoldInMessageCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	// binary n=5: 1 fold + 2 rounds×4 msgs + 3 gather = 12.
+	layers := randomLayers(rng, 5, 4, 4)
+	if _, st := (BinarySwap{}).Composite(layers); st.Messages != 12 {
+		t.Errorf("binary-swap n=5 messages = %d, want 12", st.Messages)
+	}
+	// 2-3 n=7: target 6, 1 fold + (k=2: 6) + (k=3: 12) + 5 gather = 24.
+	layers = randomLayers(rng, 7, 4, 4)
+	if _, st := (TwoThreeSwap{}).Composite(layers); st.Messages != 24 {
+		t.Errorf("2-3-swap n=7 messages = %d, want 24", st.Messages)
+	}
+}
+
+// TestCompositingRoundHelpers keeps the closed-form round counts (used by
+// the simulator's cost model) in lock-step with what the algorithms do.
+func TestCompositingRoundHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for n := 1; n <= 40; n++ {
+		layers := randomLayers(rng, n, 4, 3)
+		if _, st := (BinarySwap{}).Composite(layers); st.Rounds != BinarySwapRounds(n) {
+			t.Errorf("BinarySwapRounds(%d) = %d, actual %d", n, BinarySwapRounds(n), st.Rounds)
+		}
+		if _, st := (TwoThreeSwap{}).Composite(layers); st.Rounds != TwoThreeSwapRounds(n) {
+			t.Errorf("TwoThreeSwapRounds(%d) = %d, actual %d", n, TwoThreeSwapRounds(n), st.Rounds)
+		}
+		if _, st := (DirectSend{}).Composite(layers); st.Rounds != DirectSendRounds(n) {
+			t.Errorf("DirectSendRounds(%d) = %d, actual %d", n, DirectSendRounds(n), st.Rounds)
+		}
+	}
+}
+
 func TestDirectSendStats(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	layers := randomLayers(rng, 4, 10, 10)

@@ -1,0 +1,272 @@
+// Package dfb implements a tile-owner distributed framebuffer compositor in
+// the style of Usher et al.'s Distributed FrameBuffer (arXiv:2305.07083): the
+// image is split into fixed tiles, each tile is owned by exactly one node
+// (deterministic round-robin over the alive nodes), renderers push per-tile
+// fragments to owners as messages, and owners reduce fragments front-to-back
+// the moment they arrive — a tile finalizes as soon as its expected fragment
+// count is met, with no inter-node rounds and no global barrier.
+//
+// Determinism argument: premultiplied "over" is associative but NOT
+// commutative, so an arrival-order reduction would not be bit-stable. The
+// Reducer therefore never applies a fragment out of depth order. When depth
+// ranks are known it composites only the contiguous back suffix (buffering
+// out-of-order arrivals until their successor rank has landed); when ranks
+// are unknown it buffers the tile and reduces once the count is met, after a
+// stable (Depth, Seq) sort. Both schedules perform exactly the float
+// operations Serial performs on that tile's pixels, so the output is
+// bit-identical to Serial regardless of arrival order or thread interleaving.
+package dfb
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"sync"
+
+	"vizsched/internal/img"
+)
+
+// DefaultTileSize is the tile edge used when a caller passes 0.
+const DefaultTileSize = 64
+
+// Layout is a fixed tiling of a W×H frame into square tiles of edge Tile
+// (edge tiles clip to the frame). Tiles are indexed row-major.
+type Layout struct {
+	W, H, Tile int
+	tx, ty     int
+}
+
+// NewLayout builds the tiling for a frame. tile <= 0 selects
+// DefaultTileSize.
+func NewLayout(w, h, tile int) Layout {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("dfb: invalid frame %dx%d", w, h))
+	}
+	if tile <= 0 {
+		tile = DefaultTileSize
+	}
+	return Layout{
+		W: w, H: h, Tile: tile,
+		tx: (w + tile - 1) / tile,
+		ty: (h + tile - 1) / tile,
+	}
+}
+
+// NumTiles returns the tile count.
+func (l Layout) NumTiles() int { return l.tx * l.ty }
+
+// Bounds returns the pixel rectangle [x0,x1)×[y0,y1) of tile t.
+func (l Layout) Bounds(t int) (x0, y0, x1, y1 int) {
+	if t < 0 || t >= l.NumTiles() {
+		panic(fmt.Sprintf("dfb: tile %d out of range (have %d)", t, l.NumTiles()))
+	}
+	x0 = (t % l.tx) * l.Tile
+	y0 = (t / l.tx) * l.Tile
+	x1 = min(x0+l.Tile, l.W)
+	y1 = min(y0+l.Tile, l.H)
+	return
+}
+
+// Owner returns which of n alive nodes owns tile t: a deterministic
+// round-robin, so every participant computes the same assignment with no
+// coordination and ownership re-homes automatically when n changes.
+func (l Layout) Owner(t, n int) int {
+	if n <= 0 {
+		panic("dfb: no alive nodes")
+	}
+	return t % n
+}
+
+// ExtractTile copies tile t of a full-frame layer into a tile-local
+// row-major pixel run — the payload a renderer pushes to the tile's owner.
+func ExtractTile(l Layout, m *img.Image, t int) []img.RGBA {
+	if m.W != l.W || m.H != l.H {
+		panic(fmt.Sprintf("dfb: layer %dx%d does not match layout %dx%d", m.W, m.H, l.W, l.H))
+	}
+	x0, y0, x1, y1 := l.Bounds(t)
+	out := make([]img.RGBA, 0, (x1-x0)*(y1-y0))
+	for y := y0; y < y1; y++ {
+		out = append(out, m.Pix[y*l.W+x0:y*l.W+x1]...)
+	}
+	return out
+}
+
+// Fragment is one renderer's contribution to one tile.
+type Fragment struct {
+	// Frame is the frame sequence number (pipelining keys reducers by it).
+	Frame int
+	// Tile indexes the layout.
+	Tile int
+	// Rank is the fragment's front-to-back position among the tile's
+	// expected fragments, or -1 when ranks are not known at the sender
+	// (the live service sorts by Depth/Seq at finalize instead).
+	Rank int
+	// Depth orders fragments front-to-back when Rank is -1.
+	Depth float64
+	// Seq breaks Depth ties stably (the task index in the live service).
+	Seq int
+	// Pix is the tile-local pixel run (see ExtractTile).
+	Pix []img.RGBA
+}
+
+// tileState tracks one tile's in-progress reduction.
+type tileState struct {
+	got  int
+	done bool
+	// acc is the composite of the contiguous back suffix [nextBack, expect)
+	// in eager (ranked) mode.
+	acc      []img.RGBA
+	nextBack int
+	// pending buffers ranked fragments that arrived ahead of their
+	// back-neighbor.
+	pending map[int][]img.RGBA
+	// buffered holds unranked fragments until the count is met.
+	buffered []Fragment
+	// seen dedupes retried senders (by Rank, or by Seq when unranked).
+	seen map[int]bool
+}
+
+// Reducer reduces tile fragments into an output frame as they arrive. It is
+// safe for concurrent Add calls; the result is bit-identical to Serial no
+// matter the arrival order (see the package comment).
+type Reducer struct {
+	layout Layout
+	expect int
+	out    *img.Image
+
+	mu        sync.Mutex
+	tiles     []*tileState
+	finalized int
+	frags     int
+}
+
+// NewReducer prepares a reduction of expect fragments per tile into out,
+// which must match the layout's frame size.
+func NewReducer(layout Layout, expect int, out *img.Image) *Reducer {
+	if out.W != layout.W || out.H != layout.H {
+		panic("dfb: output image does not match layout")
+	}
+	if expect <= 0 {
+		panic("dfb: expect must be positive")
+	}
+	tiles := make([]*tileState, layout.NumTiles())
+	for i := range tiles {
+		tiles[i] = &tileState{nextBack: expect, pending: map[int][]img.RGBA{}, seen: map[int]bool{}}
+	}
+	return &Reducer{layout: layout, expect: expect, out: out, tiles: tiles}
+}
+
+// Add folds one fragment in and reports whether it completed its tile.
+// Duplicate fragments (a retried sender) are ignored. Ranked and unranked
+// fragments must not be mixed within one tile.
+func (r *Reducer) Add(f Fragment) (finalized bool, err error) {
+	if f.Tile < 0 || f.Tile >= len(r.tiles) {
+		return false, fmt.Errorf("dfb: tile %d out of range (have %d)", f.Tile, len(r.tiles))
+	}
+	x0, y0, x1, y1 := r.layout.Bounds(f.Tile)
+	if want := (x1 - x0) * (y1 - y0); len(f.Pix) != want {
+		return false, fmt.Errorf("dfb: tile %d fragment has %d pixels, want %d", f.Tile, len(f.Pix), want)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts := r.tiles[f.Tile]
+	if ts.done {
+		return false, nil
+	}
+	key := f.Rank
+	if f.Rank < 0 {
+		key = f.Seq
+	}
+	if ts.seen[key] {
+		return false, nil
+	}
+	ts.seen[key] = true
+	ts.got++
+	r.frags++
+
+	if f.Rank >= 0 {
+		if f.Rank >= r.expect {
+			return false, fmt.Errorf("dfb: tile %d fragment rank %d out of range (expect %d)", f.Tile, f.Rank, r.expect)
+		}
+		// Eager mode: extend the contiguous back suffix, draining any
+		// buffered predecessors that are now in order.
+		ts.pending[f.Rank] = f.Pix
+		for {
+			pix, ok := ts.pending[ts.nextBack-1]
+			if !ok {
+				break
+			}
+			delete(ts.pending, ts.nextBack-1)
+			ts.nextBack--
+			if ts.acc == nil {
+				ts.acc = append([]img.RGBA(nil), pix...)
+			} else {
+				// pix is in front of everything accumulated so far.
+				for i := range ts.acc {
+					ts.acc[i] = pix[i].Over(ts.acc[i])
+				}
+			}
+		}
+		if ts.nextBack == 0 && ts.got == r.expect {
+			r.finishLocked(f.Tile, ts)
+			return true, nil
+		}
+		return false, nil
+	}
+
+	// Unranked mode: buffer until the count is met, then reduce after a
+	// stable front-to-back sort — the exact schedule ByDepth+Serial runs.
+	ts.buffered = append(ts.buffered, f)
+	if ts.got < r.expect {
+		return false, nil
+	}
+	slices.SortStableFunc(ts.buffered, func(a, b Fragment) int {
+		if c := cmp.Compare(a.Depth, b.Depth); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Seq, b.Seq)
+	})
+	ts.acc = append([]img.RGBA(nil), ts.buffered[len(ts.buffered)-1].Pix...)
+	for i := len(ts.buffered) - 2; i >= 0; i-- {
+		front := ts.buffered[i].Pix
+		for j := range ts.acc {
+			ts.acc[j] = front[j].Over(ts.acc[j])
+		}
+	}
+	ts.buffered = nil
+	r.finishLocked(f.Tile, ts)
+	return true, nil
+}
+
+// finishLocked writes a completed tile into the output frame.
+func (r *Reducer) finishLocked(t int, ts *tileState) {
+	x0, y0, x1, y1 := r.layout.Bounds(t)
+	w := x1 - x0
+	for y := y0; y < y1; y++ {
+		copy(r.out.Pix[y*r.layout.W+x0:y*r.layout.W+x1], ts.acc[(y-y0)*w:(y-y0+1)*w])
+	}
+	ts.acc = nil
+	ts.done = true
+	r.finalized++
+}
+
+// Done reports whether every tile has finalized.
+func (r *Reducer) Done() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.finalized == len(r.tiles)
+}
+
+// TilesFinalized returns how many tiles have completed.
+func (r *Reducer) TilesFinalized() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.finalized
+}
+
+// Fragments returns how many fragments have been folded in.
+func (r *Reducer) Fragments() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frags
+}

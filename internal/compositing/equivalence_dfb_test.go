@@ -1,0 +1,130 @@
+// Cross-algorithm equivalence including the distributed framebuffer. This
+// file is an external test package because dfb imports compositing: the
+// registry that sees every algorithm can only exist one level up.
+package compositing_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"vizsched/internal/compositing"
+	"vizsched/internal/compositing/dfb"
+	"vizsched/internal/img"
+)
+
+func randLayers(rng *rand.Rand, n, w, h int) []*img.Image {
+	layers := make([]*img.Image, n)
+	for i := range layers {
+		m := img.New(w, h)
+		for p := range m.Pix {
+			a := rng.Float32()
+			m.Pix[p] = img.RGBA{R: rng.Float32() * a, G: rng.Float32() * a, B: rng.Float32() * a, A: a}
+		}
+		layers[i] = m
+	}
+	return layers
+}
+
+var allAlgorithms = []compositing.Algorithm{
+	compositing.Serial{},
+	compositing.DirectSend{},
+	compositing.BinarySwap{},
+	compositing.TwoThreeSwap{},
+	dfb.DFB{Tile: 16},
+}
+
+// TestCompositingEquivalenceRandomDepths runs every algorithm, dfb
+// included, over layers arriving with randomized depths (ByDepth orders
+// them first, as the service does). The swaps match serial within float
+// tolerance; dfb must match bit-exactly.
+func TestCompositingEquivalenceRandomDepths(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{1, 2, 3, 5, 7, 9, 11, 16, 27} {
+		layers := randLayers(rng, n, 24, 20)
+		depths := make([]float64, n)
+		for i := range depths {
+			depths[i] = rng.Float64() * 10
+		}
+		if n > 2 {
+			depths[1] = depths[0] // exercise the stable tie-break
+		}
+		ordered := compositing.ByDepth(layers, depths)
+		want, _ := compositing.Serial{}.Composite(ordered)
+		for _, alg := range allAlgorithms[1:] {
+			got, _ := alg.Composite(ordered)
+			d := img.MaxDiff(want, got)
+			if alg.Name() == "dfb" {
+				if d != 0 {
+					t.Errorf("dfb with n=%d not bit-identical to serial: MaxDiff=%g", n, d)
+				}
+			} else if d > 1e-5 {
+				t.Errorf("%s with n=%d differs from serial by %v", alg.Name(), n, d)
+			}
+		}
+	}
+}
+
+// TestCompositingEquivalenceDroppedProc drops one processor's layer — the
+// fault the service sees when a node dies mid-frame and the job re-resolves
+// over the survivors. Every algorithm must agree on the surviving set, at
+// every drop position (front, middle, back).
+func TestCompositingEquivalenceDroppedProc(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{3, 8, 12} {
+		layers := randLayers(rng, n, 16, 12)
+		for _, drop := range []int{0, n / 2, n - 1} {
+			survivors := make([]*img.Image, 0, n-1)
+			survivors = append(survivors, layers[:drop]...)
+			survivors = append(survivors, layers[drop+1:]...)
+			want, _ := compositing.Serial{}.Composite(survivors)
+			for _, alg := range allAlgorithms[1:] {
+				got, _ := alg.Composite(survivors)
+				d := img.MaxDiff(want, got)
+				if alg.Name() == "dfb" && d != 0 {
+					t.Errorf("dfb n=%d drop=%d not bit-identical: MaxDiff=%g", n, drop, d)
+				} else if d > 1e-5 {
+					t.Errorf("%s n=%d drop=%d differs by %v", alg.Name(), n, drop, d)
+				}
+			}
+		}
+	}
+}
+
+// TestCompositingEquivalenceSlowProc simulates a straggler: the slow
+// processor's fragments arrive last (dfb reduces everything else first and
+// buffers around the hole). Output must not depend on who was slow.
+func TestCompositingEquivalenceSlowProc(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const w, h, n = 32, 24, 9
+	layers := randLayers(rng, n, w, h)
+	want, _ := compositing.Serial{}.Composite(layers)
+	layout := dfb.NewLayout(w, h, 16)
+	for slow := 0; slow < n; slow++ {
+		out := img.New(w, h)
+		red := dfb.NewReducer(layout, n, out)
+		for tile := 0; tile < layout.NumTiles(); tile++ {
+			for i := 0; i < n; i++ {
+				if i == slow {
+					continue
+				}
+				if _, err := red.Add(dfb.Fragment{Tile: tile, Rank: i, Pix: dfb.ExtractTile(layout, layers[i], tile)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if red.Done() {
+			t.Fatalf("slow=%d: reducer finalized without the straggler's fragments", slow)
+		}
+		for tile := 0; tile < layout.NumTiles(); tile++ {
+			if _, err := red.Add(dfb.Fragment{Tile: tile, Rank: slow, Pix: dfb.ExtractTile(layout, layers[slow], tile)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !red.Done() {
+			t.Fatalf("slow=%d: reducer incomplete", slow)
+		}
+		if d := img.MaxDiff(want, out); d != 0 {
+			t.Errorf("slow=%d: output depends on straggler position: MaxDiff=%g", slow, d)
+		}
+	}
+}

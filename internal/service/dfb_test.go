@@ -1,0 +1,156 @@
+package service
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vizsched/internal/core"
+	"vizsched/internal/trace"
+	"vizsched/internal/units"
+)
+
+// renderOnce starts a cluster (optionally configured), renders one frame,
+// and returns the PNG bytes plus the stopped cluster's head for inspection.
+func renderOnce(t *testing.T, configure func(*Head)) ([]byte, *Head) {
+	t.Helper()
+	cat := testCatalog(t, 3)
+	cl, err := StartClusterWith(core.NewLocalityScheduler(5*units.Millisecond), cat, 3, 64*units.MB, configure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	client := cl.Connect()
+	defer client.Close()
+	res, err := client.Render(RenderBody{
+		Dataset: "supernova",
+		Angle:   0.7, Elevation: 0.3, Dist: 2.4,
+		Width: 48, Height: 48,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.PNG, cl.Head
+}
+
+// TestDFBServicePNGIdentical is the live half of the §5.9 acceptance claim:
+// the distributed-framebuffer path must deliver byte-identical PNGs to the
+// default decode-then-composite path — the tile reducer replays the same
+// stable depth order the full-frame path sorts into.
+func TestDFBServicePNGIdentical(t *testing.T) {
+	ref, _ := renderOnce(t, nil)
+	got, head := renderOnce(t, func(h *Head) {
+		h.Compositing = "dfb"
+		h.TileSize = 16
+	})
+	if !bytes.Equal(ref, got) {
+		t.Fatalf("dfb PNG differs from default path (%d vs %d bytes)", len(got), len(ref))
+	}
+
+	s := head.Stats()
+	if s.Compositing == nil {
+		t.Fatal("stats missing compositing snapshot")
+	}
+	c := s.Compositing
+	// 48×48 at tile 16 is a 3×3 layout; 3 tasks contribute to each tile.
+	if c.TilesFinalized != 9 {
+		t.Errorf("tiles finalized = %d, want 9", c.TilesFinalized)
+	}
+	if c.TileFragments != 27 {
+		t.Errorf("tile fragments = %d, want 27", c.TileFragments)
+	}
+	if c.FragsInFlight != 0 {
+		t.Errorf("fragments in flight = %d after delivery, want 0", c.FragsInFlight)
+	}
+	if c.TileSize != 16 || c.Algorithm != "dfb" {
+		t.Errorf("snapshot identity wrong: %+v", c)
+	}
+	if c.FrameP50Millis <= 0 || c.FrameP99Millis < c.FrameP50Millis {
+		t.Errorf("frame latency quantiles implausible: p50=%v p99=%v", c.FrameP50Millis, c.FrameP99Millis)
+	}
+}
+
+// TestDFBServiceRawCodecIdentical repeats the identity check under CodecRaw
+// — no quantization anywhere, so it would catch a float-order divergence the
+// quantized path could mask.
+func TestDFBServiceRawCodecIdentical(t *testing.T) {
+	cat := testCatalog(t, 3)
+	run := func(configure func(*Head)) []byte {
+		cl, err := StartClusterWith(core.NewLocalityScheduler(5*units.Millisecond), cat, 2, 64*units.MB, configure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Stop()
+		for _, w := range cl.workers {
+			w.Codec = CodecRaw
+		}
+		client := cl.Connect()
+		defer client.Close()
+		res, err := client.Render(RenderBody{
+			Dataset: "plume",
+			Angle:   1.1, Elevation: -0.2, Dist: 2.0,
+			Width: 40, Height: 56,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PNG
+	}
+	ref := run(nil)
+	got := run(func(h *Head) { h.Compositing = "dfb" }) // default 64px tiles clip to frame
+	if !bytes.Equal(ref, got) {
+		t.Fatal("dfb PNG differs from default path under CodecRaw")
+	}
+}
+
+// TestDFBServiceTraceAndMetrics checks the operator surface: per-tile trace
+// events and the /metrics exposition.
+func TestDFBServiceTraceAndMetrics(t *testing.T) {
+	log := trace.New(0)
+	_, head := renderOnce(t, func(h *Head) {
+		h.Compositing = "dfb"
+		h.TileSize = 16
+		h.Trace = log
+	})
+
+	frags, dones := 0, 0
+	for _, ev := range log.Events {
+		switch ev.Kind {
+		case trace.TileFrag:
+			frags++
+		case trace.TileDone:
+			dones++
+			if ev.Level < 0 || ev.Level >= 9 {
+				t.Errorf("tile-done event with tile index %d", ev.Level)
+			}
+		}
+	}
+	if frags != 27 || dones != 9 {
+		t.Errorf("trace has %d tile-frag / %d tile-done events, want 27/9", frags, dones)
+	}
+
+	rec := httptest.NewRecorder()
+	head.StatsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"vizsched_dfb_tiles_finalized_total 9",
+		"vizsched_dfb_tile_fragments_total 27",
+		"vizsched_dfb_fragments_in_flight 0",
+		"vizsched_frame_latency_seconds{quantile=\"0.95\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDFBServiceBadCompositingRejected pins Start's validation.
+func TestDFBServiceBadCompositingRejected(t *testing.T) {
+	cat := testCatalog(t, 2)
+	_, err := StartClusterWith(core.NewLocalityScheduler(5*units.Millisecond), cat, 1, 64*units.MB,
+		func(h *Head) { h.Compositing = "binary-swap" })
+	if err == nil || !strings.Contains(err.Error(), "unknown compositing") {
+		t.Fatalf("bogus compositing accepted: %v", err)
+	}
+}

@@ -10,10 +10,12 @@ import (
 	"time"
 
 	"vizsched/internal/compositing"
+	"vizsched/internal/compositing/dfb"
 	"vizsched/internal/core"
 	"vizsched/internal/img"
 	"vizsched/internal/prefetch"
 	"vizsched/internal/qos"
+	"vizsched/internal/trace"
 	"vizsched/internal/transport"
 	"vizsched/internal/units"
 	"vizsched/internal/volume"
@@ -42,6 +44,18 @@ type liveJob struct {
 	conn  transport.Conn
 	msgID uint64
 	wall  time.Time
+
+	// Distributed-framebuffer state (§5.9), nil/zero when Compositing is off:
+	// red reduces arriving TileFragBody pixels straight into out under
+	// layout, and finalize ships out instead of decoding and compositing
+	// full-frame fragments. Created lazily from the first tile fragment,
+	// whose FrameW/FrameH carry the job's (possibly QoS-degraded) frame size.
+	layout dfb.Layout
+	out    *img.Image
+	red    *dfb.Reducer
+	// tileFrags counts tile fragments folded into red, so the in-flight
+	// gauge can be settled when the job delivers or fails.
+	tileFrags int
 }
 
 // workerEvent is anything a worker-reader goroutine feeds the dispatcher.
@@ -197,6 +211,23 @@ type Head struct {
 	prefc    *prefetch.Controller
 	prefSrc  core.PrefetchSource
 
+	// Compositing selects how the head assembles a job's fragments: ""
+	// (default) keeps the decode-then-composite path exactly, while "dfb"
+	// enables the asynchronous tile-owner distributed framebuffer (§5.9) —
+	// workers push per-tile fragments as they render, the head reduces each
+	// tile the moment its expected fragment count is met, and the delivered
+	// PNG is byte-identical to the default path (the reducer replays the
+	// same stable depth order). Set before AddWorker: the hello ack
+	// advertises the tile size to workers.
+	Compositing string
+	// TileSize is the dfb tile edge; 0 selects dfb.DefaultTileSize.
+	TileSize int
+
+	// Trace, when set before Start, receives per-tile compositing events
+	// (trace.TileFrag per fragment folded, trace.TileDone per tile
+	// finalized). Dispatcher-owned while running; read it only after Stop.
+	Trace *trace.Log
+
 	// BatchWindow caps how many batch jobs the fair queue releases into the
 	// scheduler's working set per pass when QoS is active; zero means the
 	// default of 256 (matching the simulator).
@@ -291,7 +322,19 @@ func (h *Head) AddWorker(conn transport.Conn) error {
 	}
 	node := len(h.workers)
 	h.workers = append(h.workers, conn)
-	return send(conn, transport.KindHello, 0, HelloBody{NodeID: node})
+	return send(conn, transport.KindHello, 0, HelloBody{NodeID: node, TileSize: h.dfbTile()})
+}
+
+// dfbTile returns the tile edge workers must fragment to, or 0 when the
+// distributed framebuffer is off.
+func (h *Head) dfbTile() int {
+	if h.Compositing != "dfb" {
+		return 0
+	}
+	if h.TileSize > 0 {
+		return h.TileSize
+	}
+	return dfb.DefaultTileSize
 }
 
 // Rejoin re-registers a reconnecting worker under its previous NodeID —
@@ -331,6 +374,9 @@ func (h *Head) Rejoin(conn transport.Conn) error {
 func (h *Head) Start() error {
 	if len(h.workers) == 0 {
 		return fmt.Errorf("service: no workers")
+	}
+	if h.Compositing != "" && h.Compositing != "dfb" {
+		return fmt.Errorf("service: unknown compositing algorithm %q", h.Compositing)
 	}
 	n := len(h.workers)
 	h.state = core.NewHeadState(n, h.memQuota, h.model)
@@ -571,6 +617,10 @@ func (h *Head) dispatch() {
 	// (shed victims) or never admitted.
 	failJob := func(lj *liveJob, msg string) {
 		h.stats.jobsFailed.Add(1)
+		if lj.tileFrags > 0 {
+			h.stats.fragsInFlight.Add(-int64(lj.tileFrags))
+			lj.tileFrags = 0
+		}
 		delete(inflight, lj.job.ID)
 		// Drop it from the queue too: a failed job must never reach the
 		// scheduler again.
@@ -831,7 +881,7 @@ func (h *Head) dispatch() {
 		}
 		h.stats.workersRejoined.Add(1)
 		h.Logf("head: node %d rejoined (%s)", node, ev.hello.Name)
-		if err := send(ev.conn, transport.KindHello, 0, HelloBody{NodeID: int(node)}); err != nil {
+		if err := send(ev.conn, transport.KindHello, 0, HelloBody{NodeID: int(node), TileSize: h.dfbTile()}); err != nil {
 			h.Logf("head: rejoin ack failed: %v", err)
 		}
 	}
@@ -877,6 +927,20 @@ func (h *Head) dispatch() {
 			switch ev.msg.Kind {
 			case transport.KindHeartbeat:
 				// Liveness only; handled above.
+			case transport.KindTileFrag:
+				var tf TileFragBody
+				if err := transport.Decode(ev.msg.Body, &tf); err != nil {
+					h.Logf("head: bad tile fragment from node %d: %v", ev.node, err)
+					continue
+				}
+				lj := inflight[core.JobID(tf.JobID)]
+				if lj == nil {
+					continue // job already failed
+				}
+				if err := h.tileFrag(lj, ev.node, &tf); err != nil {
+					h.Logf("head: tile fragment from node %d: %v", ev.node, err)
+					fail(lj, err.Error())
+				}
 			case transport.KindFragment:
 				var frag FragmentBody
 				if err := transport.Decode(ev.msg.Body, &frag); err != nil {
@@ -935,6 +999,64 @@ func (h *Head) dispatch() {
 			}
 		}
 	}
+}
+
+// tileFrag folds one per-tile fragment into the job's distributed-
+// framebuffer reduction (§5.9). Dispatcher-owned. The reducer is created
+// lazily from the first fragment's frame size; fragments are unranked
+// (Rank -1), so each tile buffers until its expected count is met and then
+// reduces after a stable (Depth, TaskIndex) sort — the exact schedule the
+// full-frame path's ByDepth+composite runs, making the output bit-identical.
+func (h *Head) tileFrag(lj *liveJob, node core.NodeID, tf *TileFragBody) error {
+	if lj.red == nil {
+		if tf.FrameW <= 0 || tf.FrameH <= 0 {
+			return fmt.Errorf("tile fragment with bad frame %dx%d", tf.FrameW, tf.FrameH)
+		}
+		lj.layout = dfb.NewLayout(tf.FrameW, tf.FrameH, h.dfbTile())
+		lj.out = img.New(tf.FrameW, tf.FrameH)
+		lj.red = dfb.NewReducer(lj.layout, len(lj.frags), lj.out)
+	}
+	if lj.out.W != tf.FrameW || lj.out.H != tf.FrameH {
+		return fmt.Errorf("tile fragment frame %dx%d does not match job frame %dx%d",
+			tf.FrameW, tf.FrameH, lj.out.W, lj.out.H)
+	}
+	if tf.Tile < 0 || tf.Tile >= lj.layout.NumTiles() {
+		return fmt.Errorf("tile %d out of range (layout has %d)", tf.Tile, lj.layout.NumTiles())
+	}
+	x0, y0, x1, y1 := lj.layout.Bounds(tf.Tile)
+	tm, err := decodePixels(x1-x0, y1-y0, tf.Codec, tf.Data)
+	if err != nil {
+		return fmt.Errorf("decoding tile %d: %w", tf.Tile, err)
+	}
+	finalized, err := lj.red.Add(dfb.Fragment{
+		Tile:  tf.Tile,
+		Rank:  -1,
+		Depth: tf.Depth,
+		Seq:   tf.TaskIndex,
+		Pix:   tm.Pix,
+	})
+	if err != nil {
+		return err
+	}
+	lj.tileFrags++
+	h.stats.tileFragments.Add(1)
+	h.stats.fragsInFlight.Add(1)
+	if h.Trace != nil {
+		h.Trace.Add(trace.Event{
+			At: h.now(), Kind: trace.TileFrag, Job: lj.job.ID, Class: lj.job.Class,
+			Task: tf.TaskIndex, Node: node, Level: tf.Tile,
+		})
+	}
+	if finalized {
+		h.stats.tilesFinalized.Add(1)
+		if h.Trace != nil {
+			h.Trace.Add(trace.Event{
+				At: h.now(), Kind: trace.TileDone, Job: lj.job.ID, Class: lj.job.Class,
+				Task: tf.TaskIndex, Node: node, Level: tf.Tile,
+			})
+		}
+	}
+	return nil
 }
 
 // correct feeds a fragment's execution facts back into the tables (§V-B).
@@ -1030,40 +1152,54 @@ func (h *Head) trackWaste(fn func()) {
 // It runs outside the dispatcher: the job is complete, so nothing else
 // touches it.
 func (h *Head) finalize(lj *liveJob) {
-	images := make([]*img.Image, len(lj.frags))
-	depths := make([]float64, len(lj.frags))
-	hits, misses := 0, 0
-	for i, f := range lj.frags {
-		m, err := decodePixels(f.W, f.H, f.Codec, f.Data)
-		if err != nil {
-			if h.qosc != nil {
-				h.qosc.Forget(lj.job)
-			}
-			h.stats.jobsFailed.Add(1)
-			_ = send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: err.Error()})
-			return
+	failf := func(err error) {
+		if h.qosc != nil {
+			h.qosc.Forget(lj.job)
 		}
-		images[i] = m
-		depths[i] = f.Depth
+		h.stats.jobsFailed.Add(1)
+		_ = send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: err.Error()})
+	}
+	hits, misses := 0, 0
+	for _, f := range lj.frags {
 		if f.Hit {
 			hits++
 		} else {
 			misses++
 		}
 	}
-	layers := compositing.ByDepth(images, depths)
-	// The head composites with real goroutine parallelism; the swap
-	// algorithms in internal/compositing model the distributed exchange the
-	// workers would perform and are verified equal to this result.
-	final, _ := compositing.Concurrent{}.Composite(layers)
+	var final *img.Image
+	if h.Compositing == "dfb" {
+		// The tile reducer assembled the frame as fragments arrived; the
+		// connection's FIFO order guarantees every worker's tiles preceded
+		// its execution report, so a complete job means a complete frame.
+		h.stats.fragsInFlight.Add(-int64(lj.tileFrags))
+		if lj.red == nil || !lj.red.Done() {
+			failf(fmt.Errorf("incomplete tile reduction at finalize"))
+			return
+		}
+		final = lj.out
+	} else {
+		images := make([]*img.Image, len(lj.frags))
+		depths := make([]float64, len(lj.frags))
+		for i, f := range lj.frags {
+			m, err := decodePixels(f.W, f.H, f.Codec, f.Data)
+			if err != nil {
+				failf(err)
+				return
+			}
+			images[i] = m
+			depths[i] = f.Depth
+		}
+		layers := compositing.ByDepth(images, depths)
+		// The head composites with real goroutine parallelism; the swap
+		// algorithms in internal/compositing model the distributed exchange
+		// the workers would perform and are verified equal to this result.
+		final, _ = compositing.Concurrent{}.Composite(layers)
+	}
 
 	var buf bytes.Buffer
 	if err := final.EncodePNG(&buf); err != nil {
-		if h.qosc != nil {
-			h.qosc.Forget(lj.job)
-		}
-		h.stats.jobsFailed.Add(1)
-		_ = send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: err.Error()})
+		failf(err)
 		return
 	}
 	res := ResultBody{
@@ -1077,6 +1213,7 @@ func (h *Head) finalize(lj *liveJob) {
 	if err := send(lj.conn, transport.KindResult, lj.msgID, res); err != nil {
 		h.Logf("head: result reply failed: %v", err)
 	}
+	h.stats.frameLat.add(time.Since(lj.wall))
 	h.stats.jobsCompleted.Add(1)
 	if lj.req.Batch {
 		h.stats.batchCompleted.Add(1)

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -50,6 +52,56 @@ type headStats struct {
 	prefetchWasted    atomic.Int64
 	prefetchBytes     atomic.Int64
 	prefetchNanos     atomic.Int64
+
+	// Distributed-framebuffer counters (§5.9): tiles whose reduction
+	// completed, tile fragments folded in, and the gauge of fragments
+	// reduced into frames not yet delivered.
+	tilesFinalized atomic.Int64
+	tileFragments  atomic.Int64
+	fragsInFlight  atomic.Int64
+
+	// frameLat samples end-to-end frame latencies for the quantile view.
+	frameLat latRing
+}
+
+// latRing keeps the most recent frame latencies in a fixed ring for cheap
+// streaming quantiles — enough history for a monitoring scrape, bounded
+// memory forever.
+type latRing struct {
+	mu   sync.Mutex
+	buf  [512]time.Duration
+	next int
+	n    int
+}
+
+func (r *latRing) add(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// quantiles returns nearest-rank p50/p95/p99 over the retained window, or
+// zeros when nothing has completed yet.
+func (r *latRing) quantiles() (p50, p95, p99 time.Duration) {
+	r.mu.Lock()
+	sorted := append([]time.Duration(nil), r.buf[:r.n]...)
+	r.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(p int) time.Duration {
+		i := (len(sorted)*p + 99) / 100
+		if i < 1 {
+			i = 1
+		}
+		return sorted[i-1]
+	}
+	return rank(50), rank(95), rank(99)
 }
 
 // StatsSnapshot is a point-in-time view of the service counters.
@@ -83,6 +135,24 @@ type StatsSnapshot struct {
 	QoS *QoSSnapshot `json:"qos,omitempty"`
 	// Prefetch is present only when the head runs with a prefetch config.
 	Prefetch *PrefetchSnapshot `json:"prefetch,omitempty"`
+	// Compositing is present only when the head runs the distributed
+	// framebuffer (Compositing = "dfb").
+	Compositing *CompositingSnapshot `json:"compositing,omitempty"`
+}
+
+// CompositingSnapshot is the distributed framebuffer's slice of a stats
+// snapshot (§5.9): the tile pipeline's throughput counters, the fragments
+// currently reduced into undelivered frames, and end-to-end frame latency
+// quantiles over the recent completion window.
+type CompositingSnapshot struct {
+	Algorithm      string  `json:"algorithm"`
+	TileSize       int     `json:"tile_size"`
+	TilesFinalized int64   `json:"tiles_finalized"`
+	TileFragments  int64   `json:"tile_fragments"`
+	FragsInFlight  int64   `json:"fragments_in_flight"`
+	FrameP50Millis float64 `json:"frame_p50_ms"`
+	FrameP95Millis float64 `json:"frame_p95_ms"`
+	FrameP99Millis float64 `json:"frame_p99_ms"`
 }
 
 // PrefetchSnapshot is the predictive-warming layer's slice of a stats
@@ -250,6 +320,19 @@ func (h *Head) Stats() StatsSnapshot {
 		}
 		s.Prefetch = p
 	}
+	if h.Compositing == "dfb" {
+		p50, p95, p99 := h.stats.frameLat.quantiles()
+		s.Compositing = &CompositingSnapshot{
+			Algorithm:      h.Compositing,
+			TileSize:       h.dfbTile(),
+			TilesFinalized: h.stats.tilesFinalized.Load(),
+			TileFragments:  h.stats.tileFragments.Load(),
+			FragsInFlight:  h.stats.fragsInFlight.Load(),
+			FrameP50Millis: p50.Seconds() * 1e3,
+			FrameP95Millis: p95.Seconds() * 1e3,
+			FrameP99Millis: p99.Seconds() * 1e3,
+		}
+	}
 	return s
 }
 
@@ -331,6 +414,22 @@ func (h *Head) StatsHandler() http.Handler {
 			write("prefetch_wasted_total", float64(p.Wasted))
 			write("prefetch_bytes_moved_total", float64(p.BytesMoved))
 			write("prefetch_hit_rate_pct", p.HitRatePct)
+		}
+		if c := s.Compositing; c != nil {
+			write("dfb_tile_size", float64(c.TileSize))
+			write("dfb_tiles_finalized_total", float64(c.TilesFinalized))
+			write("dfb_tile_fragments_total", float64(c.TileFragments))
+			write("dfb_fragments_in_flight", float64(c.FragsInFlight))
+			for _, pq := range []struct {
+				q string
+				v float64
+			}{
+				{"0.5", c.FrameP50Millis}, {"0.95", c.FrameP95Millis}, {"0.99", c.FrameP99Millis},
+			} {
+				_, _ = w.Write([]byte("vizsched_frame_latency_seconds{quantile=\"" + pq.q + "\"} "))
+				_, _ = w.Write(appendFloat(nil, pq.v/1e3))
+				_, _ = w.Write([]byte("\n"))
+			}
 		}
 	})
 	return mux

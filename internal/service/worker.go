@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"vizsched/internal/cache"
+	"vizsched/internal/compositing/dfb"
+	"vizsched/internal/img"
 	"vizsched/internal/raycast"
 	"vizsched/internal/transport"
 	"vizsched/internal/units"
@@ -40,6 +42,10 @@ type Worker struct {
 	// node is the slot the head assigned in its hello ack; -1 until known.
 	// Atomic: the serve loop writes it while callers poll Node.
 	node atomic.Int64
+	// tileSize is the distributed-framebuffer tile edge from the head's
+	// hello ack; 0 keeps full-frame fragments. Serve-loop owned: the ack is
+	// processed and tasks execute on the same goroutine.
+	tileSize int
 	// tasks counts executed tasks. Atomic: the serve loop increments it
 	// while callers poll TasksExecuted.
 	tasks atomic.Int64
@@ -161,12 +167,16 @@ func (w *Worker) prefetch(p PrefetchBody) PrefetchDoneBody {
 	return done
 }
 
-// execute runs one task and builds its fragment.
-func (w *Worker) execute(t TaskBody) (FragmentBody, error) {
+// execute runs one task and builds its fragment. When the head enabled
+// distributed-framebuffer compositing (tileSize > 0), the rendered layer is
+// split into per-tile fragments and the returned FragmentBody carries only
+// the execution facts (nil Data); otherwise tiles is nil and the body holds
+// the full frame.
+func (w *Worker) execute(t TaskBody) (FragmentBody, []TileFragBody, error) {
 	start := time.Now()
 	brick, hit, evicted, err := w.loadBrick(t.Dataset, t.Chunk)
 	if err != nil {
-		return FragmentBody{}, err
+		return FragmentBody{}, nil, err
 	}
 	cam := raycast.NewCamera(t.Render.Angle, t.Render.Elevation, t.Render.Dist)
 	tf := raycast.PresetTF(w.catalog.Get(t.Dataset).TF)
@@ -177,21 +187,46 @@ func (w *Worker) execute(t TaskBody) (FragmentBody, error) {
 		IsoValue: t.Render.IsoValue,
 		Parallel: true,
 	})
-	data, err := encodePixels(frag.Image, w.Codec)
-	if err != nil {
-		return FragmentBody{}, err
-	}
-	return FragmentBody{
+	meta := FragmentBody{
 		JobID:     t.JobID,
 		TaskIndex: t.TaskIndex,
 		W:         frag.Image.W, H: frag.Image.H,
-		Codec:     w.Codec,
-		Data:      data,
-		Depth:     frag.Depth,
-		Hit:       hit,
-		ExecNanos: time.Since(start).Nanoseconds(),
-		Evicted:   evicted,
-	}, nil
+		Codec:   w.Codec,
+		Depth:   frag.Depth,
+		Hit:     hit,
+		Evicted: evicted,
+	}
+	if ts := w.tileSize; ts > 0 {
+		layout := dfb.NewLayout(frag.Image.W, frag.Image.H, ts)
+		tiles := make([]TileFragBody, layout.NumTiles())
+		for tl := range tiles {
+			x0, y0, x1, y1 := layout.Bounds(tl)
+			tm := &img.Image{W: x1 - x0, H: y1 - y0, Pix: dfb.ExtractTile(layout, frag.Image, tl)}
+			data, err := encodePixels(tm, w.Codec)
+			if err != nil {
+				return FragmentBody{}, nil, err
+			}
+			tiles[tl] = TileFragBody{
+				JobID:     t.JobID,
+				TaskIndex: t.TaskIndex,
+				Tile:      tl,
+				FrameW:    frag.Image.W,
+				FrameH:    frag.Image.H,
+				Depth:     frag.Depth,
+				Codec:     w.Codec,
+				Data:      data,
+			}
+		}
+		meta.ExecNanos = time.Since(start).Nanoseconds()
+		return meta, tiles, nil
+	}
+	data, err := encodePixels(frag.Image, w.Codec)
+	if err != nil {
+		return FragmentBody{}, nil, err
+	}
+	meta.Data = data
+	meta.ExecNanos = time.Since(start).Nanoseconds()
+	return meta, nil, nil
 }
 
 // Serve processes messages from the head until the connection closes or a
@@ -253,6 +288,7 @@ func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 			var ack HelloBody
 			if err := transport.Decode(msg.Body, &ack); err == nil {
 				w.node.Store(int64(ack.NodeID))
+				w.tileSize = ack.TileSize
 			}
 		case transport.KindTask:
 			var t TaskBody
@@ -260,7 +296,7 @@ func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 				w.Logf("worker %s: bad task: %v", w.Name, err)
 				continue
 			}
-			frag, err := w.execute(t)
+			frag, tiles, err := w.execute(t)
 			if err != nil {
 				w.Logf("worker %s: task J%d/T%d failed: %v", w.Name, t.JobID, t.TaskIndex, err)
 				if serr := send(conn, transport.KindError, msg.ID, ErrorBody{Msg: err.Error()}); serr != nil {
@@ -269,6 +305,14 @@ func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 				continue
 			}
 			w.tasks.Add(1)
+			// Tile fragments go first: the connection is FIFO, so the head
+			// sees every tile before the execution report that completes the
+			// task's accounting.
+			for i := range tiles {
+				if err := send(conn, transport.KindTileFrag, msg.ID, tiles[i]); err != nil {
+					return err
+				}
+			}
 			if err := send(conn, transport.KindFragment, msg.ID, frag); err != nil {
 				return err
 			}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"vizsched/internal/compositing"
+	"vizsched/internal/core"
+	"vizsched/internal/units"
+)
+
+// CompFrameConfig drives the analytic frame-pipeline model behind the
+// compsweep experiment: a closed-form recurrence over per-frame per-node
+// render times that prices the compositing stage per algorithm — swap
+// collectives as a full-cluster barrier whose every round waits for the
+// slowest node, the distributed framebuffer as an asynchronous tile push
+// that overlaps with the next frame's rendering. Everything runs in virtual
+// time from a seeded stream, so results are bit-deterministic regardless of
+// host parallelism.
+type CompFrameConfig struct {
+	// Nodes is the render-group size n.
+	Nodes int
+	// Frames is the animation length; 0 selects 120.
+	Frames int
+	// Algorithm is "binary-swap", "2-3-swap", "direct-send" or "dfb".
+	Algorithm string
+	// Model prices the composite round; the zero value selects
+	// core.DefaultCostModel().
+	Model core.CostModel
+	// RenderMean is the mean per-node render time per frame; 0 selects 8ms.
+	RenderMean units.Duration
+	// Jitter perturbs each node's render time by ±Jitter fraction.
+	Jitter float64
+	// Period is the frame arrival interval (inverse target FPS); 0 selects
+	// 30ms — the paper's ~33fps interactive target.
+	Period units.Duration
+	// Window bounds dfb's in-flight frames; 0 selects 2. Ignored by the
+	// swap collectives, which cannot overlap frames at all.
+	Window int
+	// Straggler is the index of one slow node, or -1/none when < 0 is not
+	// set; StragglerFactor multiplies its render time (and, for the
+	// barriered collectives, every exchange round's critical path).
+	Straggler       int
+	StragglerFactor float64
+	// Seed drives the render-time jitter stream.
+	Seed int64
+}
+
+// CompFrameResult summarizes one analytic run.
+type CompFrameResult struct {
+	// MeanLatency/P95Latency/MaxLatency are per-frame latencies measured
+	// from each frame's scheduled arrival to its delivery.
+	MeanLatency units.Duration
+	P95Latency  units.Duration
+	MaxLatency  units.Duration
+	// Makespan is the delivery time of the last frame.
+	Makespan units.Duration
+}
+
+// withDefaults fills zero values.
+func (c CompFrameConfig) withDefaults() CompFrameConfig {
+	if c.Frames == 0 {
+		c.Frames = 120
+	}
+	if c.Model.CompositeRound == 0 {
+		c.Model = core.DefaultCostModel()
+	}
+	if c.RenderMean == 0 {
+		c.RenderMean = 8 * units.Millisecond
+	}
+	if c.Period == 0 {
+		c.Period = 30 * units.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 2
+	}
+	if c.StragglerFactor == 0 {
+		c.StragglerFactor = 1
+	}
+	return c
+}
+
+// RunCompFrame evaluates the model. Frame f arrives at f×Period; a swap
+// collective starts rendering f only after f-1's collective finished (the
+// barrier occupies every node), while dfb starts a node on frame f the
+// moment that node finished its own f-1 render, gated only by the bounded
+// in-flight window — render of f overlaps compositing and delivery of f-1.
+func RunCompFrame(cfg CompFrameConfig) CompFrameResult {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		panic("sim: CompFrameConfig.Nodes must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	render := make([][]units.Duration, cfg.Frames)
+	for f := range render {
+		render[f] = make([]units.Duration, cfg.Nodes)
+		for i := range render[f] {
+			r := units.Duration(float64(cfg.RenderMean) * (1 + cfg.Jitter*(2*rng.Float64()-1)))
+			if i == cfg.Straggler && cfg.Straggler >= 0 {
+				r = units.Duration(float64(r) * cfg.StragglerFactor)
+			}
+			render[f][i] = r
+		}
+	}
+	c := cfg.Model.CompositeRound
+
+	lat := make([]units.Duration, cfg.Frames)
+	var last units.Time
+	switch cfg.Algorithm {
+	case "dfb":
+		// Tile push + finalized-tile delivery: two asynchronous hops, no
+		// round count — the straggler hurts only through its own render
+		// time, which the per-node pipeline absorbs until the window gates.
+		rc := make([]units.Time, cfg.Nodes) // per-node previous render completion
+		done := make([]units.Time, cfg.Frames)
+		for f := 0; f < cfg.Frames; f++ {
+			arrival := units.Time(f) * units.Time(cfg.Period)
+			gate := arrival
+			if f >= cfg.Window && done[f-cfg.Window] > gate {
+				gate = done[f-cfg.Window]
+			}
+			var worst units.Time
+			for i := range rc {
+				start := gate
+				if rc[i] > start {
+					start = rc[i]
+				}
+				rc[i] = start + units.Time(render[f][i])
+				if rc[i] > worst {
+					worst = rc[i]
+				}
+			}
+			done[f] = worst + 2*units.Time(c)
+			lat[f] = units.Duration(done[f] - arrival)
+			last = done[f]
+		}
+	case "binary-swap", "2-3-swap", "direct-send":
+		var rounds int
+		switch cfg.Algorithm {
+		case "binary-swap":
+			rounds = compositing.BinarySwapRounds(cfg.Nodes)
+		case "2-3-swap":
+			rounds = compositing.TwoThreeSwapRounds(cfg.Nodes)
+		case "direct-send":
+			rounds = compositing.DirectSendRounds(cfg.Nodes)
+		}
+		// Every synchronous round's critical path runs through the slowest
+		// participant, so a straggler stretches each round, not just its
+		// own render.
+		roundCost := units.Time(c)
+		if cfg.Straggler >= 0 {
+			roundCost = units.Time(float64(roundCost) * cfg.StragglerFactor)
+		}
+		var prevDone units.Time
+		for f := 0; f < cfg.Frames; f++ {
+			arrival := units.Time(f) * units.Time(cfg.Period)
+			start := arrival
+			if prevDone > start {
+				start = prevDone // the collective is a barrier: no overlap
+			}
+			var worst units.Duration
+			for _, r := range render[f] {
+				if r > worst {
+					worst = r
+				}
+			}
+			prevDone = start + units.Time(worst) + units.Time(rounds)*roundCost
+			lat[f] = units.Duration(prevDone - arrival)
+			last = prevDone
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown compsweep algorithm %q", cfg.Algorithm))
+	}
+
+	res := CompFrameResult{Makespan: units.Duration(last)}
+	var sum units.Duration
+	sorted := append([]units.Duration(nil), lat...)
+	for _, l := range lat {
+		sum += l
+		if l > res.MaxLatency {
+			res.MaxLatency = l
+		}
+	}
+	res.MeanLatency = sum / units.Duration(len(lat))
+	// Nearest-rank p95 over the per-frame latencies.
+	slices.Sort(sorted)
+	res.P95Latency = sorted[(len(sorted)*95+99)/100-1]
+	return res
+}

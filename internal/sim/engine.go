@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"vizsched/internal/cache"
+	"vizsched/internal/compositing"
 	"vizsched/internal/core"
 	"vizsched/internal/des"
 	"vizsched/internal/metrics"
@@ -129,6 +130,14 @@ type Config struct {
 	// inert. nil (the default) leaves every code path untouched, so golden
 	// outputs are bit-identical.
 	Prefetch *prefetch.Config
+	// Compositing selects the algorithm the cost model charges per task
+	// (§5.9): "binary-swap", "2-3-swap" and "direct-send" price the group's
+	// synchronous round count via the compositing package's closed forms,
+	// and "dfb" prices the distributed framebuffer's single asynchronous
+	// push — no barrier, so the charge is one round regardless of group
+	// size. "" (the default) keeps the paper's ⌈log₂ g⌉ CompositeTime
+	// exactly, so golden outputs are bit-identical.
+	Compositing string
 }
 
 // node is the actual state of one rendering node.
@@ -629,7 +638,7 @@ func (e *Engine) jitter(d units.Duration) units.Duration {
 // composite.
 func (e *Engine) renderCost(n *node, t *core.Task) units.Duration {
 	m := e.cfg.Model
-	work := m.RenderTime(t.Size) + m.CompositeTime(t.Job.GroupSize())
+	work := m.RenderTime(t.Size) + e.compositeTime(t.Job.GroupSize())
 	if e.qosc != nil && t.Job.Class == core.Interactive {
 		// Degradation rung 2: interactive frames render at half linear
 		// resolution, a quarter of the pixels — render and composite both
@@ -644,6 +653,41 @@ func (e *Engine) renderCost(n *node, t *core.Task) units.Duration {
 		n.gpu.Insert(t.Chunk, t.Size)
 	}
 	return exec
+}
+
+// compositeTime prices a task's compositing share under the configured
+// algorithm. The default ("") is the paper's model.CompositeTime; named
+// algorithms charge CompositeRound × their actual synchronous round count,
+// and dfb charges a single round — the asynchronous tile push has no
+// barrier for the group size to stretch.
+func (e *Engine) compositeTime(group int) units.Duration {
+	m := e.cfg.Model
+	switch e.cfg.Compositing {
+	case "":
+		return m.CompositeTime(group)
+	case "dfb":
+		if group <= 1 {
+			return 0
+		}
+		return m.CompositeRound
+	case "binary-swap":
+		if group <= 1 {
+			return 0
+		}
+		return m.CompositeRound * units.Duration(compositing.BinarySwapRounds(group))
+	case "2-3-swap":
+		if group <= 1 {
+			return 0
+		}
+		return m.CompositeRound * units.Duration(compositing.TwoThreeSwapRounds(group))
+	case "direct-send":
+		if group <= 1 {
+			return 0
+		}
+		return m.CompositeRound * units.Duration(compositing.DirectSendRounds(group))
+	default:
+		panic(fmt.Sprintf("sim: unknown compositing algorithm %q", e.cfg.Compositing))
+	}
 }
 
 // startSerial begins queued tasks on an idle serial-mode node (Definition

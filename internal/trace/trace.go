@@ -46,6 +46,12 @@ const (
 	PrefetchHit
 	PrefetchCancel
 	PrefetchWaste
+	// Distributed-framebuffer compositing (§5.9): TileFrag marks one
+	// per-tile fragment folded into the head's reducer, TileDone a tile
+	// finalizing (its expected fragment count met). For both, Task carries
+	// the contributing task index and Level the tile index.
+	TileFrag
+	TileDone
 )
 
 // String implements fmt.Stringer.
@@ -83,6 +89,10 @@ func (k Kind) String() string {
 		return "prefetch-cancel"
 	case PrefetchWaste:
 		return "prefetch-waste"
+	case TileFrag:
+		return "tile-frag"
+	case TileDone:
+		return "tile-done"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -101,7 +111,8 @@ type Event struct {
 	Dur   units.Duration
 	Hit   bool
 	// Tenant identifies the job's tenant for QoS events (zero otherwise);
-	// Level is the degradation-ladder rung carried by Degrade events.
+	// Level is the degradation-ladder rung carried by Degrade events and
+	// the tile index carried by TileFrag/TileDone events.
 	Tenant core.TenantID
 	Level  int
 }

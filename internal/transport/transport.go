@@ -41,6 +41,12 @@ const (
 	// KindPrefetchDone reports a warm's outcome back to the head (payload:
 	// PrefetchDoneBody).
 	KindPrefetchDone
+	// KindTileFrag pushes one renderer's tile fragment to the tile's owner
+	// in the distributed-framebuffer compositing path (payload: a tile
+	// fragment body defined by the sender's layer).
+	KindTileFrag
+	// KindTileDone delivers a finalized tile from its owner to the display.
+	KindTileDone
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +72,10 @@ func (k Kind) String() string {
 		return "prefetch"
 	case KindPrefetchDone:
 		return "prefetch-done"
+	case KindTileFrag:
+		return "tile-frag"
+	case KindTileDone:
+		return "tile-done"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -295,16 +305,36 @@ func DialTCP(addr string) (Conn, error) {
 	return newTCPConn(nc), nil
 }
 
+// Body encode/decode buffers are pooled: fragment and tile traffic encodes
+// a body per message, and the grown scratch buffers are perfectly reusable.
+// The gob encoder/decoder themselves are NOT pooled — they carry per-stream
+// type-descriptor state and must start fresh for each self-contained body.
+var (
+	encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	decRdrPool = sync.Pool{New: func() any { return new(bytes.Reader) }}
+)
+
 // Encode gob-encodes a body struct for a Message.
 func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		encBufPool.Put(buf)
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	// Copy out at exact size: the pooled buffer's backing array stays with
+	// the pool instead of escaping into the Message.
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	encBufPool.Put(buf)
+	return out, nil
 }
 
 // Decode gob-decodes a Message body into v.
 func Decode(body []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+	r := decRdrPool.Get().(*bytes.Reader)
+	r.Reset(body)
+	err := gob.NewDecoder(r).Decode(v)
+	decRdrPool.Put(r)
+	return err
 }

@@ -149,6 +149,42 @@ func TestKindString(t *testing.T) {
 	}
 }
 
+// BenchmarkTransportRoundTrip measures one encode → send → recv → decode
+// cycle over the in-process transport with a fragment-sized body. The
+// pooled encode/decode buffers are what keep allocs/op low; this is the
+// per-fragment hot path of the live service and the dfb compositor.
+func BenchmarkTransportRoundTrip(b *testing.B) {
+	a, peer := Pipe()
+	defer a.Close()
+	defer peer.Close()
+	type fragment struct {
+		JobID     uint64
+		TaskIndex int
+		Depth     float64
+		Data      []byte
+	}
+	in := fragment{JobID: 7, TaskIndex: 3, Depth: 1.5, Data: make([]byte, 4096)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, err := Encode(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Send(Message{Kind: KindFragment, ID: uint64(i), Body: body}); err != nil {
+			b.Fatal(err)
+		}
+		m, err := peer.Recv()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out fragment
+		if err := Decode(m.Body, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestConcurrentSendersOnTCP(t *testing.T) {
 	l, err := ListenTCP("127.0.0.1:0")
 	if err != nil {
