@@ -34,7 +34,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	only := flag.String("only", "all",
-		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep, prefsweep, compsweep")
+		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep, prefsweep, compsweep, hasweep")
 	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
 		"max concurrent simulation runs; 1 = sequential (reference scheduling-cost numbers)")
@@ -155,6 +155,12 @@ func main() {
 		points := experiments.PrefetchSweepN(quotas, loads, workers)
 		experiments.PrintPrefetchSweep(out, points)
 		writeCSV("prefsweep.csv", func(f *os.File) error { return experiments.PrefetchSweepCSV(f, points) })
+	}
+	if has("hasweep") {
+		outages := []float64{0.05, 0.1, 0.2}
+		points := experiments.HASweepN(outages, *scale, workers)
+		experiments.PrintHASweep(out, points)
+		writeCSV("hasweep.csv", func(f *os.File) error { return experiments.HASweepCSV(f, points) })
 	}
 	if has("compsweep") {
 		points := experiments.CompSweep(workers)

@@ -12,6 +12,18 @@
 //
 // The head needs no dataset payloads, only the manifests (it schedules by
 // metadata); workers need the actual dataset directories.
+//
+// For head failover (§5.10), run the head with -journal and workers with
+// -reconnect; after a head crash, a standby replays the snapshot + journal
+// and the workers resync into it:
+//
+//	vizserver -mode head -journal head.wal -workers 2 ...
+//	vizserver -mode worker -reconnect -connect localhost:7001 ...
+//	# head dies; on the standby machine:
+//	vizserver -mode head -standby -journal head.wal -workers 2 ...
+//
+// -netfaults adds seeded transport-level chaos to a worker's link for
+// resilience drills.
 package main
 
 import (
@@ -20,10 +32,14 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"vizsched/internal/core"
 	"vizsched/internal/experiments"
+	"vizsched/internal/hastate"
+	"vizsched/internal/journal"
 	"vizsched/internal/prefetch"
 	"vizsched/internal/qos"
 	"vizsched/internal/service"
@@ -49,6 +65,82 @@ func parseBytes(s string) (units.Bytes, error) {
 	return units.Bytes(n) * mult, nil
 }
 
+// parseFaults parses a -netfaults spec: comma-separated key=value pairs with
+// probability keys drop, corrupt, dup, reorder, delay, a maxdelay duration,
+// and an integer seed. Example: "drop=0.02,dup=0.05,maxdelay=50ms,seed=42".
+func parseFaults(spec string) (transport.FaultConfig, error) {
+	cfg := transport.FaultConfig{MaxDelay: 20 * time.Millisecond}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad netfaults entry %q (want key=value)", kv)
+		}
+		switch k {
+		case "maxdelay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return cfg, fmt.Errorf("bad maxdelay %q: %v", v, err)
+			}
+			cfg.MaxDelay = d
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("bad seed %q: %v", v, err)
+			}
+			cfg.Seed = n
+		default:
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return cfg, fmt.Errorf("bad probability %s=%q", k, v)
+			}
+			switch k {
+			case "drop":
+				cfg.Drop = p
+			case "corrupt":
+				cfg.Corrupt = p
+			case "dup":
+				cfg.Duplicate = p
+			case "reorder":
+				cfg.Reorder = p
+			case "delay":
+				cfg.Delay = p
+			default:
+				return cfg, fmt.Errorf("unknown netfaults key %q", k)
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// recoverState replays the snapshot + journal pair at path into the state a
+// standby head resumes from.
+func recoverState(path string, model core.CostModel) (*hastate.State, error) {
+	raw, err := os.ReadFile(path + ".snap")
+	if err != nil {
+		return nil, fmt.Errorf("reading snapshot: %w", err)
+	}
+	snap, err := hastate.DecodeSnapshot(raw)
+	if err != nil {
+		return nil, err
+	}
+	jf, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening journal: %w", err)
+	}
+	defer jf.Close()
+	recs, err := journal.ReadAll(jf)
+	if err != nil {
+		return nil, err
+	}
+	st, err := hastate.Replay(snap, recs, model)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("head: recovered %d jobs from snapshot + %d journal records (clock %v)",
+		len(st.Jobs), len(recs), st.At)
+	return st, nil
+}
+
 func main() {
 	mode := flag.String("mode", "head", "head or worker")
 	data := flag.String("data", "./data", "directory of dataset directories")
@@ -69,6 +161,15 @@ func main() {
 	compositing := flag.String("compositing", "",
 		"fragment assembly (head mode): dfb enables the asynchronous tile-based distributed framebuffer; empty keeps full-frame compositing")
 	tile := flag.Int("tile", 0, "dfb tile edge in pixels (head mode); 0 selects the default")
+	journalPath := flag.String("journal", "",
+		"write-ahead journal path (head mode): log every recoverable mutation to this file and a snapshot to <path>.snap, enabling standby takeover")
+	standby := flag.Bool("standby", false,
+		"recover head state from the -journal snapshot + log instead of starting fresh (head mode); workers reattach via -reconnect")
+	reconnect := flag.Bool("reconnect", false,
+		"keep reconnecting across head restarts with exponential backoff, resyncing state with a recovered head (worker mode)")
+	retries := flag.Int("retries", 0, "reconnect attempt budget (worker mode); 0 selects the default")
+	netfaults := flag.String("netfaults", "",
+		"inject seeded network chaos on this worker's link (worker mode), e.g. drop=0.02,dup=0.05,reorder=0.02,corrupt=0.01,delay=0.1,maxdelay=50ms,seed=42")
 	flag.Parse()
 
 	catalog := service.NewCatalog()
@@ -110,20 +211,77 @@ func main() {
 		if err != nil {
 			log.Fatal("vizserver: ", err)
 		}
-		log.Printf("head: waiting for %d workers on %s", *workers, wl.Addr())
-		for i := 0; i < *workers; i++ {
-			conn, err := wl.Accept()
+		if *standby {
+			// Warm-standby takeover (§5.10): rebuild the lost head's tables
+			// from the snapshot + journal, then let workers resync in.
+			if *journalPath == "" {
+				log.Fatal("vizserver: -standby requires -journal")
+			}
+			st, err := recoverState(*journalPath, core.DefaultCostModel())
 			if err != nil {
 				log.Fatal("vizserver: ", err)
 			}
-			if err := head.AddWorker(conn); err != nil {
+			jf, err := os.OpenFile(*journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
 				log.Fatal("vizserver: ", err)
 			}
-			log.Printf("head: worker %d/%d registered", i+1, *workers)
+			head.Journal = journal.NewWriter(jf, 8)
+			if err := head.StartRecovered(st); err != nil {
+				log.Fatal("vizserver: ", err)
+			}
+			log.Printf("head: standby takeover complete; waiting for workers to resync on %s", wl.Addr())
+		} else {
+			if *journalPath != "" {
+				jf, err := os.Create(*journalPath)
+				if err != nil {
+					log.Fatal("vizserver: ", err)
+				}
+				head.Journal = journal.NewWriter(jf, 8)
+			}
+			log.Printf("head: waiting for %d workers on %s", *workers, wl.Addr())
+			for i := 0; i < *workers; i++ {
+				conn, err := wl.Accept()
+				if err != nil {
+					log.Fatal("vizserver: ", err)
+				}
+				if err := head.AddWorker(conn); err != nil {
+					log.Fatal("vizserver: ", err)
+				}
+				log.Printf("head: worker %d/%d registered", i+1, *workers)
+			}
+			if err := head.Start(); err != nil {
+				log.Fatal("vizserver: ", err)
+			}
+			if *journalPath != "" {
+				// The genesis snapshot the journal replays on top of. Health
+				// records written before the capture replay as guarded no-ops.
+				snap, err := head.Snapshot()
+				if err != nil {
+					log.Fatal("vizserver: ", err)
+				}
+				raw, err := snap.Encode()
+				if err != nil {
+					log.Fatal("vizserver: ", err)
+				}
+				if err := os.WriteFile(*journalPath+".snap", raw, 0o644); err != nil {
+					log.Fatal("vizserver: ", err)
+				}
+				log.Printf("head: journaling to %s (snapshot at %s.snap)", *journalPath, *journalPath)
+			}
 		}
-		if err := head.Start(); err != nil {
-			log.Fatal("vizserver: ", err)
-		}
+		// Keep the registration port open: crashed or partitioned workers
+		// reattach here (Rejoin), and a standby's workers resync here.
+		go func() {
+			for {
+				conn, err := wl.Accept()
+				if err != nil {
+					return
+				}
+				if err := head.Rejoin(conn); err != nil {
+					log.Printf("head: rejoin: %v", err)
+				}
+			}
+		}()
 		if *httpAddr != "" {
 			go func() {
 				log.Printf("head: stats on http://%s/ and /metrics", *httpAddr)
@@ -144,14 +302,39 @@ func main() {
 			host, _ := os.Hostname()
 			*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
-		conn, err := transport.DialTCP(*connect)
-		if err != nil {
-			log.Fatal("vizserver: ", err)
+		var inj *transport.FaultInjector
+		if *netfaults != "" {
+			cfg, err := parseFaults(*netfaults)
+			if err != nil {
+				log.Fatal("vizserver: ", err)
+			}
+			inj = transport.NewFaultInjector(cfg)
+			log.Printf("worker %s: network chaos enabled: %s", *name, *netfaults)
+		}
+		dial := func() (transport.Conn, error) {
+			conn, err := transport.DialTCP(*connect)
+			if err != nil {
+				return nil, err
+			}
+			if inj != nil {
+				conn = inj.Wrap(conn)
+			}
+			return conn, nil
 		}
 		w := service.NewWorker(*name, catalog, quota)
 		log.Printf("worker %s: serving %v with %v cache", *name, catalog.Names(), quota)
-		if err := w.Serve(conn); err != nil {
-			log.Fatal("vizserver: ", err)
+		if *reconnect {
+			if err := w.ServeLoop(dial, service.ReconnectConfig{Retries: *retries}); err != nil {
+				log.Fatal("vizserver: ", err)
+			}
+		} else {
+			conn, err := dial()
+			if err != nil {
+				log.Fatal("vizserver: ", err)
+			}
+			if err := w.Serve(conn); err != nil {
+				log.Fatal("vizserver: ", err)
+			}
 		}
 		log.Printf("worker %s: head closed the connection; exiting", *name)
 

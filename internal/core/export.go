@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"vizsched/internal/cache"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// This file is the serialization boundary of the head's dispatch state
+// (DESIGN.md §5.10): TableDump is a deterministic, self-contained value
+// capturing every HeadState table — the §V-A prediction tables, health,
+// replica homes and pressure, and the prefetch accuracy state — in sorted,
+// slice-only form so that identical states always encode to identical
+// bytes. Dump/LoadTables are the snapshot half of the head's
+// snapshot+journal recovery; the journal half replays ordinary
+// CommitAssign/Correct/MarkFailed mutations on top of a loaded dump.
+
+// EstimateEntry is one Estimate[c] row.
+type EstimateEntry struct {
+	Chunk volume.ChunkID
+	Exec  units.Duration
+}
+
+// HitObsEntry is one learned cached-execution observation.
+type HitObsEntry struct {
+	Size  units.Bytes
+	Group int
+	Exec  units.Duration
+}
+
+// HomeEntry is one chunk's replica home set, primary first.
+type HomeEntry struct {
+	Chunk volume.ChunkID
+	Homes []NodeID
+}
+
+// PrefEntry is one untouched prefetched residency.
+type PrefEntry struct {
+	Chunk volume.ChunkID
+	Node  NodeID
+}
+
+// CacheDump is one node's predicted cache.
+type CacheDump struct {
+	Quota   units.Bytes
+	Entries []cache.Entry
+	Stats   cache.Stats
+}
+
+// TableDump is the serializable form of a HeadState. All map-backed tables
+// are flattened into key-sorted slices, so two deep-equal HeadStates always
+// produce deep-equal (and byte-identical, under any deterministic encoder)
+// dumps.
+type TableDump struct {
+	Available       []units.Time
+	LastInteractive []units.Time
+	Health          []Health
+	ReplicaK        int
+	Pressure        []int
+	Caches          []CacheDump
+	Estimates       []EstimateEntry
+	HitObs          []HitObsEntry
+	Homes           []HomeEntry
+	Prefetched      []PrefEntry
+	PrefHits        int64
+	PrefHidden      int64
+	PrefWasted      int64
+}
+
+// Dump captures the complete table state. The receiver is not mutated.
+func (h *HeadState) Dump() *TableDump {
+	d := &TableDump{
+		Available:       slices.Clone(h.Available),
+		LastInteractive: slices.Clone(h.lastInteractive),
+		Health:          slices.Clone(h.health),
+		ReplicaK:        h.replicaK,
+		Pressure:        slices.Clone(h.pressure),
+		Caches:          make([]CacheDump, len(h.Caches)),
+		PrefHits:        h.prefHits,
+		PrefHidden:      h.prefHidden,
+		PrefWasted:      h.prefWasted,
+	}
+	for k, c := range h.Caches {
+		d.Caches[k] = CacheDump{Quota: c.Quota(), Entries: c.Export(), Stats: c.Stats()}
+	}
+	for c, e := range h.estimate {
+		d.Estimates = append(d.Estimates, EstimateEntry{Chunk: c, Exec: e})
+	}
+	slices.SortFunc(d.Estimates, func(a, b EstimateEntry) int { return chunkCompare(a.Chunk, b.Chunk) })
+	for key, e := range h.hitObs {
+		d.HitObs = append(d.HitObs, HitObsEntry{Size: key.size, Group: key.group, Exec: e})
+	}
+	slices.SortFunc(d.HitObs, func(a, b HitObsEntry) int {
+		if a.Size != b.Size {
+			return int(a.Size - b.Size)
+		}
+		return a.Group - b.Group
+	})
+	for c, hs := range h.homes {
+		d.Homes = append(d.Homes, HomeEntry{Chunk: c, Homes: slices.Clone(hs)})
+	}
+	slices.SortFunc(d.Homes, func(a, b HomeEntry) int { return chunkCompare(a.Chunk, b.Chunk) })
+	for key := range h.prefetched {
+		d.Prefetched = append(d.Prefetched, PrefEntry{Chunk: key.c, Node: key.k})
+	}
+	slices.SortFunc(d.Prefetched, func(a, b PrefEntry) int {
+		if c := chunkCompare(a.Chunk, b.Chunk); c != 0 {
+			return c
+		}
+		return int(a.Node - b.Node)
+	})
+	return d
+}
+
+// LoadTables reconstructs a HeadState from a dump. The model is supplied by
+// the caller (cost models carry function-valued configuration that does not
+// serialize); everything else comes from the dump. LoadTables(h.Dump())
+// yields tables that behave identically to h under any mutation sequence.
+func LoadTables(d *TableDump, model CostModel) *HeadState {
+	n := len(d.Available)
+	if n == 0 || len(d.Caches) != n || len(d.Health) != n || len(d.LastInteractive) != n || len(d.Pressure) != n {
+		panic(fmt.Sprintf("core: inconsistent table dump (n=%d caches=%d health=%d lastInteractive=%d pressure=%d)",
+			n, len(d.Caches), len(d.Health), len(d.LastInteractive), len(d.Pressure)))
+	}
+	h := &HeadState{
+		Available:       slices.Clone(d.Available),
+		Caches:          make([]*cache.LRU, n),
+		lastInteractive: slices.Clone(d.LastInteractive),
+		estimate:        make(map[volume.ChunkID]units.Duration, len(d.Estimates)),
+		hitObs:          make(map[hitKey]units.Duration, len(d.HitObs)),
+		Model:           model,
+		health:          slices.Clone(d.Health),
+		replicaK:        d.ReplicaK,
+		pressure:        slices.Clone(d.Pressure),
+		prefHits:        d.PrefHits,
+		prefHidden:      d.PrefHidden,
+		prefWasted:      d.PrefWasted,
+	}
+	for k, cd := range d.Caches {
+		h.Caches[k] = cache.NewLRU(cd.Quota)
+		h.Caches[k].Restore(cd.Entries, cd.Stats)
+	}
+	for _, e := range d.Estimates {
+		h.estimate[e.Chunk] = e.Exec
+	}
+	for _, e := range d.HitObs {
+		h.hitObs[hitKey{e.Size, e.Group}] = e.Exec
+	}
+	if len(d.Homes) > 0 {
+		h.homes = make(map[volume.ChunkID][]NodeID, len(d.Homes))
+		for _, e := range d.Homes {
+			h.homes[e.Chunk] = slices.Clone(e.Homes)
+		}
+	}
+	if len(d.Prefetched) > 0 {
+		h.prefetched = make(map[prefKey]struct{}, len(d.Prefetched))
+		for _, e := range d.Prefetched {
+			h.prefetched[prefKey{e.Chunk, e.Node}] = struct{}{}
+		}
+	}
+	return h
+}
+
+// ResyncCache reconciles node k's predicted cache with the worker's
+// announced truth during a resync epoch: the announcement (most-recent
+// first, as the worker's own Export reports it) replaces the prediction
+// wholesale. Prefetched-residency tags whose chunk did not survive on the
+// worker settle as wasted — the warmed bytes are gone.
+func (h *HeadState) ResyncCache(k NodeID, announced []cache.Entry) {
+	fresh := cache.NewLRU(h.Caches[k].Quota())
+	ents := make([]cache.Entry, len(announced))
+	for i, e := range announced {
+		// Announced pins and frequencies are worker-side facts; the
+		// prediction table only needs identity, size, and recency.
+		ents[i] = cache.Entry{ID: e.ID, Size: e.Size, Freq: e.Freq}
+	}
+	fresh.Restore(ents, cache.Stats{})
+	h.Caches[k] = fresh
+	for key := range h.prefetched {
+		if key.k == k && !fresh.Contains(key.c) {
+			delete(h.prefetched, key)
+			h.prefWasted++
+		}
+	}
+}

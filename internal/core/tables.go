@@ -25,9 +25,10 @@ type HeadState struct {
 	// lastInteractive[k] is the last time an interactive task was assigned
 	// to R_k.
 	lastInteractive []units.Time
-	// estimate[c] is the latest known miss execution time for chunk c,
-	// lazily initialized from the cost model ("via a test run", §V-B) and
-	// overwritten with observed times.
+	// estimate[c] is the latest observed miss execution time for chunk c;
+	// absent entries fall back to the cost model ("via a test run", §V-B).
+	// Only Correct writes here, which keeps every table mutation inside the
+	// journaled operations the snapshot+journal recovery replays (§5.10).
 	estimate map[volume.ChunkID]units.Duration
 	// hitObs learns actual cached-task execution times per (size, group),
 	// the symmetric correction to estimate: without it, a system whose real
@@ -164,16 +165,20 @@ func (h *HeadState) MarkRepaired(k NodeID, now units.Time) {
 }
 
 // Estimate returns Estimate[c]: the expected miss execution time for a task
-// on chunk c in a render group of the given size, initializing from the
-// cost model on first use. A miss does strictly more work than a hit
-// (it is a hit plus a load), so the estimate is floored just above the hit
-// estimate — otherwise a fast observed load could make the scheduler prefer
-// reloading over reusing forever.
+// on chunk c in a render group of the given size, falling back to the cost
+// model until a miss has been observed. Reading never writes the table:
+// every job renders its whole dataset, so pre-observation queries for a
+// chunk always carry the same (size, group) and the fallback is as
+// deterministic as a memoized entry — and a read-only Estimate keeps table
+// mutations confined to the journaled operations recovery replays. A miss
+// does strictly more work than a hit (it is a hit plus a load), so the
+// estimate is floored just above the hit estimate — otherwise a fast
+// observed load could make the scheduler prefer reloading over reusing
+// forever.
 func (h *HeadState) Estimate(c volume.ChunkID, size units.Bytes, group int) units.Duration {
 	e, ok := h.estimate[c]
 	if !ok {
 		e = h.Model.MissExec(size, group)
-		h.estimate[c] = e
 	}
 	if floor := h.HitEstimate(size, group) + units.Microsecond; e < floor {
 		return floor

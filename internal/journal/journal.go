@@ -1,0 +1,244 @@
+// Package journal is the head's append-only mutation log: every dispatch
+// decision that changes recoverable state is written as one CRC-guarded
+// record before (or atomically with) its effect becoming externally
+// visible. A restarted or warm-standby head replays the journal on top of
+// the last snapshot to rebuild byte-identical dispatch tables.
+//
+// Wire format, per record:
+//
+//	[4B big-endian payload length][4B big-endian CRC32(payload)][payload]
+//	payload = [1B kind][8B job][4B task][4B node][8B at][body bytes]
+//
+// The format is deliberately the same shape as the transport's frame codec:
+// length first so a reader never over-reads, CRC next so corruption is
+// detected before interpretation. A torn tail — the partial record of a
+// crash mid-write — fails either the length read or the CRC and terminates
+// replay cleanly at the last durable record, which is exactly the
+// write-ahead-logging contract.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Kind tags one journal record.
+type Kind uint8
+
+// Record kinds. The zero value is invalid so a zeroed torn tail can never
+// masquerade as a real record.
+const (
+	// KindAdmit logs a job entering the head's queue (body: the job spec).
+	KindAdmit Kind = iota + 1
+	// KindDispatch logs one task committed to a node (body: dispatch facts).
+	KindDispatch
+	// KindComplete logs one task's completion facts as acknowledged to the
+	// worker (body: observed exec, hit, evictions).
+	KindComplete
+	// KindFail logs a job abandoned by the head.
+	KindFail
+	// KindRehome logs a node declared down with its chunks re-homed.
+	KindRehome
+	// KindRepair logs a node rejoining after KindRehome.
+	KindRepair
+	// KindSuspect logs a node health demotion to suspect.
+	KindSuspect
+	// KindUp logs a node health promotion back to up.
+	KindUp
+	// KindPrefetch logs a completed prefetch warm (body: chunk + evictions).
+	KindPrefetch
+	// KindResync logs a reconnecting worker's cache re-announcement adopted
+	// wholesale during a resync epoch (body: the announced entries).
+	KindResync
+	kindMax
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindAdmit:
+		return "admit"
+	case KindDispatch:
+		return "dispatch"
+	case KindComplete:
+		return "complete"
+	case KindFail:
+		return "fail"
+	case KindRehome:
+		return "rehome"
+	case KindRepair:
+		return "repair"
+	case KindSuspect:
+		return "suspect"
+	case KindUp:
+		return "up"
+	case KindPrefetch:
+		return "prefetch"
+	case KindResync:
+		return "resync"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Record is one journaled mutation. Job/Task/Node/At are the fields every
+// consumer needs for sequencing; Body carries kind-specific facts encoded
+// by the owner of the record (the service layer), opaque to this package.
+type Record struct {
+	Kind Kind
+	Job  uint64
+	Task int32
+	Node int32
+	At   int64 // virtual or wall nanoseconds, owner-defined
+	Body []byte
+}
+
+const headerLen = 8               // length + CRC
+const metaLen = 1 + 8 + 4 + 4 + 8 // kind + job + task + node + at
+
+// MaxRecordSize bounds one record's payload — a corrupt length prefix must
+// not trigger an unbounded allocation during replay.
+var MaxRecordSize = uint32(64 << 20)
+
+// ErrCorrupt reports a record that failed its CRC or structural checks.
+var ErrCorrupt = errors.New("journal: corrupt record")
+
+// Syncer is the durability hook of a Writer (an *os.File in production).
+type Syncer interface{ Sync() error }
+
+// Writer appends records to w, fsync-batched: records accumulate in an
+// in-memory buffer and are flushed + synced every BatchSize appends or on
+// an explicit Sync/Close. Batching amortizes the fsync cost across bursts
+// of dispatch records — the classic group-commit trade: at most the last
+// BatchSize-1 records can be lost to a crash, and the CRC framing
+// guarantees the survivors replay cleanly.
+type Writer struct {
+	w     io.Writer
+	sync  Syncer
+	buf   []byte
+	count int
+	// BatchSize is the number of appended records that forces a flush +
+	// fsync. 1 makes every record durable before Append returns.
+	BatchSize int
+	scratch   [headerLen + metaLen]byte
+}
+
+// NewWriter returns a Writer appending to w. If w implements Syncer (an
+// *os.File does), flushed batches are fsynced. batch < 1 defaults to 32.
+func NewWriter(w io.Writer, batch int) *Writer {
+	if batch < 1 {
+		batch = 32
+	}
+	jw := &Writer{w: w, BatchSize: batch}
+	if s, ok := w.(Syncer); ok {
+		jw.sync = s
+	}
+	return jw
+}
+
+// Append buffers one record, flushing (with fsync) when the batch fills.
+func (jw *Writer) Append(r Record) error {
+	if r.Kind == 0 || r.Kind >= kindMax {
+		return fmt.Errorf("journal: append of invalid kind %d", r.Kind)
+	}
+	if uint64(metaLen+len(r.Body)) > uint64(MaxRecordSize) {
+		return fmt.Errorf("journal: record body %dB exceeds limit %dB", len(r.Body), MaxRecordSize)
+	}
+	h := jw.scratch[:]
+	h[8] = byte(r.Kind)
+	binary.BigEndian.PutUint64(h[9:17], r.Job)
+	binary.BigEndian.PutUint32(h[17:21], uint32(r.Task))
+	binary.BigEndian.PutUint32(h[21:25], uint32(r.Node))
+	binary.BigEndian.PutUint64(h[25:33], uint64(r.At))
+	crc := crc32.ChecksumIEEE(h[headerLen:])
+	crc = crc32.Update(crc, crc32.IEEETable, r.Body)
+	binary.BigEndian.PutUint32(h[0:4], uint32(metaLen+len(r.Body)))
+	binary.BigEndian.PutUint32(h[4:8], crc)
+	jw.buf = append(jw.buf, h...)
+	jw.buf = append(jw.buf, r.Body...)
+	jw.count++
+	if jw.count >= jw.BatchSize {
+		return jw.Sync()
+	}
+	return nil
+}
+
+// Sync flushes the buffered batch and fsyncs when the sink supports it.
+func (jw *Writer) Sync() error {
+	if len(jw.buf) > 0 {
+		if _, err := jw.w.Write(jw.buf); err != nil {
+			return err
+		}
+		jw.buf = jw.buf[:0]
+	}
+	jw.count = 0
+	if jw.sync != nil {
+		return jw.sync.Sync()
+	}
+	return nil
+}
+
+// Close flushes; it does not close the underlying sink (the caller owns it).
+func (jw *Writer) Close() error { return jw.Sync() }
+
+// ReadAll replays every durable record from r in append order. A torn tail
+// — truncation mid-record or a CRC mismatch on the final record — ends the
+// replay cleanly with the records read so far and a nil error: that is the
+// expected shape of a crash. Corruption in the middle of the log (valid
+// records following the broken one) is reported as ErrCorrupt with the
+// prefix that did replay, since silently dropping acknowledged records
+// would violate durability.
+func ReadAll(r io.Reader) ([]Record, error) {
+	var recs []Record
+	var hdr [headerLen]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return recs, nil
+			}
+			return recs, nil // torn header
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		want := binary.BigEndian.Uint32(hdr[4:8])
+		if length < metaLen || length > MaxRecordSize {
+			return tailOrCorrupt(r, recs)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return recs, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return tailOrCorrupt(r, recs)
+		}
+		kind := Kind(payload[0])
+		if kind == 0 || kind >= kindMax {
+			return tailOrCorrupt(r, recs)
+		}
+		rec := Record{
+			Kind: kind,
+			Job:  binary.BigEndian.Uint64(payload[1:9]),
+			Task: int32(binary.BigEndian.Uint32(payload[9:13])),
+			Node: int32(binary.BigEndian.Uint32(payload[13:17])),
+			At:   int64(binary.BigEndian.Uint64(payload[17:25])),
+		}
+		if len(payload) > metaLen {
+			rec.Body = payload[metaLen:]
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// tailOrCorrupt classifies a broken record: if nothing readable follows it
+// the log simply ends there (torn tail, tolerated); if more bytes follow,
+// the middle of the log is damaged and the caller must know.
+func tailOrCorrupt(r io.Reader, recs []Record) ([]Record, error) {
+	var probe [1]byte
+	if _, err := io.ReadFull(r, probe[:]); err != nil {
+		return recs, nil
+	}
+	return recs, fmt.Errorf("%w: damaged record followed by %d+ trailing bytes after %d good records",
+		ErrCorrupt, 1, len(recs))
+}

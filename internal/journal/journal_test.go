@@ -1,0 +1,191 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sample(n int) []Record {
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := Record{
+			Kind: Kind(1 + i%int(kindMax-1)),
+			Job:  uint64(i / 3),
+			Task: int32(i % 7),
+			Node: int32(i % 4),
+			At:   int64(i) * 1_000_000,
+		}
+		if i%2 == 0 {
+			r.Body = bytes.Repeat([]byte{byte(i)}, 1+i%5)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+func mustEqual(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Kind != w.Kind || g.Job != w.Job || g.Task != w.Task || g.Node != w.Node || g.At != w.At ||
+			!bytes.Equal(g.Body, w.Body) {
+			t.Fatalf("record %d: got %+v want %+v", i, g, w)
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewWriter(&buf, 4)
+	want := sample(23)
+	for _, r := range want {
+		if err := jw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, got, want)
+}
+
+func TestJournalBatchingHoldsUntilSync(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewWriter(&buf, 8)
+	for _, r := range sample(5) {
+		if err := jw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("batch of 8 flushed after 5 appends (%d bytes)", buf.Len())
+	}
+	if err := jw.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("Sync did not flush")
+	}
+	got, err := ReadAll(&buf)
+	if err != nil || len(got) != 5 {
+		t.Fatalf("got %d records err=%v", len(got), err)
+	}
+}
+
+type countingSyncer struct {
+	bytes.Buffer
+	syncs int
+}
+
+func (c *countingSyncer) Sync() error { c.syncs++; return nil }
+
+func TestJournalFsyncAmortizedPerBatch(t *testing.T) {
+	sink := &countingSyncer{}
+	jw := NewWriter(sink, 4)
+	for _, r := range sample(12) {
+		if err := jw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.syncs != 3 {
+		t.Fatalf("12 appends at batch 4 fsynced %d times, want 3", sink.syncs)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewWriter(&buf, 1)
+	want := sample(9)
+	for _, r := range want {
+		if err := jw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+	// Every possible truncation point must replay a clean prefix.
+	for cut := len(full) - 1; cut > 0; cut-- {
+		got, err := ReadAll(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("truncation at %d/%d: %v", cut, len(full), err)
+		}
+		mustEqual(t, got, want[:len(got)])
+	}
+}
+
+func TestJournalDetectsMidLogCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewWriter(&buf, 1)
+	for _, r := range sample(6) {
+		if err := jw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := append([]byte(nil), buf.Bytes()...)
+	full[len(full)/2] ^= 0xff
+	_, err := ReadAll(bytes.NewReader(full))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption not detected: %v", err)
+	}
+}
+
+func TestJournalRejectsInvalidAppends(t *testing.T) {
+	jw := NewWriter(&bytes.Buffer{}, 1)
+	if err := jw.Append(Record{Kind: 0}); err == nil {
+		t.Error("zero kind accepted")
+	}
+	if err := jw.Append(Record{Kind: kindMax}); err == nil {
+		t.Error("out-of-range kind accepted")
+	}
+	old := MaxRecordSize
+	MaxRecordSize = 64
+	defer func() { MaxRecordSize = old }()
+	if err := jw.Append(Record{Kind: KindAdmit, Body: make([]byte, 128)}); err == nil {
+		t.Error("oversized body accepted")
+	}
+}
+
+func TestJournalOnDiskFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw := NewWriter(f, 2)
+	want := sample(7)
+	for _, r := range want {
+		if err := jw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, got, want)
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindAdmit; k < kindMax; k++ {
+		if s := k.String(); s == "" || s[0] == 'k' {
+			t.Errorf("kind %d has no name: %q", k, s)
+		}
+	}
+}

@@ -109,6 +109,49 @@ func (h *Histogram) Quantiles(qs ...float64) []units.Duration {
 	return out
 }
 
+// HistogramDump is a Histogram's serializable form: only the non-empty
+// buckets are listed, so dumps stay small and deep-equal for equal
+// histograms regardless of how they were built.
+type HistogramDump struct {
+	Buckets []BucketCount
+	Total   int64
+	Under   int64
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	Index int
+	Count int64
+}
+
+// Dump extracts the histogram's state for serialization.
+func (h *Histogram) Dump() HistogramDump {
+	d := HistogramDump{Total: h.total, Under: h.under}
+	for i, c := range h.counts {
+		if c > 0 {
+			d.Buckets = append(d.Buckets, BucketCount{Index: i, Count: c})
+		}
+	}
+	return d
+}
+
+// Restore overwrites the histogram with a dumped state. Bucket indexes
+// outside the compiled range are folded into the last bucket rather than
+// dropped, so totals stay consistent across layout changes.
+func (h *Histogram) Restore(d HistogramDump) {
+	*h = Histogram{total: d.Total, under: d.Under}
+	for _, b := range d.Buckets {
+		idx := b.Index
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bucketCount {
+			idx = bucketCount - 1
+		}
+		h.counts[idx] += b.Count
+	}
+}
+
 // Merge folds another histogram in.
 func (h *Histogram) Merge(o *Histogram) {
 	h.total += o.total

@@ -161,6 +161,29 @@ type Recovery struct {
 	// ServiceMTTR is its mean; without re-homing it equals Downtime.
 	EffectiveDowntime Running
 
+	// Control-plane (head) outages (§5.10). The head's dispatch state is
+	// journaled, so a crash defers work instead of losing it: arrivals
+	// buffer until the standby takes over, completion reports are retained
+	// on the workers and reconciled at repair.
+	HeadCrashes int64
+	// ControlOutage accumulates per-outage control-plane downtime; its mean
+	// is the control-plane MTTR the hasweep experiment reports.
+	ControlOutage Running
+	// ArrivalsDeferred counts requests that arrived during a head outage
+	// and were admitted at repair; ResultsDeferred counts completion
+	// reports workers retained across an outage or partition and the head
+	// reconciled afterwards — committed work that survived re-render-free.
+	ArrivalsDeferred int64
+	ResultsDeferred  int64
+	// CommittedAtCrash is the number of jobs fully committed when the head
+	// last went down; CommittedLost accumulates committed jobs whose
+	// completions vanished across an outage — structurally zero under
+	// snapshot+journal recovery, and asserted zero by the failover tests.
+	CommittedAtCrash int64
+	CommittedLost    int64
+	headDownAt       units.Time
+	headOpen         bool
+
 	// downAt tracks open down intervals per node; rehomedAt caps an open
 	// interval's service impact at the re-home time.
 	downAt    map[int]units.Time
@@ -184,6 +207,44 @@ func (rc *Recovery) FaultInjected(now units.Time) {
 
 // TaskRedispatched counts one crash-requeued task.
 func (rc *Recovery) TaskRedispatched() { rc.TasksRedispatched++ }
+
+// HeadDown opens a control-plane outage at now, recording how many jobs
+// were committed at the crash so HeadRepaired can verify none were lost.
+func (rc *Recovery) HeadDown(now units.Time, committed int64) {
+	if rc.headOpen {
+		return
+	}
+	rc.HeadCrashes++
+	rc.headOpen = true
+	rc.headDownAt = now
+	rc.CommittedAtCrash = committed
+}
+
+// HeadRepaired closes the open control-plane outage, folding its span into
+// ControlOutage. committed is the job-completion count after the standby
+// reconciled the workers' retained reports; any shortfall against the
+// at-crash count is committed loss (zero under journaled recovery).
+func (rc *Recovery) HeadRepaired(now units.Time, committed int64) {
+	if !rc.headOpen {
+		return
+	}
+	rc.headOpen = false
+	rc.ControlOutage.Add(now.Sub(rc.headDownAt))
+	if lost := rc.CommittedAtCrash - committed; lost > 0 {
+		rc.CommittedLost += lost
+	}
+}
+
+// ArrivalDeferred counts one request buffered through a head outage.
+func (rc *Recovery) ArrivalDeferred() { rc.ArrivalsDeferred++ }
+
+// ResultDeferred counts one completion report retained on its worker while
+// the head was unreachable and reconciled afterwards.
+func (rc *Recovery) ResultDeferred() { rc.ResultsDeferred++ }
+
+// ControlMTTR is the mean control-plane outage duration; zero without head
+// faults.
+func (rc *Recovery) ControlMTTR() units.Duration { return rc.ControlOutage.Mean() }
 
 // NodeDown opens a down interval for node k.
 func (rc *Recovery) NodeDown(k int, now units.Time) {

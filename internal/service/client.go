@@ -213,6 +213,39 @@ func (cl *Cluster) RejoinWorker(node core.NodeID) error {
 	return cl.Head.Rejoin(headSide)
 }
 
+// Worker returns the cluster's worker at node i, for tests and examples
+// that inspect worker-side state (retained results, cache contents).
+func (cl *Cluster) Worker(i int) *Worker {
+	if i < 0 || i >= len(cl.workers) {
+		return nil
+	}
+	return cl.workers[i]
+}
+
+// ResyncTo re-homes every surviving worker onto a recovered standby head
+// (§5.10): each worker reconnects over a fresh pipe through the resync path,
+// re-announcing its cache and retained completions. The in-process form of
+// pointing the worker fleet at the address the standby took over. The
+// cluster's Head is replaced; the old head must already be stopped/crashed.
+func (cl *Cluster) ResyncTo(head *Head) error {
+	// The workers' previous serve sessions own their state; wait for the
+	// dead head's connection closes to unwind them before re-entering.
+	cl.wg.Wait()
+	cl.Head = head
+	for i, w := range cl.workers {
+		headSide, workerSide := transport.Pipe()
+		cl.wg.Add(1)
+		go func(w *Worker, node int, conn transport.Conn) {
+			defer cl.wg.Done()
+			_ = w.Resync(conn, node)
+		}(w, i, workerSide)
+		if err := head.Rejoin(headSide); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Connect returns a client attached to the in-process head.
 func (cl *Cluster) Connect() *Client {
 	clientSide, headSide := transport.Pipe()

@@ -9,10 +9,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vizsched/internal/cache"
 	"vizsched/internal/compositing"
 	"vizsched/internal/compositing/dfb"
 	"vizsched/internal/core"
+	"vizsched/internal/hastate"
 	"vizsched/internal/img"
+	"vizsched/internal/journal"
 	"vizsched/internal/prefetch"
 	"vizsched/internal/qos"
 	"vizsched/internal/trace"
@@ -56,6 +59,16 @@ type liveJob struct {
 	// tileFrags counts tile fragments folded into red, so the in-flight
 	// gauge can be settled when the job delivers or fails.
 	tileFrags int
+	// tileSeen dedups tile fragments by (task, tile): a duplicated delivery
+	// (network chaos, a resync replay) must not be reduced twice. Lazily
+	// allocated on the dfb path only.
+	tileSeen map[int64]struct{}
+
+	// restoredDone marks tasks whose completion was journaled before a head
+	// crash (§5.10): the replayed tables already reflect them, so when the
+	// worker's retained replay delivers the data, the head stores it without
+	// correcting or re-journaling. Nil except on recovered jobs.
+	restoredDone []bool
 }
 
 // workerEvent is anything a worker-reader goroutine feeds the dispatcher.
@@ -256,6 +269,31 @@ type Head struct {
 	SuspectAfter time.Duration
 	DownAfter    time.Duration
 
+	// Journal, when set before Start (or StartRecovered), receives one
+	// record per dispatch-state mutation — the write-ahead log §5.10's
+	// failover replays on top of the last Snapshot. Dispatcher-owned after
+	// Start; the writer's BatchSize trades fsync cost against the records a
+	// crash may lose. Nil disables journaling exactly.
+	Journal *journal.Writer
+
+	// Failover machinery (§5.10). recovered/recoveredQueue carry jobs
+	// rebuilt by StartRecovered until the dispatcher adopts them. byKey is
+	// the idempotency-key index over in-flight jobs and retained/
+	// retainedOrder hold delivered results for client re-attach; all three
+	// are mu-guarded so finalize can atomically move a key from byKey to
+	// retained while the dispatcher admits — a re-submission always sees
+	// exactly one of the two and never re-renders.
+	recovered      []*liveJob
+	recoveredQueue []*liveJob
+	byKey          map[uint64]*liveJob
+	retained       map[uint64]ResultBody
+	retainedOrder  []uint64
+
+	snapCh    chan snapRequest
+	crashCh   chan struct{}
+	crashOnce sync.Once
+	stopOnce  sync.Once
+
 	// Replicas is the replication policy layer's degree k (§5.6), applied to
 	// the scheduler tables (and the scheduler itself, when it implements
 	// core.ReplicaSetter) at Start: hot chunks are kept resident on k
@@ -282,6 +320,10 @@ func NewHead(sched core.Scheduler, catalog *Catalog, memQuota units.Bytes, model
 		rejoinCh: make(chan rejoinEvent, 4),
 		stopCh:   make(chan struct{}),
 		doneCh:   make(chan struct{}),
+		snapCh:   make(chan snapRequest),
+		crashCh:  make(chan struct{}),
+		byKey:    make(map[uint64]*liveJob),
+		retained: make(map[uint64]ResultBody),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 		Logf:     log.Printf,
 
@@ -434,12 +476,12 @@ func (h *Head) readWorker(node core.NodeID, gen uint64, conn transport.Conn) {
 }
 
 // Stop shuts the service down and waits for the dispatcher to exit. A head
-// that was never started stops trivially.
+// that was never started stops trivially; repeated Stops are idempotent.
 func (h *Head) Stop() {
 	if !h.started {
 		return
 	}
-	close(h.stopCh)
+	h.stopOnce.Do(func() { close(h.stopCh) })
 	<-h.doneCh
 }
 
@@ -466,13 +508,20 @@ func (h *Head) WorkerHealth(k core.NodeID) core.Health {
 }
 
 // setHealth records a state-machine transition in both the scheduler tables
-// (dispatcher-owned) and the atomic mirror.
+// (dispatcher-owned) and the atomic mirror, journaling transitions that
+// actually moved the tables.
 func (h *Head) setHealth(k core.NodeID, to core.Health) {
 	switch to {
 	case core.HealthSuspect:
-		h.state.MarkSuspect(k)
+		if h.state.Health(k) == core.HealthUp {
+			h.state.MarkSuspect(k)
+			h.journalRec(journal.KindSuspect, 0, -1, k, h.now(), nil)
+		}
 	case core.HealthUp:
-		h.state.MarkUp(k)
+		if h.state.Health(k) == core.HealthSuspect {
+			h.state.MarkUp(k)
+			h.journalRec(journal.KindUp, 0, -1, k, h.now(), nil)
+		}
 	}
 	h.healthView[k].Store(int32(to))
 }
@@ -493,6 +542,14 @@ func (h *Head) dispatch() {
 	defer close(h.doneCh)
 	queue := make([]*liveJob, 0, 64)
 	inflight := make(map[core.JobID]*liveJob)
+
+	// A recovered head (StartRecovered) arrives with replayed jobs: adopt
+	// them before the first event so completions and resyncs find them.
+	for _, lj := range h.recovered {
+		inflight[lj.job.ID] = lj
+	}
+	queue = append(queue, h.recoveredQueue...)
+	h.recovered, h.recoveredQueue = nil, nil
 
 	cycle := h.sched.Cycle()
 	var tick <-chan time.Time
@@ -571,10 +628,17 @@ func (h *Head) dispatch() {
 			}
 		}
 		if len(jobs) > 0 {
-			assignments := h.sched.Schedule(h.now(), jobs, h.state)
+			// One clock read for the pass: every CommitAssign inside Schedule
+			// and every journaled dispatch record must carry the same instant,
+			// or replay could not reproduce the tables.
+			now := h.now()
+			assignments := h.sched.Schedule(now, jobs, h.state)
 			for _, a := range assignments {
 				lj := inflight[a.Task.Job.ID]
 				lj.nodes[a.Task.Index] = a.Node
+				if lj.restoredDone != nil {
+					lj.restoredDone[a.Task.Index] = false
+				}
 				body := TaskBody{
 					JobID:     uint64(lj.job.ID),
 					TaskIndex: a.Task.Index,
@@ -583,6 +647,8 @@ func (h *Head) dispatch() {
 					Render:    lj.req,
 				}
 				a.Task.Job.Remaining--
+				h.journalRec(journal.KindDispatch, lj.job.ID, a.Task.Index, a.Node, now,
+					hastate.DispatchBody{Predicted: a.Task.PredictedExec})
 				if h.DeadlineFactor > 0 {
 					lj.deadline[a.Task.Index] = time.Now().Add(h.taskDeadline(a.Task))
 				}
@@ -621,7 +687,13 @@ func (h *Head) dispatch() {
 			h.stats.fragsInFlight.Add(-int64(lj.tileFrags))
 			lj.tileFrags = 0
 		}
+		if _, admitted := inflight[lj.job.ID]; admitted {
+			// Only journaled-admitted jobs get a fail record; replay drops
+			// them so a standby never resurrects an abandoned job.
+			h.journalRec(journal.KindFail, lj.job.ID, -1, -1, h.now(), nil)
+		}
 		delete(inflight, lj.job.ID)
+		h.dropKey(lj)
 		// Drop it from the queue too: a failed job must never reach the
 		// scheduler again.
 		for i, q := range queue {
@@ -629,6 +701,9 @@ func (h *Head) dispatch() {
 				queue = append(queue[:i], queue[i+1:]...)
 				break
 			}
+		}
+		if lj.conn == nil {
+			return // a recovered job with no re-attached client yet
 		}
 		if err := send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: msg}); err != nil {
 			h.Logf("head: error reply failed: %v", err)
@@ -651,6 +726,12 @@ func (h *Head) dispatch() {
 		t.PredictedExec = 0
 		lj.deadline[i] = time.Time{}
 		lj.retryAt[i] = time.Time{}
+		if lj.restoredDone != nil {
+			// A restored-Done task being released means its retained replay
+			// never arrived; it will be re-rendered as a fresh dispatch whose
+			// completion must be journaled like any other.
+			lj.restoredDone[i] = false
+		}
 		if lj.job.Remaining == 0 {
 			queue = append(queue, lj)
 		}
@@ -669,6 +750,7 @@ func (h *Head) dispatch() {
 		if h.prefc != nil {
 			h.prefc.FailNode(node)
 		}
+		h.journalRec(journal.KindRehome, 0, -1, node, h.now(), nil)
 		var rehome core.RehomeReport
 		h.trackWaste(func() { rehome = h.state.MarkFailed(node) })
 		if rehome.Rehomed > 0 || rehome.Reseeded > 0 {
@@ -682,7 +764,9 @@ func (h *Head) dispatch() {
 		h.mu.Lock()
 		conn := h.workers[node]
 		h.mu.Unlock()
-		conn.Close()
+		if conn != nil { // a recovered head's slot may never have connected
+			conn.Close()
+		}
 		for _, lj := range inflight {
 			for i := range lj.job.Tasks {
 				t := &lj.job.Tasks[i]
@@ -789,6 +873,8 @@ func (h *Head) dispatch() {
 			h.stats.jobsThrottled.Add(1)
 		}
 		inflight[lj.job.ID] = lj
+		h.journalRec(journal.KindAdmit, lj.job.ID, -1, -1, h.now(),
+			hastate.AdmitBody{Job: h.jobRecord(lj)})
 		if h.MaxQueue > 0 && h.qosc.QueueLen()+len(queue) > h.MaxQueue {
 			if lj.job.Class == core.Batch {
 				if h.qosc.ShedQueued(lj.job) {
@@ -810,8 +896,35 @@ func (h *Head) dispatch() {
 		}
 	}
 
-	// admit applies the overload policy and enqueues an arriving job.
+	// admit applies the overload policy and enqueues an arriving job. A
+	// non-zero idempotency key is resolved first: a key already in flight
+	// re-attaches the reply path (the client reconnected after losing the
+	// head or its reply), and a key with a retained result is served from
+	// the store — neither renders anything twice.
 	admit := func(lj *liveJob) {
+		if key := lj.req.Key; key != 0 {
+			// One critical section: finalize moves a key from byKey to the
+			// retained store atomically, so checking both under the same
+			// hold guarantees a duplicate key hits exactly one of them.
+			h.mu.Lock()
+			if prior := h.byKey[key]; prior != nil {
+				prior.conn, prior.msgID = lj.conn, lj.msgID
+				h.mu.Unlock()
+				h.stats.jobsReattached.Add(1)
+				return
+			}
+			if res, ok := h.retained[key]; ok {
+				h.mu.Unlock()
+				h.stats.retainedServed.Add(1)
+				// Off the dispatcher: a slow client must not stall dispatch.
+				go func(conn transport.Conn, msgID uint64) {
+					_ = send(conn, transport.KindResult, msgID, res)
+				}(lj.conn, lj.msgID)
+				return
+			}
+			h.byKey[key] = lj
+			h.mu.Unlock()
+		}
 		if h.qosc != nil {
 			admitQoS(lj)
 			return
@@ -848,30 +961,77 @@ func (h *Head) dispatch() {
 			}
 		}
 		inflight[lj.job.ID] = lj
+		h.journalRec(journal.KindAdmit, lj.job.ID, -1, -1, h.now(),
+			hastate.AdmitBody{Job: h.jobRecord(lj)})
 		queue = append(queue, lj)
 		if h.sched.Trigger() == core.OnArrival {
 			runSched()
 		}
 	}
 
-	// rejoin restores a down node's slot with a fresh connection.
+	// rejoin restores a node's slot with a fresh connection: the §VI-D
+	// repair path for a down node, extended (§5.10) with the resync epoch a
+	// recovered head runs — the worker re-announces its cache and retained
+	// completions, the head adopts the announced truth into its tables, and
+	// the ack lists the tasks the head still considers outstanding so the
+	// worker replays retained results instead of re-rendering them.
 	rejoin := func(ev rejoinEvent) {
 		node := core.NodeID(ev.hello.NodeID)
-		if h.state.Health(node) != core.HealthDown {
-			h.Logf("head: rejected rejoin for node %d (health %v)", node, h.state.Health(node))
+		health := h.state.Health(node)
+		if health != core.HealthDown && !ev.hello.Resync {
+			h.Logf("head: rejected rejoin for node %d (health %v)", node, health)
 			ev.conn.Close()
 			return
 		}
 		h.gens[node]++
 		gen := h.gens[node]
 		h.mu.Lock()
+		prior := h.workers[node]
 		h.workers[node] = ev.conn
 		h.mu.Unlock()
+		if health != core.HealthDown {
+			// The slot's previous incarnation was never declared down (a
+			// recovered standby's unconnected placeholder, or a worker that
+			// reconnected before the silence threshold): retire it.
+			h.senders[node].Close()
+			if prior != nil && prior != ev.conn {
+				prior.Close()
+			}
+		}
 		h.senders[node] = newSender(ev.conn, func(err error) {
 			h.workCh <- workerEvent{node: node, gen: gen, err: err}
 		})
 		h.readWorker(node, gen, ev.conn)
-		h.state.MarkRepaired(node, h.now())
+		now := h.now()
+		if ev.hello.Resync {
+			// Adopt the worker's announced cache wholesale: the head's
+			// prediction may be stale (a recovered table, or drift across the
+			// disconnect), and the worker holds ground truth.
+			entries := make([]cache.Entry, 0, len(ev.hello.Cached))
+			for _, cr := range ev.hello.Cached {
+				id, ok := h.dsIDs[cr.Dataset]
+				if !ok {
+					continue
+				}
+				c := volume.ChunkID{Dataset: id, Index: cr.Index}
+				size := h.chunkSize(c)
+				if size <= 0 {
+					continue
+				}
+				entries = append(entries, cache.Entry{ID: c, Size: size})
+			}
+			h.trackWaste(func() { h.state.ResyncCache(node, entries) })
+			h.journalRec(journal.KindResync, 0, -1, node, now, hastate.ResyncBody{Entries: entries})
+			h.stats.workersResynced.Add(1)
+		}
+		switch health {
+		case core.HealthDown:
+			h.state.MarkRepaired(node, now)
+			h.journalRec(journal.KindRepair, 0, -1, node, now, nil)
+		case core.HealthSuspect:
+			h.state.MarkUp(node)
+			h.journalRec(journal.KindUp, 0, -1, node, now, nil)
+		}
 		h.healthView[node].Store(int32(core.HealthUp))
 		h.lastBeat[node] = time.Now()
 		if !h.downAt[node].IsZero() {
@@ -880,10 +1040,24 @@ func (h *Head) dispatch() {
 			h.downAt[node] = time.Time{}
 		}
 		h.stats.workersRejoined.Add(1)
-		h.Logf("head: node %d rejoined (%s)", node, ev.hello.Name)
-		if err := send(ev.conn, transport.KindHello, 0, HelloBody{NodeID: int(node), TileSize: h.dfbTile()}); err != nil {
+		h.Logf("head: node %d rejoined (%s, resync=%v)", node, ev.hello.Name, ev.hello.Resync)
+		ack := HelloBody{NodeID: int(node), TileSize: h.dfbTile()}
+		if ev.hello.Resync {
+			for _, lj := range inflight {
+				for i := range lj.job.Tasks {
+					t := &lj.job.Tasks[i]
+					if t.Assigned && lj.frags[i] == nil && lj.nodes[i] == node {
+						ack.Outstanding = append(ack.Outstanding, TaskRef{JobID: uint64(lj.job.ID), TaskIndex: i})
+					}
+				}
+			}
+		}
+		if err := send(ev.conn, transport.KindHello, 0, ack); err != nil {
 			h.Logf("head: rejoin ack failed: %v", err)
 		}
+		// A node just became schedulable; put waiting work on it now rather
+		// than at the next tick or arrival.
+		runSched()
 	}
 
 	for {
@@ -895,9 +1069,33 @@ func (h *Head) dispatch() {
 			for i, w := range workers {
 				_ = h.senders[i].Send(transport.Message{Kind: transport.KindShutdown})
 				h.senders[i].Close()
-				w.Close()
+				if w != nil {
+					w.Close()
+				}
+			}
+			if h.Journal != nil {
+				_ = h.Journal.Sync()
 			}
 			return
+
+		case <-h.crashCh:
+			// Abrupt death (Crash): connections drop with no shutdown
+			// handshake and the journal is NOT synced — workers and clients
+			// see a broken pipe, and records still in the batch buffer are
+			// lost, exactly as a real head crash would lose them.
+			h.mu.Lock()
+			workers := append([]transport.Conn(nil), h.workers...)
+			h.mu.Unlock()
+			for i, w := range workers {
+				h.senders[i].Close()
+				if w != nil {
+					w.Close()
+				}
+			}
+			return
+
+		case req := <-h.snapCh:
+			req.reply <- h.buildSnapshot(inflight)
 
 		case ev := <-h.jobCh:
 			admit(ev.lj)
@@ -949,9 +1147,16 @@ func (h *Head) dispatch() {
 				}
 				lj := inflight[core.JobID(frag.JobID)]
 				if lj == nil {
-					continue // job already failed
+					continue // job already failed or delivered (stale duplicate)
 				}
-				h.correct(lj, ev.node, &frag)
+				if frag.TaskIndex < 0 || frag.TaskIndex >= len(lj.frags) {
+					h.Logf("head: fragment task %d out of range from node %d", frag.TaskIndex, ev.node)
+					continue
+				}
+				// Only the first report per task is folded in: a duplicated
+				// delivery (network chaos, a resync replay racing the
+				// original) must not double-correct the tables or
+				// double-count cache stats.
 				if lj.frags[frag.TaskIndex] == nil {
 					i := frag.TaskIndex
 					t := &lj.job.Tasks[i]
@@ -974,11 +1179,28 @@ func (h *Head) dispatch() {
 					}
 					lj.deadline[i] = time.Time{}
 					lj.retryAt[i] = time.Time{}
+					if lj.restoredDone != nil && lj.restoredDone[i] {
+						// The completion was journaled before the crash and
+						// the replayed tables already reflect it; this is the
+						// worker's retained replay carrying the pixels. Store
+						// without correcting or re-journaling.
+					} else {
+						now := h.now()
+						touch, evicted := h.correct(lj, ev.node, &frag, now)
+						h.journalRec(journal.KindComplete, lj.job.ID, i, ev.node, now,
+							hastate.CompleteBody{
+								Hit: frag.Hit, Touch: touch,
+								Exec: units.Duration(frag.ExecNanos), Evicted: evicted,
+							})
+					}
 					lj.frags[i] = &frag
 					lj.got++
 				}
 				if lj.got == len(lj.frags) {
 					delete(inflight, lj.job.ID)
+					// The key binding survives until finalize retires it
+					// into the retained store, so a re-submission racing
+					// the PNG encode re-attaches instead of re-rendering.
 					go h.finalize(lj)
 				}
 			case transport.KindPrefetchDone:
@@ -1008,6 +1230,9 @@ func (h *Head) dispatch() {
 // reduces after a stable (Depth, TaskIndex) sort — the exact schedule the
 // full-frame path's ByDepth+composite runs, making the output bit-identical.
 func (h *Head) tileFrag(lj *liveJob, node core.NodeID, tf *TileFragBody) error {
+	if tf.TaskIndex < 0 || tf.TaskIndex >= len(lj.frags) {
+		return fmt.Errorf("tile fragment task %d out of range (%d tasks)", tf.TaskIndex, len(lj.frags))
+	}
 	if lj.red == nil {
 		if tf.FrameW <= 0 || tf.FrameH <= 0 {
 			return fmt.Errorf("tile fragment with bad frame %dx%d", tf.FrameW, tf.FrameH)
@@ -1023,6 +1248,17 @@ func (h *Head) tileFrag(lj *liveJob, node core.NodeID, tf *TileFragBody) error {
 	if tf.Tile < 0 || tf.Tile >= lj.layout.NumTiles() {
 		return fmt.Errorf("tile %d out of range (layout has %d)", tf.Tile, lj.layout.NumTiles())
 	}
+	// Dedup by (task, tile): a duplicated delivery must not be reduced
+	// twice — the reducer counts fragments per tile, so a duplicate would
+	// both overcount toward finalization and double-blend the layer.
+	seen := int64(tf.TaskIndex)<<32 | int64(tf.Tile)
+	if _, dup := lj.tileSeen[seen]; dup {
+		return nil
+	}
+	if lj.tileSeen == nil {
+		lj.tileSeen = make(map[int64]struct{})
+	}
+	lj.tileSeen[seen] = struct{}{}
 	x0, y0, x1, y1 := lj.layout.Bounds(tf.Tile)
 	tm, err := decodePixels(x1-x0, y1-y0, tf.Codec, tf.Data)
 	if err != nil {
@@ -1059,10 +1295,13 @@ func (h *Head) tileFrag(lj *liveJob, node core.NodeID, tf *TileFragBody) error {
 	return nil
 }
 
-// correct feeds a fragment's execution facts back into the tables (§V-B).
-func (h *Head) correct(lj *liveJob, node core.NodeID, frag *FragmentBody) {
+// correct feeds a fragment's execution facts back into the tables (§V-B) at
+// the given instant, and returns what the journal's completion record needs:
+// whether a prefetched residency was settled into a demand hit, and the
+// eviction list mapped to scheduler chunk IDs.
+func (h *Head) correct(lj *liveJob, node core.NodeID, frag *FragmentBody, now units.Time) (touch bool, evicted []volume.ChunkID) {
 	task := &lj.job.Tasks[frag.TaskIndex]
-	evicted := make([]volume.ChunkID, 0, len(frag.Evicted))
+	evicted = make([]volume.ChunkID, 0, len(frag.Evicted))
 	for _, ev := range frag.Evicted {
 		if id, ok := h.dsIDs[ev.Dataset]; ok {
 			evicted = append(evicted, volume.ChunkID{Dataset: id, Index: ev.Index})
@@ -1070,6 +1309,7 @@ func (h *Head) correct(lj *liveJob, node core.NodeID, frag *FragmentBody) {
 	}
 	if h.prefc != nil && frag.Hit && h.state.DemandTouchPrefetched(task.Chunk, node) {
 		h.stats.prefetchHits.Add(1)
+		touch = true
 	}
 	h.trackWaste(func() {
 		h.state.Correct(core.TaskResult{
@@ -1079,12 +1319,12 @@ func (h *Head) correct(lj *liveJob, node core.NodeID, frag *FragmentBody) {
 			Exec:      units.Duration(frag.ExecNanos),
 			Predicted: task.PredictedExec,
 			Evicted:   evicted,
-			Finished:  h.now(),
-		}, h.now())
+			Finished:  now,
+		}, now)
 	})
 	if h.prefc != nil {
 		// Every completed fragment trains the predictor's trajectory model.
-		h.prefc.Observe(lj.job.Action, task.Chunk, h.now())
+		h.prefc.Observe(lj.job.Action, task.Chunk, now)
 	}
 	h.stats.evictions.Add(int64(len(frag.Evicted)))
 	if frag.Hit {
@@ -1093,6 +1333,7 @@ func (h *Head) correct(lj *liveJob, node core.NodeID, frag *FragmentBody) {
 		h.stats.misses.Add(1)
 	}
 	h.stats.renderNanos.Add(frag.ExecNanos)
+	return touch, evicted
 }
 
 // prefetchDone settles a warm the head had in flight on the reporting node,
@@ -1117,13 +1358,16 @@ func (h *Head) prefetchDone(node core.NodeID, pd PrefetchDoneBody) {
 	h.prefc.Loaded(node, c)
 	h.stats.prefetchLoaded.Add(1)
 	h.stats.prefetchNanos.Add(pd.Nanos)
-	h.state.MarkPrefetched(c, node, h.chunkSize(c))
+	size := h.chunkSize(c)
+	h.state.MarkPrefetched(c, node, size)
+	evicted := make([]volume.ChunkID, 0, len(pd.Evicted))
 	for _, ev := range pd.Evicted {
 		did, ok := h.dsIDs[ev.Dataset]
 		if !ok {
 			continue
 		}
 		evc := volume.ChunkID{Dataset: did, Index: ev.Index}
+		evicted = append(evicted, evc)
 		h.state.Caches[node].Remove(evc)
 		h.prefc.NoteEvicted(node, evc)
 		if h.state.NotePrefetchEvicted(evc, node) {
@@ -1131,6 +1375,8 @@ func (h *Head) prefetchDone(node core.NodeID, pd PrefetchDoneBody) {
 		}
 	}
 	h.stats.evictions.Add(int64(len(pd.Evicted)))
+	h.journalRec(journal.KindPrefetch, 0, -1, node, h.now(),
+		hastate.PrefetchBody{Chunk: c, Size: size, Loaded: true, Evicted: evicted})
 }
 
 // trackWaste runs fn and folds any prefetch waste the head tables recorded
@@ -1157,7 +1403,13 @@ func (h *Head) finalize(lj *liveJob) {
 			h.qosc.Forget(lj.job)
 		}
 		h.stats.jobsFailed.Add(1)
-		_ = send(lj.conn, transport.KindError, lj.msgID, ErrorBody{Msg: err.Error()})
+		h.mu.Lock()
+		h.dropKeyLocked(lj) // no retained result: a re-submission re-renders
+		conn, msgID := lj.conn, lj.msgID
+		h.mu.Unlock()
+		if conn != nil {
+			_ = send(conn, transport.KindError, msgID, ErrorBody{Msg: err.Error()})
+		}
 	}
 	hits, misses := 0, 0
 	for _, f := range lj.frags {
@@ -1210,7 +1462,23 @@ func (h *Head) finalize(lj *liveJob) {
 		Hits:         hits,
 		Misses:       misses,
 	}
-	if err := send(lj.conn, transport.KindResult, lj.msgID, res); err != nil {
+	// Retire the key atomically: store the result, drop the in-flight
+	// binding, and capture the reply path in one critical section. A
+	// re-submission racing the PNG encode either re-attached (finalize sees
+	// its conn here) or arrives after and is served from the store — in no
+	// interleaving does it miss both and re-render.
+	h.mu.Lock()
+	if lj.req.Key != 0 {
+		h.storeRetainedLocked(lj.req.Key, res)
+		h.dropKeyLocked(lj)
+	}
+	conn, msgID := lj.conn, lj.msgID
+	h.mu.Unlock()
+	if conn == nil {
+		// A recovered job whose client never re-attached: the result waits in
+		// the retained store for the key's re-submission.
+		h.Logf("head: job %d completed with no client attached; result retained", lj.job.ID)
+	} else if err := send(conn, transport.KindResult, msgID, res); err != nil {
 		h.Logf("head: result reply failed: %v", err)
 	}
 	h.stats.frameLat.add(time.Since(lj.wall))

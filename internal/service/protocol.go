@@ -21,6 +21,26 @@ type HelloBody struct {
 	// TileFragBody messages of this tile edge, with the FragmentBody reduced
 	// to a pixel-free execution report. Zero keeps full-frame fragments.
 	TileSize int
+	// Resync marks a reconnection to a recovered (or restarted) head
+	// (§5.10): alongside Rejoin, the worker re-announces its full state so
+	// the head can reconcile tables rebuilt from snapshot+journal with
+	// ground truth. Cached lists the worker's actual brick residency
+	// (MRU-first); Completed lists recently finished tasks whose results the
+	// worker still retains and can replay without re-rendering.
+	Resync    bool
+	Cached    []ChunkRef
+	Completed []TaskRef
+	// Outstanding, in the head's ack to a resync hello, lists the tasks the
+	// head still considers in-flight on this node. The worker replays
+	// retained results for any it already finished — the completed-but-
+	// unacked reconciliation — and re-executes nothing else unasked.
+	Outstanding []TaskRef
+}
+
+// TaskRef names one task on the wire.
+type TaskRef struct {
+	JobID     uint64
+	TaskIndex int
 }
 
 // RenderBody is a client's rendering request: a camera over a named dataset.
@@ -42,6 +62,11 @@ type RenderBody struct {
 	// Tenant identifies the customer the request bills to; the QoS layer
 	// meters admission and queueing per tenant. Zero is the default tenant.
 	Tenant int
+	// Key, when non-zero, makes the request idempotent: the head remembers
+	// the job under this client-chosen key, and a re-submission after a
+	// head failover (or a lost reply) re-attaches to the in-flight job or
+	// returns the retained result instead of rendering again. Zero opts out.
+	Key uint64
 }
 
 // TaskBody assigns one chunk of a render job to a worker.

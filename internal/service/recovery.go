@@ -1,0 +1,361 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vizsched/internal/core"
+	"vizsched/internal/hastate"
+	"vizsched/internal/journal"
+	"vizsched/internal/prefetch"
+	"vizsched/internal/qos"
+	"vizsched/internal/transport"
+	"vizsched/internal/units"
+)
+
+// This file is the head's failover machinery (DESIGN.md §5.10): journaling
+// hooks the dispatcher calls on every recoverable mutation, the snapshot
+// builder, the crash hook used by tests and the failover example, and
+// StartRecovered — the warm-standby entry point that resumes dispatching
+// from a replayed hastate.State.
+
+// snapRequest asks the dispatcher for a consistent snapshot: built on the
+// dispatcher goroutine, so it observes no half-applied mutation.
+type snapRequest struct {
+	reply chan *hastate.Snapshot
+}
+
+// journalRec appends one record to the write-ahead log. A nil Journal makes
+// this a no-op, keeping the non-HA configuration byte-identical. Append
+// errors are logged, not fatal: a head that cannot journal keeps serving
+// (recoverability degrades, availability does not).
+func (h *Head) journalRec(kind journal.Kind, job core.JobID, task int, node core.NodeID, at units.Time, body any) {
+	if h.Journal == nil {
+		return
+	}
+	var raw []byte
+	if body != nil {
+		var err error
+		raw, err = hastate.EncodeBody(body)
+		if err != nil {
+			h.Logf("head: encoding %v journal body: %v", kind, err)
+			return
+		}
+	}
+	if err := h.Journal.Append(journal.Record{
+		Kind: kind,
+		Job:  uint64(job),
+		Task: int32(task),
+		Node: int32(node),
+		At:   int64(at),
+		Body: raw,
+	}); err != nil {
+		h.Logf("head: journal append (%v): %v", kind, err)
+	}
+}
+
+// jobRecord captures a job's durable form: the original request (so a
+// recovered head can re-dispatch and finalize it) plus each task's position
+// in the dispatch lifecycle.
+func (h *Head) jobRecord(lj *liveJob) hastate.JobRecord {
+	raw, err := transport.Encode(lj.req)
+	if err != nil {
+		h.Logf("head: encoding job %d request for journal: %v", lj.job.ID, err)
+	}
+	rec := hastate.JobRecord{
+		ID:      lj.job.ID,
+		Key:     lj.req.Key,
+		Class:   lj.job.Class,
+		Action:  lj.job.Action,
+		Tenant:  lj.job.Tenant,
+		Dataset: lj.job.Dataset,
+		Issued:  lj.job.Issued,
+		Req:     raw,
+		Tasks:   make([]hastate.TaskInfo, len(lj.job.Tasks)),
+	}
+	for i := range lj.job.Tasks {
+		t := &lj.job.Tasks[i]
+		ti := hastate.TaskInfo{Chunk: t.Chunk, Size: t.Size}
+		switch {
+		case lj.frags[i] != nil || (lj.restoredDone != nil && lj.restoredDone[i]):
+			ti.State, ti.Node, ti.Predicted = hastate.TaskDone, lj.nodes[i], t.PredictedExec
+		case t.Assigned:
+			ti.State, ti.Node, ti.Predicted = hastate.TaskAssigned, lj.nodes[i], t.PredictedExec
+		}
+		rec.Tasks[i] = ti
+	}
+	return rec
+}
+
+// buildSnapshot assembles the durable state. Dispatcher-owned: called only
+// from the event loop, so tables and in-flight jobs are mutation-free for
+// the duration.
+func (h *Head) buildSnapshot(inflight map[core.JobID]*liveJob) *hastate.Snapshot {
+	h.mu.Lock()
+	next := h.nextJobID
+	h.mu.Unlock()
+	snap := &hastate.Snapshot{
+		At:        h.now(),
+		NextJobID: next,
+		Tables:    h.state.Dump(),
+	}
+	if h.qosc != nil {
+		snap.QoS = h.qosc.Export()
+	}
+	ljs := make([]*liveJob, 0, len(inflight))
+	for _, lj := range inflight {
+		ljs = append(ljs, lj)
+	}
+	sort.Slice(ljs, func(i, j int) bool { return ljs[i].job.ID < ljs[j].job.ID })
+	for _, lj := range ljs {
+		snap.Jobs = append(snap.Jobs, h.jobRecord(lj))
+	}
+	return snap
+}
+
+// Snapshot captures the head's complete durable state at one dispatch-loop
+// instant — the base a journal replays on top of. Safe from any goroutine;
+// valid after Start.
+func (h *Head) Snapshot() (*hastate.Snapshot, error) {
+	if !h.started {
+		return nil, fmt.Errorf("service: Snapshot before Start")
+	}
+	req := snapRequest{reply: make(chan *hastate.Snapshot, 1)}
+	select {
+	case h.snapCh <- req:
+	case <-h.doneCh:
+		return nil, fmt.Errorf("service: Snapshot after dispatcher exit")
+	}
+	select {
+	case snap := <-req.reply:
+		return snap, nil
+	case <-h.doneCh:
+		return nil, fmt.Errorf("service: Snapshot after dispatcher exit")
+	}
+}
+
+// Crash kills the head abruptly — no shutdown handshake to workers, no
+// journal sync, connections dropped mid-whatever — and waits for the
+// dispatcher to exit. The failure-injection hook behind the failover tests
+// and example; a real head crash looks exactly like this from the outside.
+func (h *Head) Crash() {
+	if !h.started {
+		return
+	}
+	h.crashOnce.Do(func() { close(h.crashCh) })
+	<-h.doneCh
+}
+
+// closedSender returns a sender that rejects every Send with ErrClosed: the
+// placeholder for a recovered head's worker slots before their workers have
+// resynced. Attempted dispatches fail like sends to a dead node would, and
+// the rejoin path swaps in a live sender.
+func closedSender() *sender {
+	s := &sender{closed: true}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// StartRecovered launches the head from a replayed hastate.State instead of
+// a fresh table set — the warm-standby takeover (§5.10). No workers may have
+// been added: every worker slot starts disconnected (its health demoted to
+// suspect so nothing is dispatched blind) and workers reattach through the
+// Rejoin path with Resync set, re-announcing their caches and replaying
+// retained results for completed-but-unacked tasks. Recovered jobs resume
+// where the journal left them: queued tasks reschedule, in-flight tasks get
+// a reconnect grace before the deadline scanner presumes them lost, and
+// fully-completed jobs wait for retained replays to deliver without any
+// re-rendering.
+func (h *Head) StartRecovered(st *hastate.State) error {
+	if h.started {
+		return fmt.Errorf("service: StartRecovered after Start")
+	}
+	if len(h.workers) != 0 {
+		return fmt.Errorf("service: StartRecovered with pre-added workers; workers rejoin via resync")
+	}
+	if h.Compositing != "" && h.Compositing != "dfb" {
+		return fmt.Errorf("service: unknown compositing algorithm %q", h.Compositing)
+	}
+	h.state = st.Tables
+	n := len(st.Tables.Available)
+	if h.Replicas > 1 {
+		// The tables already carry the replication degree; only the
+		// scheduler's own knob needs setting.
+		if rs, ok := h.sched.(core.ReplicaSetter); ok {
+			rs.SetReplicas(h.Replicas)
+		}
+	}
+	if h.QoS != nil {
+		cfg := *h.QoS
+		if h.DropStale {
+			cfg.AlwaysShedStale = true
+		}
+		h.qosc = qos.NewController(&cfg)
+		if st.QoS != nil {
+			h.qosc.Restore(st.QoS)
+		}
+	}
+	if h.Prefetch != nil {
+		if ps, ok := h.sched.(core.PrefetchSetter); ok {
+			h.prefc = prefetch.NewController(h.Prefetch, n, h.chunkSize)
+			ps.SetPrefetchPlanner(h.prefc)
+			h.prefSrc, _ = h.sched.(core.PrefetchSource)
+		}
+	}
+	// Back-date the wall anchor so the service clock resumes at the
+	// recovered instant: journal records written from here on sort after
+	// everything replayed, and Estimate aging sees no time warp.
+	h.start = time.Now().Add(-time.Duration(st.At))
+	h.workers = make([]transport.Conn, n)
+	h.senders = make([]*sender, n)
+	h.gens = make([]uint64, n)
+	h.lastBeat = make([]time.Time, n)
+	h.downAt = make([]time.Time, n)
+	h.healthView = make([]atomic.Int32, n)
+	wall := time.Now()
+	for k := 0; k < n; k++ {
+		node := core.NodeID(k)
+		h.senders[k] = closedSender()
+		h.lastBeat[k] = wall // grace: silence is counted from takeover
+		if st.Tables.Health(node) == core.HealthUp {
+			// No connection backs an "up" verdict yet; demote to suspect
+			// (journaled like any health transition) until the resync hello
+			// proves the worker alive.
+			st.Tables.MarkSuspect(node)
+			h.journalRec(journal.KindSuspect, 0, -1, node, st.At, nil)
+		}
+		if st.Tables.Health(node) == core.HealthDown {
+			h.downAt[k] = wall
+		}
+		h.healthView[k].Store(int32(st.Tables.Health(node)))
+	}
+	h.mu.Lock()
+	h.nextJobID = st.NextJobID
+	h.mu.Unlock()
+
+	// Rebuild the live jobs. The dispatcher adopts recovered/recoveredQueue
+	// before its first event.
+	var live []*core.Job
+	for _, rj := range st.Jobs {
+		lj := h.restoreJob(rj)
+		h.recovered = append(h.recovered, lj)
+		if key := lj.req.Key; key != 0 {
+			h.byKey[key] = lj
+		}
+		if rj.Rec.Done() {
+			continue // complete; waits for retained replays, renders nothing
+		}
+		live = append(live, rj.Job)
+		if rj.Job.Remaining == 0 {
+			continue // fully in flight; completions or deadlines move it
+		}
+		if h.qosc != nil && rj.Job.Remaining == len(rj.Job.Tasks) {
+			// Undispatched jobs re-enter the fair queue in admission order;
+			// partially-dispatched ones go straight to the working set below.
+			h.qosc.Requeue(rj.Job)
+			continue
+		}
+		h.recoveredQueue = append(h.recoveredQueue, lj)
+	}
+	if h.qosc != nil {
+		// The journal-reconstructed job list is the authority on session
+		// in-flight depths; the snapshot's view may lag it.
+		h.qosc.Rebind(live)
+	}
+	h.started = true
+	go h.dispatch()
+	return nil
+}
+
+// restoreJob rebuilds the dispatcher-facing liveJob around a recovered job.
+// The client connection is nil until the client re-submits its idempotency
+// key and re-attaches.
+func (h *Head) restoreJob(rj *hastate.RecoveredJob) *liveJob {
+	job := rj.Job
+	lj := &liveJob{
+		job:      job,
+		frags:    make([]*FragmentBody, len(job.Tasks)),
+		nodes:    make([]core.NodeID, len(job.Tasks)),
+		deadline: make([]time.Time, len(job.Tasks)),
+		retryAt:  make([]time.Time, len(job.Tasks)),
+		retries:  make([]int, len(job.Tasks)),
+		wall:     time.Now(),
+	}
+	if len(rj.Rec.Req) > 0 {
+		if err := transport.Decode(rj.Rec.Req, &lj.req); err != nil {
+			h.Logf("head: decoding recovered job %d request: %v", job.ID, err)
+		}
+	}
+	now := time.Now()
+	for i := range rj.Rec.Tasks {
+		ti := &rj.Rec.Tasks[i]
+		if ti.State == hastate.TaskQueued {
+			continue
+		}
+		lj.nodes[i] = ti.Node
+		if h.DeadlineFactor > 0 {
+			// Outstanding work gets a reconnect grace on top of its usual
+			// deadline: the worker holding the result must have time to
+			// resync and replay before the task is presumed lost.
+			lj.deadline[i] = now.Add(h.DownAfter + h.taskDeadline(&job.Tasks[i]))
+		}
+		if ti.State == hastate.TaskDone {
+			if lj.restoredDone == nil {
+				lj.restoredDone = make([]bool, len(job.Tasks))
+			}
+			lj.restoredDone[i] = true
+		}
+	}
+	return lj
+}
+
+// retainedCap bounds the delivered-result store backing client re-attach;
+// FIFO eviction, so the window covers the most recent deliveries.
+const retainedCap = 128
+
+// storeRetained records a delivered result under its idempotency key.
+func (h *Head) storeRetained(key uint64, res ResultBody) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.storeRetainedLocked(key, res)
+}
+
+// storeRetainedLocked is storeRetained with h.mu already held — used by
+// finalize, which must store the result and drop the key binding in one
+// critical section so a racing re-submission sees exactly one of them.
+func (h *Head) storeRetainedLocked(key uint64, res ResultBody) {
+	if _, exists := h.retained[key]; !exists {
+		h.retainedOrder = append(h.retainedOrder, key)
+		if len(h.retainedOrder) > retainedCap {
+			delete(h.retained, h.retainedOrder[0])
+			h.retainedOrder = h.retainedOrder[1:]
+		}
+	}
+	h.retained[key] = res
+}
+
+// lookupRetained serves a re-submitted key from the delivered-result store.
+func (h *Head) lookupRetained(key uint64) (ResultBody, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	res, ok := h.retained[key]
+	return res, ok
+}
+
+// dropKey removes a finished job's idempotency-key binding. byKey is
+// h.mu-guarded; a later liveJob that reused the key is left alone.
+func (h *Head) dropKey(lj *liveJob) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dropKeyLocked(lj)
+}
+
+// dropKeyLocked is dropKey with h.mu already held.
+func (h *Head) dropKeyLocked(lj *liveJob) {
+	if key := lj.req.Key; key != 0 && h.byKey[key] == lj {
+		delete(h.byKey, key)
+	}
+}

@@ -31,6 +31,13 @@ type headStats struct {
 	mttrNanos         atomic.Int64
 	mttrEvents        atomic.Int64
 
+	// Failover counters (§5.10): workers that re-announced state to a
+	// recovered head, clients re-attached to in-flight jobs by idempotency
+	// key, and re-submissions served from the retained-result store.
+	workersResynced atomic.Int64
+	jobsReattached  atomic.Int64
+	retainedServed  atomic.Int64
+
 	// Replication counters (§5.6): chunks whose home moved to a warm
 	// surviving replica when a worker died, and chunks left to rarest-first
 	// re-seeding because no replica survived.
@@ -122,6 +129,9 @@ type StatsSnapshot struct {
 	TasksRedispatched int64   `json:"tasks_redispatched"`
 	JobsShed          int64   `json:"jobs_shed"`
 	WorkersRejoined   int64   `json:"workers_rejoined"`
+	WorkersResynced   int64   `json:"workers_resynced"`
+	JobsReattached    int64   `json:"jobs_reattached"`
+	RetainedServed    int64   `json:"retained_served"`
 	MTTRSeconds       float64 `json:"mttr_seconds"`
 
 	ChunksRehomed  int64 `json:"chunks_rehomed"`
@@ -208,6 +218,13 @@ type RecoveryReport struct {
 	TasksRedispatched int64
 	JobsLost          int64
 	JobsShed          int64
+	// WorkersResynced / JobsReattached / RetainedServed count the head-
+	// failover machinery's activity (§5.10): workers that re-announced state
+	// to a recovered head, clients re-attached to still-running jobs by
+	// idempotency key, and re-submissions served from retained results.
+	WorkersResynced int64
+	JobsReattached  int64
+	RetainedServed  int64
 	// ChunksRehomed / ChunksReseeded count the replication layer's response
 	// to worker deaths: homes moved warm to a surviving replica versus
 	// dropped for rarest-first re-seeding.
@@ -237,6 +254,9 @@ func (h *Head) Recovery() RecoveryReport {
 		TasksRedispatched: h.stats.tasksRedispatched.Load(),
 		JobsLost:          h.stats.jobsFailed.Load(),
 		JobsShed:          h.stats.jobsShed.Load(),
+		WorkersResynced:   h.stats.workersResynced.Load(),
+		JobsReattached:    h.stats.jobsReattached.Load(),
+		RetainedServed:    h.stats.retainedServed.Load(),
 		ChunksRehomed:     h.stats.chunksRehomed.Load(),
 		ChunksReseeded:    h.stats.chunksReseeded.Load(),
 	}
@@ -262,6 +282,9 @@ func (h *Head) Stats() StatsSnapshot {
 		TasksRedispatched: h.stats.tasksRedispatched.Load(),
 		JobsShed:          h.stats.jobsShed.Load(),
 		WorkersRejoined:   h.stats.workersRejoined.Load(),
+		WorkersResynced:   h.stats.workersResynced.Load(),
+		JobsReattached:    h.stats.jobsReattached.Load(),
+		RetainedServed:    h.stats.retainedServed.Load(),
 		ChunksRehomed:     h.stats.chunksRehomed.Load(),
 		ChunksReseeded:    h.stats.chunksReseeded.Load(),
 		CacheEvictions:    h.stats.evictions.Load(),
@@ -370,6 +393,9 @@ func (h *Head) StatsHandler() http.Handler {
 		write("tasks_redispatched_total", float64(s.TasksRedispatched))
 		write("jobs_shed_total", float64(s.JobsShed))
 		write("workers_rejoined_total", float64(s.WorkersRejoined))
+		write("workers_resynced_total", float64(s.WorkersResynced))
+		write("jobs_reattached_total", float64(s.JobsReattached))
+		write("retained_served_total", float64(s.RetainedServed))
 		write("chunks_rehomed_total", float64(s.ChunksRehomed))
 		write("chunks_reseeded_total", float64(s.ChunksReseeded))
 		write("cache_evictions_total", float64(s.CacheEvictions))

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"log"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -50,9 +51,27 @@ type Worker struct {
 	// while callers poll TasksExecuted.
 	tasks atomic.Int64
 
+	// retained holds recently completed results for the resync replay
+	// (§5.10): a head recovered from snapshot+journal lists the tasks it
+	// still considers outstanding, and the worker re-sends retained results
+	// instead of re-rendering. Serve-loop owned. RetainCap bounds it; zero
+	// means DefaultRetain.
+	retained  []retainedResult
+	RetainCap int
+
 	// Logf receives diagnostics; defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
+
+// retainedResult is one completed task's replayable output.
+type retainedResult struct {
+	ref   TaskRef
+	frag  FragmentBody
+	tiles []TileFragBody
+}
+
+// DefaultRetain is the retained-result window when RetainCap is zero.
+const DefaultRetain = 64
 
 // DefaultHeartbeat is the worker liveness-beacon interval.
 const DefaultHeartbeat = 500 * time.Millisecond
@@ -246,6 +265,72 @@ func (w *Worker) Rejoin(conn transport.Conn, node int) error {
 	return w.serve(conn, hello)
 }
 
+// Resync reconnects this worker to a recovered head (§5.10), reclaiming the
+// given node slot with a full state re-announcement: actual cache residency
+// (MRU-first) and the completed tasks whose results are retained for replay.
+// The head reconciles its replayed tables against this ground truth and
+// lists still-outstanding tasks in its ack; retained matches are re-sent
+// without re-rendering.
+func (w *Worker) Resync(conn transport.Conn, node int) error {
+	w.node.Store(int64(node))
+	hello := HelloBody{
+		Name: w.Name, MemQuota: int64(w.quota), NodeID: node,
+		Rejoin: true, Resync: true,
+	}
+	for _, e := range w.lru.Export() {
+		hello.Cached = append(hello.Cached, ChunkRef{Dataset: w.datasetName(e.ID.Dataset), Index: e.ID.Index})
+	}
+	for i := range w.retained {
+		hello.Completed = append(hello.Completed, w.retained[i].ref)
+	}
+	return w.serve(conn, hello)
+}
+
+// retain remembers one completed result for resync replay, bounded FIFO.
+func (w *Worker) retain(r retainedResult) {
+	for i := range w.retained {
+		if w.retained[i].ref == r.ref {
+			w.retained[i] = r // a re-render of the same task supersedes
+			return
+		}
+	}
+	cap := w.RetainCap
+	if cap <= 0 {
+		cap = DefaultRetain
+	}
+	w.retained = append(w.retained, r)
+	if len(w.retained) > cap {
+		w.retained = w.retained[len(w.retained)-cap:]
+	}
+}
+
+// replayRetained re-sends retained results for the tasks the head's resync
+// ack listed as outstanding: completed-but-unacked work delivers without a
+// second render. Tiles go before the execution report, preserving the FIFO
+// contract the reducer relies on.
+func (w *Worker) replayRetained(conn transport.Conn, outstanding []TaskRef) error {
+	want := make(map[TaskRef]struct{}, len(outstanding))
+	for _, ref := range outstanding {
+		want[ref] = struct{}{}
+	}
+	for i := range w.retained {
+		r := &w.retained[i]
+		if _, ok := want[r.ref]; !ok {
+			continue
+		}
+		for t := range r.tiles {
+			if err := send(conn, transport.KindTileFrag, r.ref.JobID, r.tiles[t]); err != nil {
+				return err
+			}
+		}
+		if err := send(conn, transport.KindFragment, r.ref.JobID, r.frag); err != nil {
+			return err
+		}
+		w.Logf("worker %s: replayed retained J%d/T%d", w.Name, r.ref.JobID, r.ref.TaskIndex)
+	}
+	return nil
+}
+
 // serve sends the hello, starts the heartbeat beacon, and runs the task
 // loop.
 func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
@@ -289,6 +374,11 @@ func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 			if err := transport.Decode(msg.Body, &ack); err == nil {
 				w.node.Store(int64(ack.NodeID))
 				w.tileSize = ack.TileSize
+				if len(ack.Outstanding) > 0 {
+					if err := w.replayRetained(conn, ack.Outstanding); err != nil {
+						return err
+					}
+				}
 			}
 		case transport.KindTask:
 			var t TaskBody
@@ -305,6 +395,11 @@ func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 				continue
 			}
 			w.tasks.Add(1)
+			w.retain(retainedResult{
+				ref:   TaskRef{JobID: t.JobID, TaskIndex: t.TaskIndex},
+				frag:  frag,
+				tiles: tiles,
+			})
 			// Tile fragments go first: the connection is FIFO, so the head
 			// sees every tile before the execution report that completes the
 			// task's accounting.
@@ -328,6 +423,82 @@ func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 		default:
 			w.Logf("worker %s: unexpected %v message", w.Name, msg.Kind)
 		}
+	}
+}
+
+// ReconnectConfig tunes ServeLoop's reconnection policy.
+type ReconnectConfig struct {
+	// Base is the first backoff delay (default 100ms); Max caps the
+	// exponential growth (default 5s).
+	Base, Max time.Duration
+	// Retries bounds consecutive failed reconnect attempts (default 8);
+	// a session that survives longer than Base resets the counter.
+	Retries int
+	// Seed fixes the jitter source for deterministic tests; 0 seeds from
+	// the clock.
+	Seed int64
+}
+
+// ServeLoop keeps this worker connected across head restarts: dial, serve,
+// and on failure redial with exponential backoff plus jitter. A first
+// connection introduces the worker with Serve; once a node slot is known,
+// reconnections go through Resync so a recovered head reconciles against
+// the worker's announced state. A clean shutdown (the head's Shutdown
+// message) returns nil; exhausting the retry budget returns the reason the
+// loop gave up.
+func (w *Worker) ServeLoop(dial func() (transport.Conn, error), rc ReconnectConfig) error {
+	base := rc.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := rc.Max
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	retries := rc.Retries
+	if retries <= 0 {
+		retries = 8
+	}
+	seed := rc.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attempt := 0
+	for {
+		conn, err := dial()
+		if err == nil {
+			began := time.Now()
+			var serr error
+			if node := w.Node(); node >= 0 {
+				serr = w.Resync(conn, node)
+			} else {
+				serr = w.Serve(conn)
+			}
+			conn.Close()
+			if serr == nil {
+				// A clean exit: the head sent Shutdown (or closed the
+				// connection in an orderly way). The loop is done.
+				return nil
+			}
+			w.Logf("worker %s: session ended: %v", w.Name, serr)
+			if time.Since(began) > base {
+				attempt = 0 // the session was real; reset the retry budget
+			}
+		} else {
+			w.Logf("worker %s: dial failed: %v", w.Name, err)
+		}
+		attempt++
+		if attempt > retries {
+			return fmt.Errorf("worker %s: giving up after %d reconnect attempts", w.Name, attempt-1)
+		}
+		backoff := base << (attempt - 1)
+		if backoff > max || backoff <= 0 {
+			backoff = max
+		}
+		backoff += time.Duration(rng.Int63n(int64(backoff)/2 + 1))
+		w.Logf("worker %s: reconnecting in %v (attempt %d/%d)", w.Name, backoff.Round(time.Millisecond), attempt, retries)
+		time.Sleep(backoff)
 	}
 }
 

@@ -30,6 +30,19 @@ const (
 	// FaultFlap runs Count seeded crash/repair cycles spaced Period apart —
 	// the pathological reconnect loop that stresses rejoin handling.
 	FaultFlap
+	// FaultHeadCrash takes the head's control plane down between At and
+	// RepairAt (§5.10): no admissions, no scheduling, no completion
+	// processing. Nodes keep draining already-dispatched work and retain
+	// their completion reports; at repair the recovered standby reconciles
+	// the retained reports and admits the deferred arrivals — committed
+	// work is never re-rendered. The failure's Node field is ignored.
+	FaultHeadCrash
+	// FaultPartition isolates a live node from the head between At and
+	// RepairAt — the DES mirror of the transport fault injector's
+	// Partition()/Heal(). The head demotes the node to suspect (no new
+	// work); the node keeps executing its queue and retains completion
+	// reports, reconciled at heal with its predicted caches intact.
+	FaultPartition
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +56,10 @@ func (k FaultKind) String() string {
 		return "stall"
 	case FaultFlap:
 		return "flap"
+	case FaultHeadCrash:
+		return "headcrash"
+	case FaultPartition:
+		return "partition"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -60,7 +77,7 @@ func (f Failure) interval() (units.Time, units.Time) {
 
 // inject schedules one Failure's events onto the simulation clock.
 func (e *Engine) inject(f Failure) {
-	if int(f.Node) < 0 || int(f.Node) >= e.cfg.Nodes {
+	if f.Kind != FaultHeadCrash && (int(f.Node) < 0 || int(f.Node) >= e.cfg.Nodes) {
 		panic(fmt.Sprintf("sim: failure targets unknown node %d", f.Node))
 	}
 	switch f.Kind {
@@ -130,6 +147,24 @@ func (e *Engine) inject(f Failure) {
 			e.sim.At(repairAt, func(s *des.Simulator) { e.repair(f.Node) })
 			at = at.Add(period)
 		}
+
+	case FaultHeadCrash:
+		from, to := f.interval()
+		e.sim.During(from, to,
+			func(s *des.Simulator) {
+				e.report.Recovery.FaultInjected(s.Now())
+				e.headFail()
+			},
+			func(s *des.Simulator) { e.headRepair() })
+
+	case FaultPartition:
+		from, to := f.interval()
+		e.sim.During(from, to,
+			func(s *des.Simulator) {
+				e.report.Recovery.FaultInjected(s.Now())
+				e.partition(f.Node)
+			},
+			func(s *des.Simulator) { e.heal(f.Node) })
 
 	default:
 		panic(fmt.Sprintf("sim: unknown fault kind %v", f.Kind))

@@ -187,6 +187,15 @@ type node struct {
 	// stalled freezes the node (FaultStall): nothing starts or completes,
 	// but queues and caches survive — unlike a crash.
 	stalled bool
+	// partitioned isolates the node from the head (FaultPartition): it
+	// keeps executing its local queue but its completion reports buffer in
+	// pendingResults until the partition heals — the DES mirror of the
+	// transport fault injector's Partition()/Heal().
+	partitioned bool
+	// pendingResults holds completion reports the node retained while the
+	// head was unreachable (partition or head outage); reconciliation
+	// drains them without re-rendering anything (§5.10).
+	pendingResults []core.TaskResult
 	// ioScale multiplies disk I/O times; 1 is healthy, FaultSlowDisk raises
 	// it for an interval.
 	ioScale float64
@@ -252,6 +261,12 @@ type Engine struct {
 	// pinned tracks the demand tasks whose resident chunk the engine pinned
 	// at enqueue so a background warm can never evict it (prefetch only).
 	pinned map[*core.Task]bool
+
+	// headDown marks a control-plane outage (FaultHeadCrash): no admission,
+	// scheduling, or completion processing until the standby takes over.
+	// deferred buffers the outage's arrivals for admission at repair.
+	headDown bool
+	deferred []workload.Request
 
 	nextJob  core.JobID
 	started  map[core.JobID]units.Time // JS per in-flight job
@@ -407,8 +422,24 @@ func (e *Engine) QoS() *qos.Controller { return e.qosc }
 // tests and post-run inspection.
 func (e *Engine) Prefetch() *prefetch.Controller { return e.pref }
 
-// arrive turns a request into a decomposed job and queues it.
+// arrive turns a request into a decomposed job and queues it. During a head
+// outage the request buffers instead — the client retries until the standby
+// takes over — and is admitted at repair with its original issue time, so
+// latency accounting charges the control-plane downtime to the jobs that
+// felt it.
 func (e *Engine) arrive(req workload.Request) {
+	if e.headDown {
+		e.deferred = append(e.deferred, req)
+		e.report.Recovery.ArrivalDeferred()
+		return
+	}
+	e.admitArrival(req, e.sim.Now())
+}
+
+// admitArrival admits one request as a decomposed job issued at the given
+// time (arrival time normally; the original arrival time for requests a
+// head outage deferred).
+func (e *Engine) admitArrival(req workload.Request, issued units.Time) {
 	ds := e.cfg.Library.Get(req.Dataset)
 	if ds == nil {
 		panic(fmt.Sprintf("sim: request for unknown dataset %d", req.Dataset))
@@ -420,7 +451,7 @@ func (e *Engine) arrive(req workload.Request) {
 		Action:  req.Action,
 		Tenant:  req.Tenant,
 		Dataset: req.Dataset,
-		Issued:  e.sim.Now(),
+		Issued:  issued,
 	}
 	j.Tasks = make([]core.Task, len(ds.Chunks))
 	for i, c := range ds.Chunks {
@@ -467,6 +498,9 @@ func admitKind(d qos.Decision) trace.Kind {
 // window) to the scheduler, timing the call with the wall clock, then
 // executes the returned assignments.
 func (e *Engine) invokeScheduler() {
+	if e.headDown {
+		return // control plane down: nothing admits, schedules, or dispatches
+	}
 	if e.qosc != nil {
 		// Pull admitted work into the window in fair order: interactive
 		// frames fully (tenant round-robin), batch by DRR up to the window
@@ -526,10 +560,10 @@ func (e *Engine) invokeScheduler() {
 		jobsTouched[t.Job.ID] = struct{}{}
 		e.emit(trace.Event{Kind: trace.Assign, Job: t.Job.ID, Class: t.Job.Class, Task: t.Index, Node: a.Node, Chunk: t.Chunk})
 		n := e.nodes[a.Node]
-		if n.failed {
-			// A scheduler placing work on a known-failed node is a policy
-			// bug; the head state exposes liveness.
-			panic(fmt.Sprintf("sim: scheduler %s assigned %v to failed node %d", e.cfg.Scheduler.Name(), t, a.Node))
+		if n.failed || n.partitioned {
+			// A scheduler placing work on a known-failed or suspect node is
+			// a policy bug; the head state exposes liveness.
+			panic(fmt.Sprintf("sim: scheduler %s assigned %v to unavailable node %d", e.cfg.Scheduler.Name(), t, a.Node))
 		}
 		e.enqueue(n, t)
 	}
@@ -857,22 +891,43 @@ func (e *Engine) startOverlap(n *node) {
 	}
 }
 
-// complete finishes a task: correct the head tables, account job progress,
-// and start the node's next task.
+// complete finishes a task on its node. When the head is reachable the
+// report is accounted immediately; when it is not (head outage or the
+// node's partition), the node retains the report for reconciliation and
+// keeps draining its local queue — the data plane outlives the control
+// plane (§5.10).
 func (e *Engine) complete(n *node, res core.TaskResult) {
-	now := e.sim.Now()
-	res.Finished = now
+	res.Finished = e.sim.Now()
 	delete(n.running, res.Task)
-	e.head.Correct(res, now)
-	if e.pref != nil {
-		e.pref.Observe(res.Task.Job.Action, res.Task.Chunk, now)
-	}
 	e.emit(trace.Event{
 		Kind: trace.TaskDone, Job: res.Task.Job.ID, Class: res.Task.Job.Class,
 		Task: res.Task.Index, Node: n.id, Chunk: res.Task.Chunk,
 		Dur: res.Exec, Hit: res.Hit,
 	})
+	if e.headDown || n.partitioned {
+		n.pendingResults = append(n.pendingResults, res)
+		e.report.Recovery.ResultDeferred()
+	} else {
+		e.account(res)
+	}
+	if e.cfg.OverlapIO {
+		e.startOverlap(n)
+	} else {
+		e.startSerial(n)
+	}
+}
 
+// account applies one completion report at the head: table correction, job
+// progress, QoS observation. now is when the report reaches the head —
+// completion time normally, reconciliation time for reports a head outage
+// or partition deferred (the job's latency then includes the outage, as a
+// client waiting on the frame would measure it).
+func (e *Engine) account(res core.TaskResult) {
+	now := e.sim.Now()
+	e.head.Correct(res, now)
+	if e.pref != nil {
+		e.pref.Observe(res.Task.Job.Action, res.Task.Chunk, now)
+	}
 	j := res.Task.Job
 	e.finished[j.ID]++
 	if e.finished[j.ID] == len(j.Tasks) {
@@ -888,11 +943,6 @@ func (e *Engine) complete(n *node, res core.TaskResult) {
 		}
 		delete(e.finished, j.ID)
 		delete(e.started, j.ID)
-	}
-	if e.cfg.OverlapIO {
-		e.startOverlap(n)
-	} else {
-		e.startSerial(n)
 	}
 }
 
@@ -954,6 +1004,12 @@ func (e *Engine) fail(k core.NodeID) {
 		requeue(t)
 	}
 	n.pfWaiters = nil
+	// Completion reports the node retained through a partition or head
+	// outage die with it: the head never saw them, so the tasks re-render.
+	for _, res := range n.pendingResults {
+		requeue(res.Task)
+	}
+	n.pendingResults = nil
 	n.loadq = nil
 	n.loadHead = 0
 	fresh := e.newNode(k)

@@ -1,0 +1,98 @@
+package sim
+
+// Control-plane chaos (§5.10): head outages and head↔node partitions. Both
+// faults leave the data plane alive — nodes keep draining their queues and
+// retain completion reports — while the control plane is unreachable. The
+// recovery invariant the live service proves with snapshot+journal replay
+// holds here by construction: reconciliation applies the retained reports,
+// so committed work is never lost or re-rendered, and the metrics assert it
+// (Recovery.CommittedLost stays zero).
+
+import (
+	"vizsched/internal/core"
+	"vizsched/internal/trace"
+)
+
+// committedJobs is the number of fully completed jobs the head has
+// acknowledged — the committed-session count the crash must not shrink.
+func (e *Engine) committedJobs() int64 {
+	return e.report.Interactive.Completed + e.report.Batch.Completed
+}
+
+// headFail starts a control-plane outage: the head stops admitting,
+// scheduling, and processing completions. Nodes notice nothing.
+func (e *Engine) headFail() {
+	if e.headDown {
+		return
+	}
+	e.headDown = true
+	e.report.Recovery.HeadDown(e.sim.Now(), e.committedJobs())
+	e.emit(trace.Event{Kind: trace.HeadFail})
+}
+
+// headRepair ends the outage: the recovered standby runs its resync epoch —
+// reconcile every reachable node's retained completion reports, admit the
+// deferred arrivals with their original issue times, and resume scheduling.
+func (e *Engine) headRepair() {
+	if !e.headDown {
+		return
+	}
+	e.headDown = false
+	e.emit(trace.Event{Kind: trace.HeadRepair})
+	for _, n := range e.nodes {
+		if !n.partitioned {
+			e.drainPending(n)
+		}
+	}
+	reqs := e.deferred
+	e.deferred = nil
+	for _, req := range reqs {
+		e.admitArrival(req, req.At)
+	}
+	e.report.Recovery.HeadRepaired(e.sim.Now(), e.committedJobs())
+	e.invokeScheduler()
+}
+
+// partition cuts node k off from the head: the head demotes it to suspect
+// (predicted caches kept — it may come back), so no new work lands on it;
+// the node keeps executing what it already holds.
+func (e *Engine) partition(k core.NodeID) {
+	n := e.nodes[k]
+	if n.failed || n.partitioned {
+		return
+	}
+	n.partitioned = true
+	e.head.MarkSuspect(k)
+	e.report.Recovery.NodeDown(int(k), e.sim.Now())
+	e.emit(trace.Event{Kind: trace.NodePartition, Node: k})
+}
+
+// heal reconnects a partitioned node: suspect lifts back to up with the
+// predicted caches intact (they match the node's real state — nothing was
+// lost), the retained completion reports reconcile, and scheduling resumes
+// with the node available again. A node that crashed during the partition
+// was replaced by a fresh instance and heals through repair instead.
+func (e *Engine) heal(k core.NodeID) {
+	n := e.nodes[k]
+	if !n.partitioned {
+		return
+	}
+	n.partitioned = false
+	e.head.MarkUp(k)
+	e.emit(trace.Event{Kind: trace.NodeHeal, Node: k})
+	if !e.headDown {
+		e.drainPending(n)
+	}
+	e.report.Recovery.NodeRepaired(int(k), e.sim.Now())
+	e.invokeScheduler()
+}
+
+// drainPending reconciles a node's retained completion reports with the
+// head, oldest first — the resync epoch's idempotent replay.
+func (e *Engine) drainPending(n *node) {
+	pend := n.pendingResults
+	n.pendingResults = nil
+	for _, res := range pend {
+		e.account(res)
+	}
+}

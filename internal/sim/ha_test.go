@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+
+	"vizsched/internal/core"
+	"vizsched/internal/units"
+)
+
+// TestSimHeadFailoverZeroCommittedLoss: a head outage defers work instead of
+// losing it. Arrivals during the outage buffer and admit at repair, nodes
+// retain their completion reports for the resync epoch, no task re-renders,
+// and the committed-session count never shrinks — the DES statement of the
+// §5.10 recovery invariant the live service proves with journal replay.
+func TestSimHeadFailoverZeroCommittedLoss(t *testing.T) {
+	wl := steadyWorkload(2, units.Time(30*units.Second))
+	clean := New(smallConfig(core.NewLocalityScheduler(0), 2)).Run(wl, 0)
+
+	cfg := smallConfig(core.NewLocalityScheduler(0), 2)
+	cfg.Failures = []Failure{{
+		Kind:     FaultHeadCrash,
+		At:       units.Time(10 * units.Second),
+		RepairAt: units.Time(14 * units.Second),
+	}}
+	rep := New(cfg).Run(wl, 0)
+
+	rc := &rep.Recovery
+	if rc.HeadCrashes != 1 {
+		t.Fatalf("head crashes = %d, want 1", rc.HeadCrashes)
+	}
+	if got, want := rc.ControlMTTR(), 4*units.Second; got != want {
+		t.Errorf("control MTTR = %v, want exactly %v", got, want)
+	}
+	if rc.CommittedAtCrash == 0 {
+		t.Error("no jobs committed before the crash; the test is vacuous")
+	}
+	if rc.CommittedLost != 0 {
+		t.Errorf("committed jobs lost = %d, want 0", rc.CommittedLost)
+	}
+	if rc.ArrivalsDeferred == 0 {
+		t.Error("a 4s outage under a continuous workload deferred no arrivals")
+	}
+	if rc.ResultsDeferred == 0 {
+		t.Error("no completion reports were retained across the outage")
+	}
+	// The outage must not force any re-rendering: deferred reports
+	// reconcile, they do not requeue.
+	if rc.TasksRedispatched != 0 {
+		t.Errorf("tasks redispatched = %d, want 0 (nothing re-renders)", rc.TasksRedispatched)
+	}
+	// Degraded but correct: fewer completions than clean, never more issued.
+	if rep.Interactive.Completed == 0 {
+		t.Fatal("no interactive jobs completed across the outage")
+	}
+	if rep.Interactive.Completed > clean.Interactive.Completed {
+		t.Errorf("faulted run completed more (%d) than clean (%d)",
+			rep.Interactive.Completed, clean.Interactive.Completed)
+	}
+	if rep.Interactive.Issued != clean.Interactive.Issued {
+		t.Errorf("issued diverged: %d vs clean %d (deferral must not drop arrivals)",
+			rep.Interactive.Issued, clean.Interactive.Issued)
+	}
+}
+
+// TestSimHeadFailoverDeterministic: the outage-and-recovery path runs
+// entirely in virtual time, so two identical runs agree bit for bit.
+func TestSimHeadFailoverDeterministic(t *testing.T) {
+	run := func() (float64, units.Duration, int64, int64, int64) {
+		cfg := smallConfig(core.NewLocalityScheduler(0), 2)
+		cfg.Failures = []Failure{{
+			Kind:     FaultHeadCrash,
+			At:       units.Time(9 * units.Second),
+			RepairAt: units.Time(12 * units.Second),
+		}}
+		rep := New(cfg).Run(steadyWorkload(2, units.Time(24*units.Second)), 0)
+		return rep.MeanFramerate(), rep.Interactive.Latency.Mean(),
+			rep.Recovery.ArrivalsDeferred, rep.Recovery.ResultsDeferred,
+			rep.Interactive.Completed
+	}
+	fps1, lat1, ad1, rd1, c1 := run()
+	fps2, lat2, ad2, rd2, c2 := run()
+	if fps1 != fps2 || lat1 != lat2 || ad1 != ad2 || rd1 != rd2 || c1 != c2 {
+		t.Errorf("head-crash runs diverged: (%v,%v,%d,%d,%d) vs (%v,%v,%d,%d,%d)",
+			fps1, lat1, ad1, rd1, c1, fps2, lat2, ad2, rd2, c2)
+	}
+}
+
+// TestSimPartitionReconcilesRetainedResults: a partitioned node keeps
+// rendering what it holds and retains the reports; the head routes new work
+// around it (suspect, caches kept) and reconciles at heal — downtime is
+// exact, nothing requeues, and service continues on the surviving nodes.
+func TestSimPartitionReconcilesRetainedResults(t *testing.T) {
+	cfg := smallConfig(core.NewLocalityScheduler(0), 2)
+	// Cold caches: the initial loads take seconds, so node 1 is guaranteed
+	// to be mid-task when the partition cuts it off — the completion it
+	// finishes behind the partition must be retained, not lost.
+	cfg.Preload = false
+	cfg.Failures = []Failure{{
+		Kind:     FaultPartition,
+		Node:     1,
+		At:       units.Time(1 * units.Second),
+		RepairAt: units.Time(5 * units.Second),
+	}}
+	rep := New(cfg).Run(steadyWorkload(2, units.Time(24*units.Second)), 0)
+
+	rc := &rep.Recovery
+	if rc.Faults != 1 {
+		t.Errorf("faults = %d, want 1", rc.Faults)
+	}
+	if got, want := rc.MTTR(), 4*units.Second; got != want {
+		t.Errorf("partition MTTR = %v, want exactly %v", got, want)
+	}
+	if rc.ResultsDeferred == 0 {
+		t.Error("the partitioned node retained no completion reports")
+	}
+	// A partition is not a crash: nothing is requeued and nothing re-renders.
+	if rc.TasksRedispatched != 0 {
+		t.Errorf("tasks redispatched = %d, want 0", rc.TasksRedispatched)
+	}
+	if rep.Interactive.Completed == 0 {
+		t.Fatal("no jobs completed across the partition")
+	}
+	// The head never declared the node dead, so its predicted caches were
+	// kept and no chunks were re-homed or re-seeded.
+	if rc.ChunksRehomed != 0 || rc.ChunksReseeded != 0 {
+		t.Errorf("partition moved chunks (rehomed %d, reseeded %d), want none",
+			rc.ChunksRehomed, rc.ChunksReseeded)
+	}
+}
+
+// TestSimPartitionDuringHeadOutage: overlapping control-plane faults — the
+// node's partition heals while the head is still down, so its retained
+// reports must wait for the head's repair, not the heal.
+func TestSimPartitionDuringHeadOutage(t *testing.T) {
+	cfg := smallConfig(core.NewLocalityScheduler(0), 2)
+	cfg.Failures = []Failure{
+		{Kind: FaultPartition, Node: 2, At: units.Time(8 * units.Second), RepairAt: units.Time(11 * units.Second)},
+		{Kind: FaultHeadCrash, At: units.Time(9 * units.Second), RepairAt: units.Time(13 * units.Second)},
+	}
+	rep := New(cfg).Run(steadyWorkload(2, units.Time(24*units.Second)), 0)
+
+	rc := &rep.Recovery
+	if rc.HeadCrashes != 1 {
+		t.Fatalf("head crashes = %d, want 1", rc.HeadCrashes)
+	}
+	if rc.CommittedLost != 0 {
+		t.Errorf("committed jobs lost = %d, want 0", rc.CommittedLost)
+	}
+	if rc.TasksRedispatched != 0 {
+		t.Errorf("tasks redispatched = %d, want 0", rc.TasksRedispatched)
+	}
+	if rep.Interactive.Completed == 0 {
+		t.Fatal("no jobs completed across the overlapping faults")
+	}
+}

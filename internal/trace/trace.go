@@ -52,6 +52,14 @@ const (
 	// the contributing task index and Level the tile index.
 	TileFrag
 	TileDone
+	// Control-plane chaos (§5.10): HeadFail/HeadRepair bound a head outage
+	// (the interval snapshot+journal recovery spans), NodePartition/NodeHeal
+	// bound a transport partition that isolates a live node from the head —
+	// the node keeps rendering and retains completion reports until heal.
+	HeadFail
+	HeadRepair
+	NodePartition
+	NodeHeal
 )
 
 // String implements fmt.Stringer.
@@ -93,6 +101,14 @@ func (k Kind) String() string {
 		return "tile-frag"
 	case TileDone:
 		return "tile-done"
+	case HeadFail:
+		return "head-fail"
+	case HeadRepair:
+		return "head-repair"
+	case NodePartition:
+		return "node-partition"
+	case NodeHeal:
+		return "node-heal"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -241,6 +257,32 @@ func (l *Log) GanttSVG(w io.Writer, nodes int, from, to units.Time) error {
 			y := topPad + int(ev.Node)*(rowH+rowGap)
 			fmt.Fprintf(w, `<rect x="%.2f" y="%d" width="2" height="%d" fill="#cc2222"/>`+"\n",
 				x(ev.At), y, rowH-2)
+		case NodePartition, NodeHeal:
+			// Partitions mark the isolated node's row: amber at the cut,
+			// teal at the heal — the node kept working in between.
+			if ev.At < from || ev.At > to {
+				continue
+			}
+			color := "#dd8822"
+			if ev.Kind == NodeHeal {
+				color = "#228888"
+			}
+			y := topPad + int(ev.Node)*(rowH+rowGap)
+			fmt.Fprintf(w, `<rect x="%.2f" y="%d" width="2" height="%d" fill="%s"/>`+"\n",
+				x(ev.At), y, rowH-2, color)
+		case HeadFail, HeadRepair:
+			// Head outages cut across every row: the control plane is down
+			// for the whole cluster. Red dashed at the crash, green at the
+			// recovered standby's takeover.
+			if ev.At < from || ev.At > to {
+				continue
+			}
+			color := "#cc2222"
+			if ev.Kind == HeadRepair {
+				color = "#2d8a2d"
+			}
+			fmt.Fprintf(w, `<line x1="%.2f" y1="%d" x2="%.2f" y2="%d" stroke="%s" stroke-dasharray="4,2"/>`+"\n",
+				x(ev.At), topPad, x(ev.At), footerY, color)
 		case Degrade:
 			// Ladder level changes cut across all rows: a dashed purple line
 			// with the new rung labeled, so degradation episodes bracket the

@@ -1,14 +1,18 @@
 // Package transport provides the message-passing substrate for the live
 // (non-simulated) visualization service: an in-process channel transport
 // for single-binary deployments and tests, and a TCP transport with a
-// gob-framed wire protocol standing in for the paper's MPI layer.
+// length-prefixed, CRC32-guarded wire protocol standing in for the paper's
+// MPI layer.
 package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net"
 	"sync"
 )
@@ -231,33 +235,106 @@ func (l *ChanListener) Addr() string { return "inproc" }
 
 // --- TCP transport ---
 
-// tcpConn frames Messages with gob over a net.Conn.
+// Wire framing: every message travels as one self-delimiting frame
+//
+//	[4B big-endian payload length][4B big-endian CRC32(payload)][payload]
+//	payload = [4B kind][8B id][body bytes]
+//
+// The length prefix bounds reads (a corrupted or hostile peer cannot make
+// the receiver allocate unbounded memory past MaxFrameSize), and the CRC32
+// (IEEE) detects payload corruption before any of it is interpreted. The
+// header is checked before the payload is read, so an oversized length is
+// rejected without consuming the stream.
+const (
+	frameHeaderLen = 8  // length + CRC
+	frameMetaLen   = 12 // kind + id inside the payload
+)
+
+// MaxFrameSize caps a single frame's payload. Full-frame fragments dominate
+// sizing: a 4K RGBA float accumulation is ~265MB, so 512MB leaves headroom
+// while still rejecting a corrupt length prefix (which is uniform over 4GB)
+// with probability ~7/8 before the CRC even runs.
+var MaxFrameSize = uint32(512 << 20)
+
+// ErrCorruptFrame reports a frame whose CRC32 did not match its payload.
+var ErrCorruptFrame = errors.New("transport: corrupt frame (CRC mismatch)")
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds MaxFrameSize.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size bound")
+
+// tcpConn frames Messages over a net.Conn with the length+CRC codec.
 type tcpConn struct {
 	nc   net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
 	wmu  sync.Mutex
+	whdr [frameHeaderLen + frameMetaLen]byte
+	rhdr [frameHeaderLen + frameMetaLen]byte
 	once sync.Once
 }
 
 func newTCPConn(nc net.Conn) *tcpConn {
-	return &tcpConn{nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
+	return &tcpConn{nc: nc}
 }
 
 // Send implements Conn.
 func (c *tcpConn) Send(m Message) error {
+	if uint64(frameMetaLen+len(m.Body)) > uint64(MaxFrameSize) {
+		return fmt.Errorf("%w: payload %dB > limit %dB", ErrFrameTooLarge, frameMetaLen+len(m.Body), MaxFrameSize)
+	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return c.enc.Encode(m)
+	h := c.whdr[:]
+	binary.BigEndian.PutUint32(h[8:12], uint32(m.Kind))
+	binary.BigEndian.PutUint64(h[12:20], m.ID)
+	crc := crc32.ChecksumIEEE(h[8:])
+	crc = crc32.Update(crc, crc32.IEEETable, m.Body)
+	binary.BigEndian.PutUint32(h[0:4], uint32(frameMetaLen+len(m.Body)))
+	binary.BigEndian.PutUint32(h[4:8], crc)
+	if _, err := c.nc.Write(h); err != nil {
+		return err
+	}
+	if len(m.Body) > 0 {
+		if _, err := c.nc.Write(m.Body); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Recv implements Conn.
 func (c *tcpConn) Recv() (Message, error) {
-	var m Message
-	if err := c.dec.Decode(&m); err != nil {
+	h := c.rhdr[:]
+	if _, err := io.ReadFull(c.nc, h[:frameHeaderLen]); err != nil {
 		return Message{}, err
 	}
-	return m, nil
+	length := binary.BigEndian.Uint32(h[0:4])
+	want := binary.BigEndian.Uint32(h[4:8])
+	if length < frameMetaLen {
+		return Message{}, fmt.Errorf("%w: declared payload %dB is shorter than the %dB message header",
+			ErrCorruptFrame, length, frameMetaLen)
+	}
+	if length > MaxFrameSize {
+		return Message{}, fmt.Errorf("%w: declared payload %dB > limit %dB", ErrFrameTooLarge, length, MaxFrameSize)
+	}
+	if _, err := io.ReadFull(c.nc, h[frameHeaderLen:]); err != nil {
+		return Message{}, err
+	}
+	var body []byte
+	if n := int(length) - frameMetaLen; n > 0 {
+		body = make([]byte, n)
+		if _, err := io.ReadFull(c.nc, body); err != nil {
+			return Message{}, err
+		}
+	}
+	crc := crc32.ChecksumIEEE(h[frameHeaderLen:])
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	if crc != want {
+		return Message{}, fmt.Errorf("%w: got %08x want %08x over %dB payload", ErrCorruptFrame, crc, want, length)
+	}
+	return Message{
+		Kind: Kind(binary.BigEndian.Uint32(h[8:12])),
+		ID:   binary.BigEndian.Uint64(h[12:20]),
+		Body: body,
+	}, nil
 }
 
 // Close implements Conn.

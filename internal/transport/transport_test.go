@@ -1,6 +1,10 @@
 package transport
 
 import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"net"
 	"sync"
 	"testing"
 )
@@ -150,13 +154,11 @@ func TestKindString(t *testing.T) {
 }
 
 // BenchmarkTransportRoundTrip measures one encode → send → recv → decode
-// cycle over the in-process transport with a fragment-sized body. The
-// pooled encode/decode buffers are what keep allocs/op low; this is the
-// per-fragment hot path of the live service and the dfb compositor.
+// cycle with a fragment-sized body: the in-process pipe isolates the pooled
+// gob codec cost, and the tcp variant adds the length-prefixed CRC32 frame
+// codec on a loopback socket — the delta between the two is the checksum +
+// framing overhead per message.
 func BenchmarkTransportRoundTrip(b *testing.B) {
-	a, peer := Pipe()
-	defer a.Close()
-	defer peer.Close()
 	type fragment struct {
 		JobID     uint64
 		TaskIndex int
@@ -164,24 +166,173 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 		Data      []byte
 	}
 	in := fragment{JobID: 7, TaskIndex: 3, Depth: 1.5, Data: make([]byte, 4096)}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		body, err := Encode(in)
+	run := func(b *testing.B, a, peer Conn) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body, err := Encode(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := a.Send(Message{Kind: KindFragment, ID: uint64(i), Body: body}); err != nil {
+				b.Fatal(err)
+			}
+			m, err := peer.Recv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var out fragment
+			if err := Decode(m.Body, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("pipe", func(b *testing.B) {
+		a, peer := Pipe()
+		defer a.Close()
+		defer peer.Close()
+		run(b, a, peer)
+	})
+	b.Run("tcp-crc32", func(b *testing.B) {
+		l, err := ListenTCP("127.0.0.1:0")
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := a.Send(Message{Kind: KindFragment, ID: uint64(i), Body: body}); err != nil {
-			b.Fatal(err)
-		}
-		m, err := peer.Recv()
+		defer l.Close()
+		done := make(chan Conn, 1)
+		go func() {
+			c, _ := l.Accept()
+			done <- c
+		}()
+		a, err := DialTCP(l.Addr())
 		if err != nil {
 			b.Fatal(err)
 		}
-		var out fragment
-		if err := Decode(m.Body, &out); err != nil {
-			b.Fatal(err)
+		defer a.Close()
+		peer := <-done
+		if peer == nil {
+			b.Fatal("accept failed")
 		}
+		defer peer.Close()
+		run(b, a, peer)
+	})
+}
+
+// tcpPair returns a connected raw net.Conn (for writing hostile bytes) and
+// the framed transport Conn reading from it.
+func tcpPair(t *testing.T) (net.Conn, Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		nc, _ := l.Accept()
+		done <- nc
+	}()
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	framed := newTCPConn(server)
+	t.Cleanup(func() { raw.Close(); framed.Close() })
+	return raw, framed
+}
+
+func TestTCPRejectsCorruptFrame(t *testing.T) {
+	raw, framed := tcpPair(t)
+	// A well-formed frame with a deliberately wrong CRC.
+	payload := make([]byte, frameMetaLen+4)
+	binary.BigEndian.PutUint32(payload[0:4], uint32(KindTask))
+	binary.BigEndian.PutUint64(payload[4:12], 7)
+	copy(payload[frameMetaLen:], "data")
+	hdr := make([]byte, frameHeaderLen)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload)^0xdeadbeef)
+	raw.Write(hdr)
+	raw.Write(payload)
+	if _, err := framed.Recv(); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("want ErrCorruptFrame, got %v", err)
+	}
+}
+
+func TestTCPRejectsOversizedFrame(t *testing.T) {
+	raw, framed := tcpPair(t)
+	hdr := make([]byte, frameHeaderLen)
+	binary.BigEndian.PutUint32(hdr[0:4], MaxFrameSize+1)
+	raw.Write(hdr)
+	if _, err := framed.Recv(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestTCPRejectsUndersizedFrame(t *testing.T) {
+	raw, framed := tcpPair(t)
+	hdr := make([]byte, frameHeaderLen)
+	binary.BigEndian.PutUint32(hdr[0:4], 3) // shorter than the message header
+	raw.Write(hdr)
+	if _, err := framed.Recv(); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("want ErrCorruptFrame, got %v", err)
+	}
+}
+
+func TestTCPSendRefusesOversizedBody(t *testing.T) {
+	old := MaxFrameSize
+	MaxFrameSize = 1024
+	defer func() { MaxFrameSize = old }()
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, _ := l.Accept()
+		if c != nil {
+			defer c.Close()
+			c.Recv()
+		}
+	}()
+	client, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	err = client.Send(Message{Kind: KindFragment, Body: make([]byte, 2048)})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestTCPEmptyBodyRoundTrip(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		done <- c
+	}()
+	client, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-done
+	defer server.Close()
+	if err := client.Send(Message{Kind: KindHeartbeat, ID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := server.Recv()
+	if err != nil || m.Kind != KindHeartbeat || m.ID != 9 || len(m.Body) != 0 {
+		t.Fatalf("got %+v err=%v", m, err)
 	}
 }
 
