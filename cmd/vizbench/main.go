@@ -34,7 +34,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	only := flag.String("only", "all",
-		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep, prefsweep, compsweep, hasweep")
+		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep, prefsweep, compsweep, hasweep, shardsweep")
 	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
 		"max concurrent simulation runs; 1 = sequential (reference scheduling-cost numbers)")
@@ -161,6 +161,12 @@ func main() {
 		points := experiments.HASweepN(outages, *scale, workers)
 		experiments.PrintHASweep(out, points)
 		writeCSV("hasweep.csv", func(f *os.File) error { return experiments.HASweepCSV(f, points) })
+	}
+	if has("shardsweep") {
+		counts := []int{1, 2, 4, 8}
+		points := experiments.ShardSweepN(counts, *scale, workers)
+		experiments.PrintShardSweep(out, points)
+		writeCSV("shardsweep.csv", func(f *os.File) error { return experiments.ShardSweepCSV(f, points) })
 	}
 	if has("compsweep") {
 		points := experiments.CompSweep(workers)

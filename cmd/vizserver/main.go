@@ -147,6 +147,8 @@ func main() {
 	mem := flag.String("mem", "512MB", "per-worker brick cache quota")
 	schedName := flag.String("sched", "OURS", "scheduling policy (head mode)")
 	workers := flag.Int("workers", 1, "number of workers to wait for (head mode)")
+	shards := flag.Int("shards", 1,
+		"head shard count (head mode): run N independent dispatchers over a consistent-hash session partition, sharing a chunk directory; workers are placed round-robin; 1 keeps the single-head behaviour exactly")
 	workerAddr := flag.String("worker-addr", ":7001", "worker registration address (head mode)")
 	clientAddr := flag.String("client-addr", ":7000", "client service address (head mode)")
 	connect := flag.String("connect", "localhost:7001", "head's worker address (worker mode)")
@@ -191,6 +193,82 @@ func main() {
 		sched, err := experiments.SchedulerByName(*schedName)
 		if err != nil {
 			log.Fatal("vizserver: ", err)
+		}
+		if *shards > 1 {
+			// Sharded control plane (§5.11). The journal/standby failover
+			// path is per-head: replaying one shard's WAL against tables fed
+			// by the cross-shard directory would diverge, so the combination
+			// is rejected until shard-local journals are wired.
+			if *journalPath != "" || *standby {
+				log.Fatal("vizserver: -shards is incompatible with -journal/-standby (shard-local journals are not wired yet)")
+			}
+			mh, err := service.NewMultiHead(*shards, func() core.Scheduler {
+				s, err := experiments.SchedulerByName(*schedName)
+				if err != nil {
+					log.Fatal("vizserver: ", err)
+				}
+				return s
+			}, catalog, quota, core.DefaultCostModel())
+			if err != nil {
+				log.Fatal("vizserver: ", err)
+			}
+			mh.Configure(func(h *service.Head) {
+				h.Replicas = *replicas
+				if *useQoS {
+					h.QoS = qos.DefaultConfig()
+				}
+				if *usePrefetch {
+					h.Prefetch = prefetch.DefaultConfig()
+				}
+				if *compositing != "" {
+					h.Compositing = *compositing
+					h.TileSize = *tile
+				}
+			})
+			wl, err := transport.ListenTCP(*workerAddr)
+			if err != nil {
+				log.Fatal("vizserver: ", err)
+			}
+			log.Printf("head: %d shards waiting for %d workers on %s", *shards, *workers, wl.Addr())
+			for i := 0; i < *workers; i++ {
+				conn, err := wl.Accept()
+				if err != nil {
+					log.Fatal("vizserver: ", err)
+				}
+				s, err := mh.AddWorker(conn)
+				if err != nil {
+					log.Fatal("vizserver: ", err)
+				}
+				log.Printf("head: worker %d/%d registered with shard %d", i+1, *workers, s)
+			}
+			if err := mh.Start(); err != nil {
+				log.Fatal("vizserver: ", err)
+			}
+			go func() {
+				for {
+					conn, err := wl.Accept()
+					if err != nil {
+						return
+					}
+					conn.Close()
+					log.Printf("head: rejected late worker connection (sharded rejoin is not wired yet)")
+				}
+			}()
+			if *httpAddr != "" {
+				go func() {
+					log.Printf("head: shard-0 stats on http://%s/ and /metrics", *httpAddr)
+					if err := http.ListenAndServe(*httpAddr, mh.Shard(0).StatsHandler()); err != nil {
+						log.Printf("head: stats server: %v", err)
+					}
+				}()
+			}
+			cl, err := transport.ListenTCP(*clientAddr)
+			if err != nil {
+				log.Fatal("vizserver: ", err)
+			}
+			log.Printf("head: serving clients on %s with %s scheduling across %d shards", cl.Addr(), sched.Name(), *shards)
+			mh.ServeClients(cl)
+			return
 		}
 		head := service.NewHead(sched, catalog, quota, core.DefaultCostModel())
 		head.Replicas = *replicas

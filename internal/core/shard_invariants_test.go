@@ -1,0 +1,228 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vizsched/internal/core"
+	"vizsched/internal/qos"
+	"vizsched/internal/shard"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// This file extends the core invariant property suite to the sharded
+// control plane (§5.11). It lives in package core_test because the shard
+// package imports core: the properties tie core's session identifiers to
+// the ring, the shared directory, and the QoS fair queue. CI runs it under
+// -race -count=3 with the rest of the suite.
+
+// TestInvariantShardOwnershipUnique: session ownership is a pure function
+// of the session key — no (tenant, action) pair can ever be owned by two
+// shards, repeated lookups agree, and tenant affinity keeps every action of
+// a named tenant on the tenant's shard.
+func TestInvariantShardOwnershipUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shards := range []int{1, 2, 4, 7, 16} {
+		ring := shard.NewRing(shards)
+		owned := map[uint64]int{}
+		for trial := 0; trial < 4000; trial++ {
+			tenant := core.TenantID(rng.Intn(6))
+			action := core.ActionID(rng.Intn(512))
+			key := shard.SessionKey(tenant, action)
+			s := ring.Owner(tenant, action)
+			if s < 0 || s >= shards {
+				t.Fatalf("%d shards: owner %d out of range for (%d,%d)", shards, s, tenant, action)
+			}
+			if prev, ok := owned[key]; ok && prev != s {
+				t.Fatalf("%d shards: session %x owned by shards %d and %d", shards, key, prev, s)
+			}
+			owned[key] = s
+			if got := ring.OwnerKey(key); got != s {
+				t.Fatalf("%d shards: Owner=%d but OwnerKey=%d for key %x", shards, s, got, key)
+			}
+			if tenant != 0 {
+				// Tenant affinity: the action must not influence placement.
+				if other := ring.Owner(tenant, core.ActionID(rng.Intn(512))); other != s {
+					t.Fatalf("%d shards: tenant %d split across shards %d and %d", shards, tenant, s, other)
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantShardResizeMonotonic: growing the plane from n to n+1 shards
+// moves sessions only onto the new shard — jump consistent hashing's
+// monotonicity. A session can therefore never migrate between two existing
+// shards across a resize, the property that makes shard growth a directory
+// warm-up rather than a global reshuffle.
+func TestInvariantShardResizeMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	keys := make([]uint64, 3000)
+	for i := range keys {
+		keys[i] = shard.SessionKey(core.TenantID(rng.Intn(64)), core.ActionID(rng.Intn(1<<20)))
+	}
+	for n := 1; n < 12; n++ {
+		old := shard.NewRing(n)
+		grown := shard.NewRing(n + 1)
+		moved := 0
+		for _, key := range keys {
+			a, b := old.OwnerKey(key), grown.OwnerKey(key)
+			if a == b {
+				continue
+			}
+			if b != n {
+				t.Fatalf("growing %d→%d shards moved key %x from shard %d to existing shard %d", n, n+1, key, a, b)
+			}
+			moved++
+		}
+		// Roughly 1/(n+1) of keys should move; a plane that moves none is
+		// not rebalancing, one that moves most is not consistent hashing.
+		if frac := float64(moved) / float64(len(keys)); frac > 2.0/float64(n+1) {
+			t.Fatalf("growing %d→%d shards moved %.1f%% of sessions, want ≈%.1f%%",
+				n, n+1, 100*frac, 100.0/float64(n+1))
+		}
+	}
+}
+
+// TestInvariantDirectoryHomesConsistent: under concurrent randomized
+// publishes from N shard writers, the directory stays structurally sound —
+// home sets never exceed k, never contain duplicates or out-of-range nodes
+// — and once quiescent, every shard reads the same homes and residency for
+// every chunk (single source of truth, not per-shard divergence).
+func TestInvariantDirectoryHomesConsistent(t *testing.T) {
+	const (
+		shardsN = 4
+		nodes   = 12
+		k       = 3
+		chunks  = 48
+		ops     = 3000
+	)
+	dir := shard.NewDirectory(shardsN, k)
+	var wg sync.WaitGroup
+	for s := 0; s < shardsN; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + s)))
+			for op := 0; op < ops; op++ {
+				c := volume.ChunkID{Dataset: volume.DatasetID(1 + rng.Intn(4)), Index: rng.Intn(chunks / 4)}
+				switch rng.Intn(5) {
+				case 0:
+					dir.PublishEstimate(c, units.Duration(1+rng.Intn(int(units.Second))))
+				case 1:
+					dir.PublishResident(c, rng.Intn(nodes), rng.Intn(3) > 0)
+				case 2:
+					homes := make([]int, 0, k)
+					start := rng.Intn(nodes)
+					for i := 0; i < 1+rng.Intn(k); i++ {
+						homes = append(homes, (start+i)%nodes)
+					}
+					dir.SetHomes(c, homes)
+				case 3:
+					dir.Estimate(c)
+					dir.Residents(c)
+				case 4:
+					if rng.Intn(20) == 0 {
+						dir.DropNode(rng.Intn(nodes))
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	if err := dir.Validate(nodes); err != nil {
+		t.Fatalf("directory structurally unsound after concurrent publishes: %v", err)
+	}
+	for ds := 1; ds <= 4; ds++ {
+		for idx := 0; idx < chunks/4; idx++ {
+			c := volume.ChunkID{Dataset: volume.DatasetID(ds), Index: idx}
+			homes := dir.Homes(c)
+			if len(homes) > k {
+				t.Fatalf("chunk %v home set %v exceeds k=%d", c, homes, k)
+			}
+			seen := map[int]bool{}
+			for _, n := range homes {
+				if n < 0 || n >= nodes {
+					t.Fatalf("chunk %v home %d out of range", c, n)
+				}
+				if seen[n] {
+					t.Fatalf("chunk %v home set %v has duplicates", c, homes)
+				}
+				seen[n] = true
+			}
+			// Every shard's quiescent view is the same view.
+			views := make([][]int, shardsN)
+			var vg sync.WaitGroup
+			for s := 0; s < shardsN; s++ {
+				vg.Add(1)
+				go func(s int) {
+					defer vg.Done()
+					views[s] = dir.Residents(c)
+				}(s)
+			}
+			vg.Wait()
+			for s := 1; s < shardsN; s++ {
+				if !reflect.DeepEqual(views[0], views[s]) {
+					t.Fatalf("chunk %v: shard 0 sees residents %v, shard %d sees %v", c, views[0], s, views[s])
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantDonationPreservesDRROrder: cross-shard donation pops batch
+// jobs from the donor's fair queue via PopBatch — the property the ε-guard
+// relies on is that any interleave of pops (donated or locally dispatched,
+// any sizes, with arrivals in between) yields each tenant's jobs in exactly
+// their enqueue order. Donation can move a tenant's work, never reorder it.
+func TestInvariantDonationPreservesDRROrder(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			q := qos.NewFairQueue(2, map[core.TenantID]int{2: 3})
+			nextID := core.JobID(1)
+			enqueued := map[core.TenantID][]core.JobID{}
+			push := func(n int) {
+				for i := 0; i < n; i++ {
+					tenant := core.TenantID(1 + rng.Intn(4))
+					j := &core.Job{ID: nextID, Class: core.Batch, Tenant: tenant,
+						Action: core.ActionID(rng.Intn(8))}
+					j.Tasks = make([]core.Task, 1+rng.Intn(3))
+					nextID++
+					q.Push(j)
+					enqueued[tenant] = append(enqueued[tenant], j.ID)
+				}
+			}
+			push(40)
+
+			// Alternate donation grabs and local drains, with arrivals
+			// continuing in between — the donor's life under donation.
+			popped := map[core.TenantID][]core.JobID{}
+			for q.BatchLen() > 0 {
+				for _, j := range q.PopBatch(nil, 1+rng.Intn(6)) {
+					popped[j.Tenant] = append(popped[j.Tenant], j.ID)
+				}
+				if rng.Intn(3) == 0 {
+					push(rng.Intn(5))
+				}
+			}
+
+			for tenant, want := range enqueued {
+				got := popped[tenant]
+				if len(got) != len(want) {
+					t.Fatalf("tenant %d: popped %d of %d jobs", tenant, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("tenant %d reordered: popped %v, enqueued %v", tenant, got, want)
+					}
+				}
+			}
+		})
+	}
+}

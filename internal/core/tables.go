@@ -30,6 +30,14 @@ type HeadState struct {
 	// Only Correct writes here, which keeps every table mutation inside the
 	// journaled operations the snapshot+journal recovery replays (§5.10).
 	estimate map[volume.ChunkID]units.Duration
+	// estimateSrc, when non-nil, is consulted on an estimate-table miss
+	// before falling back to the cost model — the hook the multi-head
+	// control plane (§5.11) uses to share Estimate[c] observations across
+	// shards through the chunk directory. Function-valued, so it never
+	// serializes: Dump/LoadTables ignore it, and a recovered head starts
+	// with whatever source its owner re-installs. Nil (the default) keeps
+	// Estimate byte-identical to the single-head behaviour.
+	estimateSrc func(volume.ChunkID) (units.Duration, bool)
 	// hitObs learns actual cached-task execution times per (size, group),
 	// the symmetric correction to estimate: without it, a system whose real
 	// costs differ from the model would mis-rank cached against non-cached
@@ -177,6 +185,12 @@ func (h *HeadState) MarkRepaired(k NodeID, now units.Time) {
 // forever.
 func (h *HeadState) Estimate(c volume.ChunkID, size units.Bytes, group int) units.Duration {
 	e, ok := h.estimate[c]
+	if !ok && h.estimateSrc != nil {
+		// Cross-shard fallback (§5.11): another shard may have observed this
+		// chunk already. Local observations always win; the directory only
+		// fills the cold-start gap the model would otherwise cover.
+		e, ok = h.estimateSrc(c)
+	}
 	if !ok {
 		e = h.Model.MissExec(size, group)
 	}
@@ -184,6 +198,13 @@ func (h *HeadState) Estimate(c volume.ChunkID, size units.Bytes, group int) unit
 		return floor
 	}
 	return e
+}
+
+// SetEstimateSource installs (or, with nil, removes) the cross-shard
+// estimate fallback. Owners install it once at shard construction; the
+// zero state — no source — is exactly the single-head behaviour.
+func (h *HeadState) SetEstimateSource(src func(volume.ChunkID) (units.Duration, bool)) {
+	h.estimateSrc = src
 }
 
 // IdleThreshold returns ε = Estimate[c]/2, the minimum interactive-idle time

@@ -358,6 +358,16 @@ func (c *Controller) QueueLen() int {
 	return c.queue.Len()
 }
 
+// BatchBacklog returns the number of batch jobs waiting in the fair queue —
+// the figure a shard advertises on the donation board (§5.11): donatable
+// work is exactly the queued batch backlog, since interactive frames are
+// session-affine and never leave their home shard.
+func (c *Controller) BatchBacklog() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queue.BatchLen()
+}
+
 func (c *Controller) OldestInteractive() *core.Job {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -302,6 +302,28 @@ type Head struct {
 	// the paper's single-home behaviour. Defaults to core.DefaultReplicas.
 	Replicas int
 
+	// ShardID is this head's shard index when it runs as one shard of a
+	// MultiHead control plane (§5.11); the hello ack carries it so workers
+	// know which shard they serve. Zero for a standalone head.
+	ShardID int
+
+	// EstimateSource, when set before Start, is consulted on estimate-table
+	// misses: a MultiHead wires every shard to the shared chunk directory so
+	// one shard's measurements seed another's predictions. Nil keeps the
+	// local-tables-only behaviour exactly.
+	EstimateSource func(volume.ChunkID) (units.Duration, bool)
+
+	// OnCorrect, when set before Start, observes every table correction from
+	// the dispatcher goroutine: the local node that ran the task, the chunk,
+	// the measured execution time, and the evictions it caused. A MultiHead
+	// publishes these facts into the shared directory. Nil disables exactly.
+	OnCorrect func(node core.NodeID, chunk volume.ChunkID, exec units.Duration, evicted []volume.ChunkID)
+
+	// OnNodeDown, when set before Start, observes node-death declarations
+	// from the dispatcher goroutine so a MultiHead can drop the node's
+	// residency from the shared directory. Nil disables exactly.
+	OnNodeDown func(core.NodeID)
+
 	// Logf receives diagnostics; defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -364,7 +386,7 @@ func (h *Head) AddWorker(conn transport.Conn) error {
 	}
 	node := len(h.workers)
 	h.workers = append(h.workers, conn)
-	return send(conn, transport.KindHello, 0, HelloBody{NodeID: node, TileSize: h.dfbTile()})
+	return send(conn, transport.KindHello, 0, HelloBody{NodeID: node, TileSize: h.dfbTile(), Shard: h.ShardID})
 }
 
 // dfbTile returns the tile edge workers must fragment to, or 0 when the
@@ -422,6 +444,9 @@ func (h *Head) Start() error {
 	}
 	n := len(h.workers)
 	h.state = core.NewHeadState(n, h.memQuota, h.model)
+	if h.EstimateSource != nil {
+		h.state.SetEstimateSource(h.EstimateSource)
+	}
 	if h.Replicas > 1 {
 		h.state.SetReplication(h.Replicas)
 		if rs, ok := h.sched.(core.ReplicaSetter); ok {
@@ -759,6 +784,9 @@ func (h *Head) dispatch() {
 			h.Logf("head: node %d chunks re-homed: %d warm, %d re-seeding rarest-first", node, rehome.Rehomed, rehome.Reseeded)
 		}
 		h.healthView[node].Store(int32(core.HealthDown))
+		if h.OnNodeDown != nil {
+			h.OnNodeDown(node)
+		}
 		h.downAt[node] = time.Now()
 		h.senders[node].Close()
 		h.mu.Lock()
@@ -1060,42 +1088,82 @@ func (h *Head) dispatch() {
 		runSched()
 	}
 
+	stop := func() {
+		h.mu.Lock()
+		workers := append([]transport.Conn(nil), h.workers...)
+		h.mu.Unlock()
+		for i, w := range workers {
+			_ = h.senders[i].Send(transport.Message{Kind: transport.KindShutdown})
+			h.senders[i].Close()
+			if w != nil {
+				w.Close()
+			}
+		}
+		if h.Journal != nil {
+			_ = h.Journal.Sync()
+		}
+	}
+	// crash is abrupt death (Crash): connections drop with no shutdown
+	// handshake and the journal is NOT synced — workers and clients see a
+	// broken pipe, and records still in the batch buffer are lost, exactly
+	// as a real head crash would lose them.
+	crash := func() {
+		h.mu.Lock()
+		workers := append([]transport.Conn(nil), h.workers...)
+		h.mu.Unlock()
+		for i, w := range workers {
+			h.senders[i].Close()
+			if w != nil {
+				w.Close()
+			}
+		}
+	}
+	// snapshot serves one snapshot request. With req.next set, the cut is
+	// atomic with a journal rotation: the old log is synced and retired,
+	// the snapshot built, and the new writer installed before any further
+	// event can journal — so every record in the old log is ≤ the cut and
+	// every record after it lands in the new log. Without this atomicity a
+	// completion racing the cut would appear both in the snapshot's tables
+	// and in the log replayed on top of them (a duplicate the replayer
+	// rejects).
+	snapshot := func(req snapRequest) {
+		if req.next != nil && h.Journal != nil {
+			_ = h.Journal.Sync()
+		}
+		snap := h.buildSnapshot(inflight)
+		if req.next != nil {
+			h.Journal = req.next
+		}
+		req.reply <- snap
+	}
+
 	for {
+		// Termination has strict priority. Go's select picks uniformly at
+		// random among ready cases, so once Crash or Stop has fired the
+		// loop could otherwise keep draining worker completions — each
+		// journaling a record "after" the death, which a recovery test
+		// would then see as work the dead head somehow did.
+		select {
+		case <-h.crashCh:
+			crash()
+			return
+		case <-h.stopCh:
+			stop()
+			return
+		default:
+		}
+
 		select {
 		case <-h.stopCh:
-			h.mu.Lock()
-			workers := append([]transport.Conn(nil), h.workers...)
-			h.mu.Unlock()
-			for i, w := range workers {
-				_ = h.senders[i].Send(transport.Message{Kind: transport.KindShutdown})
-				h.senders[i].Close()
-				if w != nil {
-					w.Close()
-				}
-			}
-			if h.Journal != nil {
-				_ = h.Journal.Sync()
-			}
+			stop()
 			return
 
 		case <-h.crashCh:
-			// Abrupt death (Crash): connections drop with no shutdown
-			// handshake and the journal is NOT synced — workers and clients
-			// see a broken pipe, and records still in the batch buffer are
-			// lost, exactly as a real head crash would lose them.
-			h.mu.Lock()
-			workers := append([]transport.Conn(nil), h.workers...)
-			h.mu.Unlock()
-			for i, w := range workers {
-				h.senders[i].Close()
-				if w != nil {
-					w.Close()
-				}
-			}
+			crash()
 			return
 
 		case req := <-h.snapCh:
-			req.reply <- h.buildSnapshot(inflight)
+			snapshot(req)
 
 		case ev := <-h.jobCh:
 			admit(ev.lj)
@@ -1333,6 +1401,9 @@ func (h *Head) correct(lj *liveJob, node core.NodeID, frag *FragmentBody, now un
 		h.stats.misses.Add(1)
 	}
 	h.stats.renderNanos.Add(frag.ExecNanos)
+	if h.OnCorrect != nil {
+		h.OnCorrect(node, task.Chunk, units.Duration(frag.ExecNanos), evicted)
+	}
 	return touch, evicted
 }
 

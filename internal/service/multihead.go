@@ -1,0 +1,272 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"vizsched/internal/core"
+	"vizsched/internal/shard"
+	"vizsched/internal/transport"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// MultiHead is the sharded control plane (§5.11): N independent Heads, each
+// a full dispatcher over its own worker slice, coordinated only through a
+// shared chunk directory. Sessions are routed to shards by consistent hash
+// with tenant affinity — a tenant's (or, for the default tenant, an
+// action's) requests always land on the same shard, so per-session ordering
+// and per-tenant QoS state never span shards. No dispatch decision takes a
+// cross-shard lock: the directory's striped read paths are the only shared
+// state, and they carry facts (residency, estimates), not authority.
+//
+// Workers are placed round-robin across shards at registration; the hello
+// ack tells each worker its shard. Client connections may be served by any
+// shard — MultiHead.HandleClient routes each request to its owner, and
+// replies multiplex safely over the shared connection because transport
+// sends are frame-atomic.
+type MultiHead struct {
+	heads []*Head
+	ring  *shard.Ring
+	dir   *shard.Directory
+
+	// globals[s][local] is the global node index of shard s's local slot;
+	// filled during AddWorker (single-threaded, pre-Start), read by the
+	// shards' dispatcher hooks after Start.
+	globals [][]int
+
+	mu      sync.Mutex
+	next    int // round-robin placement cursor
+	total   int // global worker count
+	started bool
+}
+
+// NewMultiHead builds a sharded control plane over the catalog. Each shard
+// gets its own scheduler from newSched — scheduler tables are shard-local by
+// design; only the directory is shared. Configuration applied through
+// Configure before AddWorker/Start reaches every shard.
+func NewMultiHead(shards int, newSched func() core.Scheduler, catalog *Catalog, memQuota units.Bytes, model core.CostModel) (*MultiHead, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("service: need at least one shard, got %d", shards)
+	}
+	if newSched == nil {
+		return nil, fmt.Errorf("service: NewMultiHead needs a scheduler factory")
+	}
+	m := &MultiHead{
+		ring:    shard.NewRing(shards),
+		globals: make([][]int, shards),
+	}
+	k := 1
+	for i := 0; i < shards; i++ {
+		h := NewHead(newSched(), catalog, memQuota, model)
+		h.ShardID = i
+		m.heads = append(m.heads, h)
+		if h.Replicas > k {
+			k = h.Replicas
+		}
+	}
+	m.dir = shard.NewDirectory(shards, k)
+	for i, h := range m.heads {
+		si := i
+		h.EstimateSource = m.dir.Estimate
+		h.OnCorrect = func(node core.NodeID, chunk volume.ChunkID, exec units.Duration, evicted []volume.ChunkID) {
+			g := m.globals[si][int(node)]
+			m.dir.PublishEstimate(chunk, exec)
+			m.dir.PublishResident(chunk, g, true)
+			for _, ev := range evicted {
+				m.dir.PublishResident(ev, g, false)
+			}
+		}
+		h.OnNodeDown = func(node core.NodeID) {
+			m.dir.DropNode(m.globals[si][int(node)])
+		}
+	}
+	return m, nil
+}
+
+// Configure runs fn on every shard head — the sharded analogue of the
+// configure hook in StartClusterWith. Must be called before AddWorker/Start.
+func (m *MultiHead) Configure(fn func(*Head)) {
+	for _, h := range m.heads {
+		fn(h)
+	}
+}
+
+// Shards returns the shard count.
+func (m *MultiHead) Shards() int { return len(m.heads) }
+
+// Shard returns shard i's head, for introspection and tests.
+func (m *MultiHead) Shard(i int) *Head { return m.heads[i] }
+
+// Ring exposes the session→shard hash ring.
+func (m *MultiHead) Ring() *shard.Ring { return m.ring }
+
+// Directory exposes the shared chunk directory.
+func (m *MultiHead) Directory() *shard.Directory { return m.dir }
+
+// Workers returns the global worker count across all shards.
+func (m *MultiHead) Workers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// AddWorker registers a connected worker with the next shard round-robin.
+// It must be called before Start. Returns the shard the worker landed on.
+func (m *MultiHead) AddWorker(conn transport.Conn) (int, error) {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("service: AddWorker after Start")
+	}
+	s := m.next % len(m.heads)
+	m.next++
+	g := m.total
+	m.total++
+	m.globals[s] = append(m.globals[s], g)
+	m.mu.Unlock()
+	if err := m.heads[s].AddWorker(conn); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// Start launches every shard's dispatcher. Every shard needs at least one
+// worker — with fewer workers than shards the plane cannot start.
+func (m *MultiHead) Start() error {
+	m.mu.Lock()
+	m.started = true
+	total := m.total
+	m.mu.Unlock()
+	if total < len(m.heads) {
+		return fmt.Errorf("service: %d shards need at least %d workers, have %d", len(m.heads), len(m.heads), total)
+	}
+	for i, h := range m.heads {
+		if err := h.Start(); err != nil {
+			for _, prev := range m.heads[:i] {
+				prev.Stop()
+			}
+			return fmt.Errorf("service: starting shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stop shuts every shard down and waits for their dispatchers to exit.
+func (m *MultiHead) Stop() {
+	for _, h := range m.heads {
+		h.Stop()
+	}
+}
+
+// Owner returns the shard head that owns the request's session: tenant
+// affinity when a tenant is named, action affinity for the default tenant.
+func (m *MultiHead) Owner(req RenderBody) *Head {
+	return m.heads[m.ring.Owner(core.TenantID(req.Tenant), core.ActionID(req.Action))]
+}
+
+// HandleClient serves one client connection against the whole plane: each
+// render request is routed to its owning shard, and replies flow back over
+// the shared connection under the request's message ID.
+func (m *MultiHead) HandleClient(conn transport.Conn) {
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Kind {
+		case transport.KindRender:
+			var req RenderBody
+			if err := transport.Decode(msg.Body, &req); err != nil {
+				_ = send(conn, transport.KindError, msg.ID, ErrorBody{Msg: err.Error()})
+				continue
+			}
+			if err := m.Owner(req).submit(conn, msg.ID, req); err != nil {
+				_ = send(conn, transport.KindError, msg.ID, ErrorBody{Msg: err.Error()})
+			}
+		case transport.KindShutdown:
+			return
+		default:
+			_ = send(conn, transport.KindError, msg.ID, ErrorBody{Msg: "unexpected " + msg.Kind.String()})
+		}
+	}
+}
+
+// ServeClients accepts client connections until the listener closes.
+func (m *MultiHead) ServeClients(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go m.HandleClient(conn)
+	}
+}
+
+// MultiCluster is the in-process form of a sharded deployment: a MultiHead
+// plus its workers wired over channel transports, mirroring Cluster.
+type MultiCluster struct {
+	MH      *MultiHead
+	workers []*Worker
+	wg      sync.WaitGroup
+}
+
+// StartMultiCluster builds and starts an in-process sharded service:
+// `shards` heads over `nodes` workers placed round-robin. configure (if
+// non-nil) runs on every shard head before workers attach.
+func StartMultiCluster(shards int, newSched func() core.Scheduler, catalog *Catalog, nodes int, quota units.Bytes, configure func(*Head)) (*MultiCluster, error) {
+	if nodes < shards {
+		return nil, fmt.Errorf("service: %d shards need at least %d workers", shards, shards)
+	}
+	mh, err := NewMultiHead(shards, newSched, catalog, quota, core.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	mh.Configure(func(h *Head) {
+		h.Logf = func(string, ...any) {} // quiet by default; callers can reassign
+	})
+	if configure != nil {
+		mh.Configure(configure)
+	}
+	mc := &MultiCluster{MH: mh}
+	for i := 0; i < nodes; i++ {
+		w := NewWorker(fmt.Sprintf("worker-%d", i), catalog, quota)
+		w.Logf = mh.heads[0].Logf
+		headSide, workerSide := transport.Pipe()
+		mc.workers = append(mc.workers, w)
+		mc.wg.Add(1)
+		go func() {
+			defer mc.wg.Done()
+			_ = w.Serve(workerSide)
+		}()
+		if _, err := mh.AddWorker(headSide); err != nil {
+			return nil, err
+		}
+	}
+	if err := mh.Start(); err != nil {
+		return nil, err
+	}
+	return mc, nil
+}
+
+// Worker returns the cluster's global worker i, for tests that inspect
+// worker-side state.
+func (mc *MultiCluster) Worker(i int) *Worker {
+	if i < 0 || i >= len(mc.workers) {
+		return nil
+	}
+	return mc.workers[i]
+}
+
+// Connect returns a client attached to the sharded plane.
+func (mc *MultiCluster) Connect() *Client {
+	clientSide, headSide := transport.Pipe()
+	go mc.MH.HandleClient(headSide)
+	return NewClient(clientSide)
+}
+
+// Stop shuts down every shard and waits for the workers to exit.
+func (mc *MultiCluster) Stop() {
+	mc.MH.Stop()
+	mc.wg.Wait()
+}

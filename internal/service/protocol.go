@@ -21,6 +21,11 @@ type HelloBody struct {
 	// TileFragBody messages of this tile edge, with the FragmentBody reduced
 	// to a pixel-free execution report. Zero keeps full-frame fragments.
 	TileSize int
+	// Shard, in the head's ack, is the shard index of the head this worker
+	// registered with (§5.11) — zero for a standalone head. A worker keeps it
+	// so operators (and future shard-aware rejoin paths) can tell which slice
+	// of a sharded control plane a node serves.
+	Shard int
 	// Resync marks a reconnection to a recovered (or restarted) head
 	// (§5.10): alongside Rejoin, the worker re-announces its full state so
 	// the head can reconcile tables rebuilt from snapshot+journal with

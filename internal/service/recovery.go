@@ -23,9 +23,11 @@ import (
 // from a replayed hastate.State.
 
 // snapRequest asks the dispatcher for a consistent snapshot: built on the
-// dispatcher goroutine, so it observes no half-applied mutation.
+// dispatcher goroutine, so it observes no half-applied mutation. A non-nil
+// next additionally rotates the journal at the cut (see SnapshotRotate).
 type snapRequest struct {
 	reply chan *hastate.Snapshot
+	next  *journal.Writer
 }
 
 // journalRec appends one record to the write-ahead log. A nil Journal makes
@@ -134,6 +136,34 @@ func (h *Head) Snapshot() (*hastate.Snapshot, error) {
 		return snap, nil
 	case <-h.doneCh:
 		return nil, fmt.Errorf("service: Snapshot after dispatcher exit")
+	}
+}
+
+// SnapshotRotate captures the head's durable state and swaps the journal
+// to next in one dispatcher step: the old log is synced (so it is complete
+// up to the cut), the snapshot is built, and next is installed before any
+// further mutation can be journaled. The returned snapshot plus the new
+// log replays to exactly the same tables as the old base plus the old log
+// — the checkpoint operation a long-running head uses to truncate its
+// WAL.
+func (h *Head) SnapshotRotate(next *journal.Writer) (*hastate.Snapshot, error) {
+	if !h.started {
+		return nil, fmt.Errorf("service: SnapshotRotate before Start")
+	}
+	if next == nil {
+		return nil, fmt.Errorf("service: SnapshotRotate needs a journal writer (use Snapshot for a plain capture)")
+	}
+	req := snapRequest{reply: make(chan *hastate.Snapshot, 1), next: next}
+	select {
+	case h.snapCh <- req:
+	case <-h.doneCh:
+		return nil, fmt.Errorf("service: SnapshotRotate after dispatcher exit")
+	}
+	select {
+	case snap := <-req.reply:
+		return snap, nil
+	case <-h.doneCh:
+		return nil, fmt.Errorf("service: SnapshotRotate after dispatcher exit")
 	}
 }
 

@@ -43,6 +43,9 @@ type Worker struct {
 	// node is the slot the head assigned in its hello ack; -1 until known.
 	// Atomic: the serve loop writes it while callers poll Node.
 	node atomic.Int64
+	// shard is the shard index from the head's hello ack (§5.11); 0 for a
+	// standalone head, -1 until the ack arrives. Atomic like node.
+	shard atomic.Int64
 	// tileSize is the distributed-framebuffer tile edge from the head's
 	// hello ack; 0 keeps full-frame fragments. Serve-loop owned: the ack is
 	// processed and tasks execute on the same goroutine.
@@ -93,12 +96,17 @@ func NewWorker(name string, catalog *Catalog, quota units.Bytes) *Worker {
 		Logf:       log.Printf,
 	}
 	w.node.Store(-1)
+	w.shard.Store(-1)
 	return w
 }
 
 // Node returns the slot the head assigned this worker, or -1 before the
 // hello ack arrives.
 func (w *Worker) Node() int { return int(w.node.Load()) }
+
+// Shard returns the shard index of the head this worker registered with
+// (§5.11): zero for a standalone head, -1 before the hello ack arrives.
+func (w *Worker) Shard() int { return int(w.shard.Load()) }
 
 // TasksExecuted reports how many tasks this worker has completed.
 func (w *Worker) TasksExecuted() int64 { return w.tasks.Load() }
@@ -373,6 +381,7 @@ func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 			var ack HelloBody
 			if err := transport.Decode(msg.Body, &ack); err == nil {
 				w.node.Store(int64(ack.NodeID))
+				w.shard.Store(int64(ack.Shard))
 				w.tileSize = ack.TileSize
 				if len(ack.Outstanding) > 0 {
 					if err := w.replayRetained(conn, ack.Outstanding); err != nil {

@@ -1,0 +1,73 @@
+package shard
+
+import (
+	"fmt"
+
+	"vizsched/internal/core"
+)
+
+// Ring maps session keys onto shards with jump consistent hashing
+// (Lamping & Veach): a pure function of (key, shard count), so every
+// component — heads, the simulator, tests — computes ownership
+// independently and identically, with no routing table to keep coherent.
+// Resizing from n to n+1 shards moves exactly 1/(n+1) of the keys, the
+// consistent-hashing minimum.
+type Ring struct {
+	shards int
+}
+
+// NewRing builds a ring over n shards.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		panic(fmt.Sprintf("shard: non-positive shard count %d", n))
+	}
+	return &Ring{shards: n}
+}
+
+// Shards returns the shard count N.
+func (r *Ring) Shards() int { return r.shards }
+
+// fnv64a hashes a small tuple with FNV-1a — cheap, stateless, and stable
+// across runs (unlike maphash), which the bit-reproducibility contract of
+// the simulator requires.
+func fnv64a(tag byte, v uint64) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	h ^= uint64(tag)
+	h *= prime64
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return h
+}
+
+// SessionKey derives the routing key for a job: tenant affinity first —
+// every session of a non-default tenant hashes through the tenant ID, so
+// one shard owns the tenant's admission buckets and DRR state outright —
+// and per-session (action) spreading for the default tenant, where no
+// cross-session QoS state exists to keep together.
+func SessionKey(tenant core.TenantID, action core.ActionID) uint64 {
+	if tenant != 0 {
+		return fnv64a('t', uint64(int64(tenant)))
+	}
+	return fnv64a('a', uint64(int64(action)))
+}
+
+// Owner returns the shard owning the given session.
+func (r *Ring) Owner(tenant core.TenantID, action core.ActionID) int {
+	return r.OwnerKey(SessionKey(tenant, action))
+}
+
+// OwnerKey returns the shard owning a raw routing key — jump consistent
+// hash over the ring's shard count.
+func (r *Ring) OwnerKey(key uint64) int {
+	var b, j int64 = -1, 0
+	for j < int64(r.shards) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}

@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vizsched/internal/core"
+	"vizsched/internal/units"
+	"vizsched/internal/volume"
+)
+
+// TestRingOwnerStable: ownership is a pure function — the invariant "no
+// session owned by two shards" reduces to Owner being deterministic.
+func TestRingOwnerStable(t *testing.T) {
+	r := NewRing(4)
+	for a := 0; a < 1000; a++ {
+		o1 := r.Owner(0, core.ActionID(a))
+		o2 := r.Owner(0, core.ActionID(a))
+		if o1 != o2 {
+			t.Fatalf("action %d owned by both shard %d and %d", a, o1, o2)
+		}
+		if o1 < 0 || o1 >= 4 {
+			t.Fatalf("action %d owner %d out of range", a, o1)
+		}
+	}
+}
+
+// TestRingTenantAffinity: every session of a non-default tenant lands on
+// the tenant's shard regardless of action ID.
+func TestRingTenantAffinity(t *testing.T) {
+	r := NewRing(8)
+	for tenant := 1; tenant <= 50; tenant++ {
+		want := r.Owner(core.TenantID(tenant), 1)
+		for a := 2; a < 40; a++ {
+			if got := r.Owner(core.TenantID(tenant), core.ActionID(a)); got != want {
+				t.Fatalf("tenant %d action %d on shard %d, want %d", tenant, a, got, want)
+			}
+		}
+	}
+}
+
+// TestRingBalance: default-tenant sessions spread roughly evenly.
+func TestRingBalance(t *testing.T) {
+	const shards, sessions = 4, 4000
+	r := NewRing(shards)
+	counts := make([]int, shards)
+	for a := 1; a <= sessions; a++ {
+		counts[r.Owner(0, core.ActionID(a))]++
+	}
+	for s, n := range counts {
+		if n < sessions/shards/2 || n > sessions/shards*2 {
+			t.Fatalf("shard %d owns %d of %d sessions — unbalanced %v", s, n, sessions, counts)
+		}
+	}
+}
+
+// TestRingResizeMinimalMovement: growing the ring n→n+1 moves about
+// 1/(n+1) of the keys — the consistent-hashing contract.
+func TestRingResizeMinimalMovement(t *testing.T) {
+	const keys = 10000
+	small, big := NewRing(4), NewRing(5)
+	moved := 0
+	for a := 1; a <= keys; a++ {
+		if small.Owner(0, core.ActionID(a)) != big.Owner(0, core.ActionID(a)) {
+			moved++
+		}
+	}
+	// Expect ~keys/5 = 2000; fail outside [10%, 30%].
+	if moved < keys/10 || moved > keys*3/10 {
+		t.Fatalf("resize 4→5 moved %d/%d keys, want ≈%d", moved, keys, keys/5)
+	}
+}
+
+func TestSplitNodes(t *testing.T) {
+	parts := SplitNodes(10, 4)
+	total := 0
+	next := 0
+	for i, p := range parts {
+		if p.Start != next {
+			t.Fatalf("partition %d starts at %d, want %d", i, p.Start, next)
+		}
+		if p.Count < 2 || p.Count > 3 {
+			t.Fatalf("partition %d count %d, want 2 or 3", i, p.Count)
+		}
+		next = p.Start + p.Count
+		total += p.Count
+	}
+	if total != 10 {
+		t.Fatalf("partitions cover %d nodes, want 10", total)
+	}
+}
+
+func chunk(ds, idx int) volume.ChunkID {
+	return volume.ChunkID{Dataset: volume.DatasetID(ds), Index: idx}
+}
+
+// TestDirectoryEstimate: publish/lookup round trip plus the miss path.
+func TestDirectoryEstimate(t *testing.T) {
+	d := NewDirectory(4, 2)
+	c := chunk(1, 3)
+	if _, ok := d.Estimate(c); ok {
+		t.Fatal("estimate hit before any publish")
+	}
+	d.PublishEstimate(c, 42*units.Millisecond)
+	got, ok := d.Estimate(c)
+	if !ok || got != 42*units.Millisecond {
+		t.Fatalf("Estimate = %v, %v; want 42ms, true", got, ok)
+	}
+	st := d.Snapshot()
+	if st.Lookups != 2 || st.Hits != 1 || st.Chunks != 1 {
+		t.Fatalf("stats %+v; want 2 lookups, 1 hit, 1 chunk", st)
+	}
+}
+
+// TestDirectoryHomesBounded: the directory truncates oversized home sets,
+// so the ≤k invariant holds no matter what a publisher sends.
+func TestDirectoryHomesBounded(t *testing.T) {
+	d := NewDirectory(2, 2)
+	c := chunk(2, 0)
+	d.SetHomes(c, []int{5, 9, 1, 7})
+	got := d.Homes(c)
+	if len(got) != 2 || got[0] != 5 || got[1] != 9 {
+		t.Fatalf("Homes = %v, want [5 9]", got)
+	}
+	if err := d.Validate(16); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestDirectoryDropNode: a failed node vanishes from residency and homes.
+func TestDirectoryDropNode(t *testing.T) {
+	d := NewDirectory(2, 3)
+	c := chunk(1, 1)
+	d.PublishResident(c, 4, true)
+	d.PublishResident(c, 7, true)
+	d.SetHomes(c, []int{7, 4})
+	d.DropNode(7)
+	if r := d.Residents(c); len(r) != 1 || r[0] != 4 {
+		t.Fatalf("Residents after drop = %v, want [4]", r)
+	}
+	if h := d.Homes(c); len(h) != 1 || h[0] != 4 {
+		t.Fatalf("Homes after drop = %v, want [4]", h)
+	}
+}
+
+// TestDirectoryBoard: hottest-shard resolution is deterministic with ties
+// toward the lowest shard ID.
+func TestDirectoryBoard(t *testing.T) {
+	d := NewDirectory(4, 1)
+	if _, _, ok := d.Hottest(0); ok {
+		t.Fatal("Hottest with empty board")
+	}
+	d.Advertise(1, 0, 7)
+	d.Advertise(2, 0, 7)
+	d.Advertise(3, 2, 0)
+	s, b, ok := d.Hottest(3)
+	if !ok || s != 1 || b != 7 {
+		t.Fatalf("Hottest = %d (%d, %v), want shard 1 with 7", s, b, ok)
+	}
+	// The asker never donates to itself.
+	if s, _, ok := d.Hottest(1); !ok || s != 2 {
+		t.Fatalf("Hottest(1) = %d, want 2", s)
+	}
+}
+
+// TestDirectoryConcurrent hammers the directory from many goroutines under
+// -race: striped locks must serialize per-chunk state without a global
+// bottleneck or a data race.
+func TestDirectoryConcurrent(t *testing.T) {
+	d := NewDirectory(8, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				c := chunk(rng.Intn(4)+1, rng.Intn(64))
+				switch rng.Intn(5) {
+				case 0:
+					d.PublishEstimate(c, units.Duration(rng.Intn(1000)+1)*units.Microsecond)
+				case 1:
+					d.Estimate(c)
+				case 2:
+					d.PublishResident(c, rng.Intn(32), rng.Intn(2) == 0)
+				case 3:
+					a := rng.Intn(32)
+					d.SetHomes(c, []int{a, (a + 1) % 32})
+				case 4:
+					d.Advertise(rng.Intn(8), rng.Intn(4), rng.Intn(10))
+					d.Hottest(rng.Intn(8))
+				}
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	if err := d.Validate(32); err != nil {
+		t.Fatalf("Validate after concurrent writes: %v", err)
+	}
+	if st := d.Snapshot(); st.Chunks == 0 {
+		t.Fatal("directory empty after concurrent writes")
+	}
+}

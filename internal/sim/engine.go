@@ -29,6 +29,7 @@ import (
 	"vizsched/internal/metrics"
 	"vizsched/internal/prefetch"
 	"vizsched/internal/qos"
+	"vizsched/internal/shard"
 	"vizsched/internal/trace"
 	"vizsched/internal/units"
 	"vizsched/internal/volume"
@@ -130,6 +131,29 @@ type Config struct {
 	// inert. nil (the default) leaves every code path untouched, so golden
 	// outputs are bit-identical.
 	Prefetch *prefetch.Config
+	// Shards splits the control plane into this many independent head shards
+	// (§5.11), each an ordinary Engine over a contiguous partition of the
+	// nodes, coordinated through a shared chunk directory. Sessions hash to
+	// shards by tenant (falling back to action), so a session's frames always
+	// meet the same head. Build sharded runs with NewSharded; New rejects
+	// Shards > 1. Zero/one leaves every single-head code path untouched, so
+	// golden outputs are bit-identical.
+	Shards int
+	// NewScheduler constructs one scheduler instance per shard — scheduler
+	// scratch state is not safe to share across dispatchers. Required when
+	// Shards > 1; ignored otherwise.
+	NewScheduler func() core.Scheduler
+	// HeadCost prices the control plane's serial work (admission, dispatch,
+	// completion processing) in virtual time for sharded runs — the quantity
+	// sharding exists to divide. nil selects shard.DefaultHeadCost()
+	// when Shards > 1; the single-head path never charges it, keeping golden
+	// outputs exact.
+	HeadCost *shard.HeadCost
+	// Donation enables cross-shard work donation: an idle shard past the
+	// ε-guard adopts queued batch jobs from the hottest shard via the
+	// directory's donation board, preserving fair-queue order within each
+	// donated tenant. Sharded runs only.
+	Donation bool
 	// Compositing selects the algorithm the cost model charges per task
 	// (§5.9): "binary-swap", "2-3-swap" and "direct-send" price the group's
 	// synchronous round count via the compositing package's closed forms,
@@ -268,6 +292,13 @@ type Engine struct {
 	headDown bool
 	deferred []workload.Request
 
+	// onCorrect and onNodeDown are the sharded control plane's observation
+	// taps (nil on single-head runs): after a completion folds into this
+	// head's tables the shard publishes the locality facts to the shared
+	// directory, and after a node is declared down the shard retracts it.
+	onCorrect  func(core.TaskResult)
+	onNodeDown func(core.NodeID)
+
 	nextJob  core.JobID
 	started  map[core.JobID]units.Time // JS per in-flight job
 	finished map[core.JobID]int        // completed-task counts
@@ -278,6 +309,9 @@ type Engine struct {
 
 // New validates the configuration and builds an engine.
 func New(cfg Config) *Engine {
+	if cfg.Shards > 1 {
+		panic("sim: Config.Shards > 1 requires NewSharded")
+	}
 	if cfg.Nodes <= 0 {
 		panic("sim: need at least one node")
 	}
@@ -925,6 +959,9 @@ func (e *Engine) complete(n *node, res core.TaskResult) {
 func (e *Engine) account(res core.TaskResult) {
 	now := e.sim.Now()
 	e.head.Correct(res, now)
+	if e.onCorrect != nil {
+		e.onCorrect(res)
+	}
 	if e.pref != nil {
 		e.pref.Observe(res.Task.Job.Action, res.Task.Chunk, now)
 	}
@@ -955,6 +992,9 @@ func (e *Engine) fail(k core.NodeID) {
 	}
 	n.failed = true
 	rehome := e.head.MarkFailed(k)
+	if e.onNodeDown != nil {
+		e.onNodeDown(k)
+	}
 	e.report.Recovery.NodeDown(int(k), e.sim.Now())
 	if rehome.Rehomed > 0 || rehome.Reseeded > 0 {
 		e.report.Recovery.ChunksMoved(rehome.Rehomed, rehome.Reseeded)

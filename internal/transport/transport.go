@@ -302,8 +302,24 @@ func (c *tcpConn) Send(m Message) error {
 
 // Recv implements Conn.
 func (c *tcpConn) Recv() (Message, error) {
-	h := c.rhdr[:]
-	if _, err := io.ReadFull(c.nc, h[:frameHeaderLen]); err != nil {
+	return ReadFrame(c.nc, c.rhdr[:])
+}
+
+// ReadFrame decodes one frame from r. scratch, when at least
+// frameHeaderLen+frameMetaLen bytes, is used for the fixed header (a
+// connection reuses one buffer across frames); pass nil to allocate. The
+// length prefix is validated against MaxFrameSize before any payload
+// allocation and the CRC before any interpretation, so a corrupt or
+// hostile stream yields ErrCorruptFrame/ErrFrameTooLarge (or the reader's
+// own error on truncation) — never a panic or an unbounded allocation.
+// Factored out of the connection so the corruption-handling contract is
+// fuzzable against raw byte streams.
+func ReadFrame(r io.Reader, scratch []byte) (Message, error) {
+	if len(scratch) < frameHeaderLen+frameMetaLen {
+		scratch = make([]byte, frameHeaderLen+frameMetaLen)
+	}
+	h := scratch[:frameHeaderLen+frameMetaLen]
+	if _, err := io.ReadFull(r, h[:frameHeaderLen]); err != nil {
 		return Message{}, err
 	}
 	length := binary.BigEndian.Uint32(h[0:4])
@@ -315,13 +331,13 @@ func (c *tcpConn) Recv() (Message, error) {
 	if length > MaxFrameSize {
 		return Message{}, fmt.Errorf("%w: declared payload %dB > limit %dB", ErrFrameTooLarge, length, MaxFrameSize)
 	}
-	if _, err := io.ReadFull(c.nc, h[frameHeaderLen:]); err != nil {
+	if _, err := io.ReadFull(r, h[frameHeaderLen:]); err != nil {
 		return Message{}, err
 	}
 	var body []byte
 	if n := int(length) - frameMetaLen; n > 0 {
 		body = make([]byte, n)
-		if _, err := io.ReadFull(c.nc, body); err != nil {
+		if _, err := io.ReadFull(r, body); err != nil {
 			return Message{}, err
 		}
 	}
@@ -335,6 +351,25 @@ func (c *tcpConn) Recv() (Message, error) {
 		ID:   binary.BigEndian.Uint64(h[12:20]),
 		Body: body,
 	}, nil
+}
+
+// AppendFrame appends m's wire encoding to dst — the exact bytes Send
+// writes — and returns the extended slice. Fails only on an oversized
+// body. The encoder half of ReadFrame; the fuzz suite round-trips through
+// the pair.
+func AppendFrame(dst []byte, m Message) ([]byte, error) {
+	if uint64(frameMetaLen+len(m.Body)) > uint64(MaxFrameSize) {
+		return dst, fmt.Errorf("%w: payload %dB > limit %dB", ErrFrameTooLarge, frameMetaLen+len(m.Body), MaxFrameSize)
+	}
+	var h [frameHeaderLen + frameMetaLen]byte
+	binary.BigEndian.PutUint32(h[8:12], uint32(m.Kind))
+	binary.BigEndian.PutUint64(h[12:20], m.ID)
+	crc := crc32.ChecksumIEEE(h[8:])
+	crc = crc32.Update(crc, crc32.IEEETable, m.Body)
+	binary.BigEndian.PutUint32(h[0:4], uint32(frameMetaLen+len(m.Body)))
+	binary.BigEndian.PutUint32(h[4:8], crc)
+	dst = append(dst, h[:]...)
+	return append(dst, m.Body...), nil
 }
 
 // Close implements Conn.
