@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench fuzz check
 
 all: check
 
@@ -22,5 +22,12 @@ race:
 # the scheduler benchmarks still run. Not a performance measurement.
 bench:
 	$(GO) test -run xxx -bench 'DESKernel|SchedulerThroughput' -benchtime 10000x -benchmem .
+
+# Fuzz smoke, mirroring the CI fuzz-smoke job: short runs over the two
+# wire-format decoders. The checked-in corpora replay as regression seeds;
+# the -fuzztime budget explores a little fresh territory per invocation.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzJournalReadAll -fuzztime 20s ./internal/journal/
+	$(GO) test -run xxx -fuzz FuzzFrameDecode -fuzztime 20s ./internal/transport/
 
 check: vet build test race

@@ -34,7 +34,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	only := flag.String("only", "all",
-		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep, prefsweep, compsweep, hasweep, shardsweep")
+		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep, prefsweep, compsweep, hasweep, shardsweep, elasticsweep")
 	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
 		"max concurrent simulation runs; 1 = sequential (reference scheduling-cost numbers)")
@@ -172,6 +172,12 @@ func main() {
 		points := experiments.CompSweep(workers)
 		experiments.PrintCompSweep(out, points)
 		writeCSV("compsweep.csv", func(f *os.File) error { return experiments.CompSweepCSV(f, points) })
+	}
+	if has("elasticsweep") {
+		fleets := []int{10, 12}
+		points := experiments.ElasticSweepN(fleets, *scale, workers)
+		experiments.PrintElasticSweep(out, points)
+		writeCSV("elasticsweep.csv", func(f *os.File) error { return experiments.ElasticSweepCSV(f, points) })
 	}
 	fmt.Fprintf(out, "done. (%v, -parallel %d)\n", time.Since(start).Round(time.Millisecond), workers)
 }

@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"vizsched/internal/autoscale"
 	"vizsched/internal/core"
 	"vizsched/internal/experiments"
 	"vizsched/internal/hastate"
@@ -158,6 +159,8 @@ func main() {
 		"replication degree k (head mode): keep hot chunks on k workers and re-home on failure; 1 disables")
 	useQoS := flag.Bool("qos", false,
 		"enable the QoS subsystem (head mode): per-tenant admission control, fair queuing, SLO-driven degradation")
+	useAutoscale := flag.Bool("autoscale", false,
+		"enable the elastic autoscaler (head mode): a hysteresis control loop that gracefully drains quiet workers (migrating their queued batch work and pre-warming survivors) and raises the desired-workers gauge under pressure; drained slots rejoin through the ordinary bring-up path")
 	usePrefetch := flag.Bool("prefetch", false,
 		"enable predictive chunk prefetching (head mode, OURS scheduler): warm predicted bricks into worker caches during idle windows")
 	compositing := flag.String("compositing", "",
@@ -224,6 +227,9 @@ func main() {
 					h.Compositing = *compositing
 					h.TileSize = *tile
 				}
+				if *useAutoscale {
+					h.Autoscale = autoscale.DefaultConfig()
+				}
 			})
 			wl, err := transport.ListenTCP(*workerAddr)
 			if err != nil {
@@ -244,14 +250,18 @@ func main() {
 			if err := mh.Start(); err != nil {
 				log.Fatal("vizserver: ", err)
 			}
+			// Keep the registration port open: a crashed (or drained) worker
+			// redials the plane and the shard index echoed from its original
+			// hello ack routes the rejoin to the owning dispatcher.
 			go func() {
 				for {
 					conn, err := wl.Accept()
 					if err != nil {
 						return
 					}
-					conn.Close()
-					log.Printf("head: rejected late worker connection (sharded rejoin is not wired yet)")
+					if err := mh.Rejoin(conn); err != nil {
+						log.Printf("head: rejoin: %v", err)
+					}
 				}
 			}()
 			if *httpAddr != "" {
@@ -284,6 +294,10 @@ func main() {
 			head.Compositing = *compositing
 			head.TileSize = *tile
 			log.Printf("head: %s compositing enabled (asynchronous per-tile reduction)", *compositing)
+		}
+		if *useAutoscale {
+			head.Autoscale = autoscale.DefaultConfig()
+			log.Printf("head: elastic autoscaling enabled (hysteresis control loop, graceful drains, desired-workers gauge)")
 		}
 		wl, err := transport.ListenTCP(*workerAddr)
 		if err != nil {

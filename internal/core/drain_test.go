@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"vizsched/internal/units"
+)
+
+// TestDrainHealthMachine walks the voluntary exit lane: only an Up node may
+// start draining, a draining node stops counting as alive (and so stops
+// counting as a replica holder), and CompleteDrain retires it to Down with
+// a cold cache — all without a RehomeReport, because a drain demotes its
+// homes separately, before the capacity leaves.
+func TestDrainHealthMachine(t *testing.T) {
+	h := newHead(3)
+	j := mkJob(1, Batch, 0, 1, 1, 64*units.MB, 0)
+	c := j.Tasks[0].Chunk
+	commit(h, j, 0, 1, 0)
+
+	if !h.MarkDraining(1) {
+		t.Fatal("MarkDraining refused an Up node")
+	}
+	if !h.Draining(1) || h.Alive(1) {
+		t.Error("draining node still counts as alive")
+	}
+	if h.MarkDraining(1) {
+		t.Error("MarkDraining accepted a node already draining")
+	}
+	if n := h.ReplicaCount(c); n != 0 {
+		t.Errorf("ReplicaCount = %d, draining holder must not count", n)
+	}
+	if nodes := h.CachedOn(c); len(nodes) != 0 {
+		t.Errorf("CachedOn = %v, draining holder must not count", nodes)
+	}
+
+	h.CompleteDrain(1)
+	if h.Health(1) != HealthDown {
+		t.Errorf("health after CompleteDrain = %v, want down", h.Health(1))
+	}
+	if h.Caches[1].Used() != 0 {
+		t.Error("CompleteDrain left the cache warm")
+	}
+
+	h.MarkFailed(2)
+	if h.MarkDraining(2) {
+		t.Error("MarkDraining accepted a down node")
+	}
+}
+
+// TestDrainDemoteHomesVsMarkFailed runs the same cluster state through both
+// exits. The crash re-homes what it can and re-seeds the rest; the drain
+// must re-home to the identical survivors but report orphans to the
+// evacuation warmer instead of ever incrementing Reseeded — the counter the
+// rarest-first repair pass (and the crash dashboards) feed on.
+func TestDrainDemoteHomesVsMarkFailed(t *testing.T) {
+	build := func() (*HeadState, *Job) {
+		h := newHead(3)
+		h.SetReplication(2)
+		a := mkJob(1, Batch, 0, 1, 2, 64*units.MB, 0)
+		// Chunk 0: homes [0 1]. Chunk 1: home [0] only, organically resident
+		// on nodes 1 and 2 with node 2 the less busy — the warmest adoptee.
+		commit(h, a, 0, 0, 0)
+		commit(h, a, 0, 1, 0)
+		commit(h, a, 1, 0, 0)
+		h.Caches[1].Insert(a.Tasks[1].Chunk, 64*units.MB)
+		h.Caches[2].Insert(a.Tasks[1].Chunk, 64*units.MB)
+		h.Available[1] = units.Time(10 * units.Second)
+		h.Available[2] = units.Time(2 * units.Second)
+		return h, a
+	}
+
+	crashed, ja := build()
+	crashRep := crashed.MarkFailed(0)
+
+	drained, jb := build()
+	if !drained.MarkDraining(0) {
+		t.Fatal("MarkDraining refused the victim")
+	}
+	drainRep, orphans := drained.DemoteHomes(0)
+	drained.CompleteDrain(0)
+
+	if drainRep.Rehomed != crashRep.Rehomed {
+		t.Errorf("drain re-homed %d, crash re-homed %d — must match", drainRep.Rehomed, crashRep.Rehomed)
+	}
+	if drainRep.Reseeded != 0 {
+		t.Errorf("drain incremented Reseeded (%d): orphans must go to evacuation, not re-seeding", drainRep.Reseeded)
+	}
+	if len(orphans) != 0 {
+		t.Errorf("all-replicated drain reported orphans %v", orphans)
+	}
+	for i := range ja.Tasks {
+		ca, _ := crashed.Home(ja.Tasks[i].Chunk)
+		cb, ok := drained.Home(jb.Tasks[i].Chunk)
+		if !ok || ca != cb {
+			t.Errorf("chunk %d: drain home = %v,%v, crash home = %v — survivors must agree", i, cb, ok, ca)
+		}
+	}
+	if p := drained.Pressure(0); p != 0 {
+		t.Errorf("drained node pressure = %d, want 0", p)
+	}
+}
+
+// TestDrainOrphansAndDemoteReportSoleCopies: a chunk whose only home and
+// only residency is the victim is an orphan — DrainOrphans lists it before
+// the drain (so evacuation can warm it) and DemoteHomes returns it at
+// completion (so the outcome can account what MaxDrain abandoned).
+func TestDrainOrphansAndDemoteReportSoleCopies(t *testing.T) {
+	h := newHead(3)
+	h.SetReplication(2)
+	a := mkJob(1, Batch, 0, 1, 2, 64*units.MB, 0)
+	commit(h, a, 0, 1, 0) // chunk 0: sole copy on the victim
+	commit(h, a, 1, 1, 0) // chunk 1: homed on victim but replicated on 2
+	h.Caches[2].Insert(a.Tasks[1].Chunk, 64*units.MB)
+
+	if !h.MarkDraining(1) {
+		t.Fatal("MarkDraining refused the victim")
+	}
+	orphans := h.DrainOrphans(1)
+	if len(orphans) != 1 || orphans[0] != a.Tasks[0].Chunk {
+		t.Fatalf("DrainOrphans = %v, want just the sole copy %v", orphans, a.Tasks[0].Chunk)
+	}
+
+	rep, demoted := h.DemoteHomes(1)
+	if rep.Reseeded != 0 {
+		t.Errorf("DemoteHomes counted %d re-seeds", rep.Reseeded)
+	}
+	if len(demoted) != 1 || demoted[0] != a.Tasks[0].Chunk {
+		t.Errorf("DemoteHomes orphans = %v, want %v", demoted, a.Tasks[0].Chunk)
+	}
+	if home, _ := h.Home(a.Tasks[1].Chunk); home != 2 {
+		t.Errorf("replicated chunk re-homed to %d, want the surviving replica 2", home)
+	}
+	if _, ok := h.Home(a.Tasks[0].Chunk); ok {
+		t.Error("orphaned chunk still has a home after demotion")
+	}
+}

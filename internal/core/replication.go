@@ -179,6 +179,79 @@ func (h *HeadState) rehomeFailed(k NodeID) RehomeReport {
 	return rep
 }
 
+// DrainOrphans previews what a drain of node k would strand: the chunks
+// whose only home member is k and which no HealthUp node is predicted to
+// hold. These are exactly the chunks MarkFailed would count as Reseeded —
+// the drain protocol instead pre-warms them onto survivors through the
+// prefetch governor while k is still serving, so the eventual DemoteHomes
+// finds a warm adopter for every one of them. Call with k already marked
+// draining (so k's own residency no longer counts); the result is sorted
+// for deterministic warm ordering. Read-only.
+func (h *HeadState) DrainOrphans(k NodeID) []volume.ChunkID {
+	if h.replicaK <= 1 || len(h.homes) == 0 {
+		return nil
+	}
+	var orphans []volume.ChunkID
+	for c, hs := range h.homes {
+		if len(hs) == 1 && hs[0] == k && h.ReplicaCount(c) == 0 {
+			orphans = append(orphans, c)
+		}
+	}
+	slices.SortFunc(orphans, CompareChunks)
+	return orphans
+}
+
+// CompareChunks is the canonical total order on chunk IDs (dataset, then
+// index) used wherever map-collected chunk sets must become deterministic
+// slices.
+func CompareChunks(a, b volume.ChunkID) int {
+	if a.Dataset != b.Dataset {
+		return int(a.Dataset) - int(b.Dataset)
+	}
+	return a.Index - b.Index
+}
+
+// DemoteHomes removes a draining node k from every home set — the graceful
+// counterpart of rehomeFailed, run when the drain completes. Chunks with a
+// surviving home member keep it; chunks whose only home was k adopt their
+// warmest surviving replica (which the drain protocol's pre-warm phase has
+// been filling); chunks with no surviving replica anywhere are dropped from
+// the tables and returned (sorted) so the caller can account them — they are
+// *not* counted as Reseeded, because a drain must never feed the
+// rarest-first crash-recovery pass. Call with k marked draining.
+func (h *HeadState) DemoteHomes(k NodeID) (RehomeReport, []volume.ChunkID) {
+	var rep RehomeReport
+	if h.replicaK <= 1 || len(h.homes) == 0 {
+		return rep, nil
+	}
+	var orphans []volume.ChunkID
+	// Per-chunk decisions depend only on that chunk's own state, so map
+	// iteration order cannot change the outcome (same argument as
+	// rehomeFailed).
+	for c, hs := range h.homes {
+		idx := slices.Index(hs, k)
+		if idx < 0 {
+			continue
+		}
+		hs = slices.Delete(hs, idx, idx+1)
+		h.pressure[k]--
+		if len(hs) == 0 {
+			w, ok := h.warmestReplica(c)
+			if !ok {
+				delete(h.homes, c)
+				orphans = append(orphans, c)
+				continue
+			}
+			hs = append(hs, w)
+			h.pressure[w]++
+		}
+		h.homes[c] = hs
+		rep.Rehomed++
+	}
+	slices.SortFunc(orphans, CompareChunks)
+	return rep, orphans
+}
+
 // warmestReplica picks the surviving replica that can serve chunk c
 // soonest: among HealthUp nodes predicted to hold it, the one whose queue
 // drains earliest (lowest Available; ties break to the lowest node ID).

@@ -81,11 +81,15 @@ type Health int
 // Health states. A node starts HealthUp; missed heartbeats demote it to
 // HealthSuspect (no new work) and then HealthDown (tasks requeued, caches
 // forgotten); a heartbeat resurrects a suspect, and a rejoin repairs a down
-// node with a cold cache.
+// node with a cold cache. HealthDraining is the voluntary exit lane (§5.12):
+// the autoscaler parks a node there while its work migrates and its
+// working set pre-warms elsewhere, then CompleteDrain retires it to
+// HealthDown without any of the crash-path accounting.
 const (
 	HealthUp Health = iota
 	HealthSuspect
 	HealthDown
+	HealthDraining
 )
 
 // String implements fmt.Stringer.
@@ -97,6 +101,8 @@ func (h Health) String() string {
 		return "suspect"
 	case HealthDown:
 		return "down"
+	case HealthDraining:
+		return "draining"
 	default:
 		return fmt.Sprintf("health(%d)", int(h))
 	}
@@ -170,6 +176,35 @@ func (h *HeadState) MarkFailed(k NodeID) RehomeReport {
 func (h *HeadState) MarkRepaired(k NodeID, now units.Time) {
 	h.health[k] = HealthUp
 	h.Available[k] = now
+}
+
+// MarkDraining starts a graceful drain of node k (§5.12): the node takes no
+// new work (Alive is false) and its predicted residency stops counting
+// toward CachedOn/ReplicaCount, but — unlike a failure — its caches and
+// home bookkeeping survive until CompleteDrain, because the node is still
+// up and finishing what it holds. Only an up node can start draining;
+// suspect and down nodes go through the crash path instead.
+func (h *HeadState) MarkDraining(k NodeID) bool {
+	if h.health[k] != HealthUp {
+		return false
+	}
+	h.health[k] = HealthDraining
+	return true
+}
+
+// Draining reports whether node k is mid-drain.
+func (h *HeadState) Draining(k NodeID) bool { return h.health[k] == HealthDraining }
+
+// CompleteDrain retires a draining node: HealthDown with a cold predicted
+// cache, exactly like the end state of MarkFailed but with none of the
+// crash-path side effects — DemoteHomes already moved the home sets, so
+// nothing is re-homed here and nothing is left for the rarest-first pass to
+// re-seed. The existing rejoin/repair path (MarkRepaired) brings the slot
+// back into service later.
+func (h *HeadState) CompleteDrain(k NodeID) {
+	h.health[k] = HealthDown
+	h.dropPrefetchedOn(k)
+	h.Caches[k] = cache.NewLRU(h.Caches[k].Quota())
 }
 
 // Estimate returns Estimate[c]: the expected miss execution time for a task

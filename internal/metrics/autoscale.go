@@ -1,0 +1,51 @@
+package metrics
+
+import "vizsched/internal/units"
+
+// AutoscaleOutcome summarizes one run's elastic-fleet activity (§5.12). It
+// is deliberately disjoint from Recovery: a graceful drain is a scheduling
+// decision, not a failure, so nothing here ever feeds MTTR, redispatch, or
+// re-seed accounting — the drain tests pin that separation.
+type AutoscaleOutcome struct {
+	// ScaleUps counts nodes activated by the policy; Drains counts drains
+	// started and DrainsCompleted those that finished (they differ only if
+	// the run ended mid-drain).
+	ScaleUps        int64
+	Drains          int64
+	DrainsCompleted int64
+
+	// TasksMigrated counts queued tasks moved off draining nodes onto the
+	// survivors' queues — work-stealing volume, never counted as
+	// crash-redispatch.
+	TasksMigrated int64
+	// OrphanWarms counts would-be-orphan chunks pre-warmed onto survivors
+	// through the prefetch governor before their node left.
+	OrphanWarms int64
+	// BringupWarms counts hot chunks copied onto newly activated nodes
+	// during their bring-up window, so a scale-up joins the fleet warm.
+	BringupWarms int64
+	// WarmBytes is the bytes the evacuation and bring-up warms moved.
+	WarmBytes units.Bytes
+	// DrainRehomed counts chunks whose home sets were demoted warm at drain
+	// completion; DrainOrphaned counts chunks that left the tables with no
+	// surviving replica anyway (the pre-warm could not finish in time) —
+	// kept out of Recovery.ChunksReseeded by design.
+	DrainRehomed  int64
+	DrainOrphaned int64
+
+	// DrainTime accumulates drain start→completion spans.
+	DrainTime Running
+
+	// NodeSeconds is the time-integral of the active node count over the
+	// horizon — the run's capacity bill. A fixed fleet's value is simply
+	// nodes × horizon; the elastic saving is the headline number the
+	// elasticsweep experiment reports.
+	NodeSeconds float64
+	// MinActive and MaxActive bound the active fleet size seen during the
+	// run.
+	MinActive int
+	MaxActive int
+}
+
+// NodeHours converts the capacity bill to node-hours.
+func (a *AutoscaleOutcome) NodeHours() float64 { return a.NodeSeconds / 3600 }

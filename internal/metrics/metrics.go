@@ -133,6 +133,9 @@ type Report struct {
 	// Prefetch carries the chunk-warming outcome when the run had the
 	// prefetching layer enabled; nil otherwise.
 	Prefetch *PrefetchOutcome
+	// Autoscale carries the elastic-fleet outcome when the run had the
+	// autoscaler enabled; nil otherwise.
+	Autoscale *AutoscaleOutcome
 }
 
 // Recovery tracks what faults cost a run: how much work had to be

@@ -148,6 +148,102 @@ func (c *Controller) Plan(now, lambda units.Time, head *core.HeadState) []core.P
 	return out
 }
 
+// Evacuate plans drain pre-warms (§5.12): directives that copy a draining
+// node's would-be-orphan chunks onto survivors before the node leaves. It
+// keeps Plan's safety rails — one warm per node, never a resident or
+// already-warming chunk, every load priced through the same bandwidth
+// governor — but skips the idle-window and churn guards: a drain is a
+// deliberate, bounded evacuation, not an opportunistic fill, so it may use
+// any alive node's next capacity. Chunks the governor refuses (or that find
+// no eligible node) are left out; the drain loop re-offers them on its next
+// tick until the working set is safe. exclude is the draining node, belt
+// and braces on top of its not-Alive health state.
+func (c *Controller) Evacuate(now units.Time, chunks []volume.ChunkID, head *core.HeadState, exclude core.NodeID) []core.PrefetchDirective {
+	var out []core.PrefetchDirective
+	for _, chunk := range chunks {
+		size := c.sizeOf(chunk)
+		if size <= 0 {
+			continue
+		}
+		if c.inflightChunk[chunk] > 0 {
+			continue // already warming somewhere
+		}
+		if head.ReplicaCount(chunk) > 0 {
+			continue // a survivor already holds it
+		}
+		best := core.NodeID(-1)
+		for k := 0; k < head.Nodes(); k++ {
+			node := core.NodeID(k)
+			if node == exclude || !head.Alive(node) {
+				continue
+			}
+			if _, busy := c.inflight[node]; busy {
+				continue
+			}
+			if best < 0 || head.Available[k] < head.Available[best] {
+				best = node
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		if !c.gov.Allow(best, size, now) {
+			continue
+		}
+		c.inflight[best] = chunk
+		c.inflightChunk[chunk]++
+		c.issued++
+		c.bytes += size
+		out = append(out, core.PrefetchDirective{Node: best, Chunk: chunk, Size: size})
+	}
+	return out
+}
+
+// Warmup plans one bring-up pre-warm (§5.12): a directive copying the
+// predictor's hottest candidate onto a newly (re)activated node, so the node
+// joins the fleet warm instead of paying demand misses on the interactive
+// path. The selection inverts Plan's replica test — a resident replica
+// elsewhere is exactly what makes a chunk worth copying, since bring-up adds
+// a replica of the hot working set — so only residency on the target node
+// itself disqualifies a candidate. Everything else keeps the usual rails:
+// one warm per node, never a chunk already warming somewhere, the churn
+// guard against warm/evict rotation, and the same bandwidth governor pricing
+// every load. Callers re-offer on each control tick for the configured
+// warm-up window; a false return means the node is busy warming, out of
+// governed bandwidth, or already holds everything worth holding.
+func (c *Controller) Warmup(now units.Time, k core.NodeID, head *core.HeadState) (core.PrefetchDirective, bool) {
+	if !head.Alive(k) {
+		return core.PrefetchDirective{}, false
+	}
+	if _, busy := c.inflight[k]; busy {
+		return core.PrefetchDirective{}, false
+	}
+	for _, cand := range c.pred.Candidates(now, c.cfg.TopK) {
+		size := c.sizeOf(cand.Chunk)
+		if size <= 0 {
+			continue // extrapolated past a dataset edge
+		}
+		if c.inflightChunk[cand.Chunk] > 0 {
+			continue // already warming somewhere
+		}
+		if head.Caches[k].Contains(cand.Chunk) {
+			continue // the new node already holds it
+		}
+		if c.churned[k][cand.Chunk] {
+			continue // a warm displaced it here; re-warming would cycle
+		}
+		if !c.gov.Allow(k, size, now) {
+			return core.PrefetchDirective{}, false // out of budget this tick
+		}
+		c.inflight[k] = cand.Chunk
+		c.inflightChunk[cand.Chunk]++
+		c.issued++
+		c.bytes += size
+		return core.PrefetchDirective{Node: k, Chunk: cand.Chunk, Size: size}, true
+	}
+	return core.PrefetchDirective{}, false
+}
+
 // settle clears node k's in-flight record if it matches the chunk.
 func (c *Controller) settle(k core.NodeID, chunk volume.ChunkID) bool {
 	cur, ok := c.inflight[k]

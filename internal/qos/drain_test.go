@@ -1,0 +1,60 @@
+package qos
+
+import (
+	"math/rand"
+	"testing"
+
+	"vizsched/internal/core"
+)
+
+// TestDrainStealPreservesTenantDRROrder is the property behind the drain's
+// work-stealing discipline: when a draining node's queued batch tasks are
+// migrated back ahead of the remaining DRR pops (the victim's own FIFO
+// order first, then the fair queue resumes), every tenant's jobs are served
+// in exactly their admission order. DRR releases each tenant's earliest
+// jobs first and migration never reorders the stolen prefix, so the
+// concatenation can't invert any tenant's queue — across random tenant
+// mixes, weights, job costs, and steal points.
+func TestDrainStealPreservesTenantDRROrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		tenants := 2 + rng.Intn(5)
+		weights := map[core.TenantID]int{}
+		for tn := 0; tn < tenants; tn++ {
+			weights[core.TenantID(tn)] = 1 + rng.Intn(3)
+		}
+		q := NewFairQueue(1+rng.Intn(4), weights)
+
+		n := 5 + rng.Intn(60)
+		admitted := make(map[core.TenantID][]core.JobID, tenants)
+		for i := 0; i < n; i++ {
+			tn := core.TenantID(rng.Intn(tenants))
+			j := mkJob(i+1, tn, core.Batch, core.ActionID(i), 1+rng.Intn(4), 0)
+			q.Push(j)
+			admitted[tn] = append(admitted[tn], j.ID)
+		}
+
+		// DRR releases a prefix of the work onto the victim node's FIFO.
+		stolen := q.PopBatch(nil, rng.Intn(n+1))
+		// Drain: the victim's queue is migrated back in its own FIFO order
+		// and runs ahead of everything DRR releases afterwards.
+		served := append(append([]*core.Job{}, stolen...), q.PopBatch(nil, q.BatchLen())...)
+
+		got := make(map[core.TenantID][]core.JobID, tenants)
+		for _, j := range served {
+			got[j.Tenant] = append(got[j.Tenant], j.ID)
+		}
+		for tn, want := range admitted {
+			seq := got[tn]
+			if len(seq) != len(want) {
+				t.Fatalf("trial %d: tenant %d served %d jobs, admitted %d", trial, tn, len(seq), len(want))
+			}
+			for i := range want {
+				if seq[i] != want[i] {
+					t.Fatalf("trial %d: tenant %d order broken at %d: served %v, admitted %v",
+						trial, tn, i, seq, want)
+				}
+			}
+		}
+	}
+}

@@ -389,6 +389,32 @@ func (c *Controller) ResolutionScale() float64 {
 	return c.ladder.ResolutionScale()
 }
 
+// SLO returns the interactive latency target the ladder (and the
+// autoscaler's headroom signal) runs against.
+func (c *Controller) SLO() units.Duration { return c.cfg.InteractiveSLO }
+
+// TenantP95 is one tenant's observed end-to-end latency p95 — the raw
+// material of the SLO-headroom gauges exported on /metrics and sampled by
+// the autoscaler.
+type TenantP95 struct {
+	Tenant core.TenantID
+	P95    units.Duration
+}
+
+// TenantP95s returns each known tenant's latency p95, sorted by tenant ID
+// so iteration is deterministic. Tenants with no completions yet report a
+// zero p95 (callers treat that as full headroom).
+func (c *Controller) TenantP95s() []TenantP95 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TenantP95, 0, len(c.tenants))
+	for id, ta := range c.tenants {
+		out = append(out, TenantP95{Tenant: id, P95: ta.latency.P95()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
 // History returns the ladder transitions recorded so far.
 func (c *Controller) History() []LevelChange {
 	c.mu.Lock()

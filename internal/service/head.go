@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vizsched/internal/autoscale"
 	"vizsched/internal/cache"
 	"vizsched/internal/compositing"
 	"vizsched/internal/compositing/dfb"
@@ -302,6 +303,17 @@ type Head struct {
 	// the paper's single-home behaviour. Defaults to core.DefaultReplicas.
 	Replicas int
 
+	// Autoscale, when set before Start, enables the elastic-fleet layer
+	// (§5.12): the dispatcher's health-check tick evaluates the same
+	// hysteresis policy the simulator runs — queue depth, per-tenant SLO
+	// headroom, cache pressure — and executes its decisions. A drain
+	// gracefully retires one worker (migrate queued batch tasks, pre-warm
+	// orphan chunks onto survivors, demote home sets, clean Shutdown); a
+	// scale-up raises the desired-workers gauge for an external provisioner
+	// and bring-up rides the existing Rejoin path. Nil keeps the fixed-fleet
+	// behaviour exactly.
+	Autoscale *autoscale.Config
+
 	// ShardID is this head's shard index when it runs as one shard of a
 	// MultiHead control plane (§5.11); the hello ack carries it so workers
 	// know which shard they serve. Zero for a standalone head.
@@ -419,6 +431,16 @@ func (h *Head) Rejoin(conn transport.Conn) error {
 	var hello HelloBody
 	if err := transport.Decode(msg.Body, &hello); err != nil {
 		return err
+	}
+	return h.rejoinDecoded(conn, hello)
+}
+
+// rejoinDecoded hands an already-decoded rejoin hello to the dispatcher —
+// the tail of Rejoin, split out so MultiHead.Rejoin can decode once, route
+// by the hello's shard index, and deliver to the owning head.
+func (h *Head) rejoinDecoded(conn transport.Conn, hello HelloBody) error {
+	if !h.started {
+		return fmt.Errorf("service: Rejoin before Start")
 	}
 	if !hello.Rejoin || hello.NodeID < 0 || hello.NodeID >= len(h.healthView) {
 		conn.Close()
@@ -589,6 +611,11 @@ func (h *Head) dispatch() {
 	}
 	check := time.NewTicker(checkEvery)
 	defer check.Stop()
+
+	var scaler *liveScaler
+	if h.Autoscale != nil {
+		scaler = h.newLiveScaler()
+	}
 
 	// sendPrefetches ships warm directives to their workers. A failed send
 	// is left to the connection reader: the node-down path abandons the
@@ -762,6 +789,25 @@ func (h *Head) dispatch() {
 		}
 		lj.job.Remaining++
 		h.stats.tasksRedispatched.Add(1)
+	}
+
+	// migrate is release's drain-side twin (§5.12): the task returns to the
+	// queue as a migration, never as crash redispatch — the counters the
+	// autoscaler must keep disjoint from Recovery.
+	migrate := func(lj *liveJob, i int) {
+		t := &lj.job.Tasks[i]
+		t.Assigned = false
+		t.PredictedExec = 0
+		lj.deadline[i] = time.Time{}
+		lj.retryAt[i] = time.Time{}
+		if lj.restoredDone != nil {
+			lj.restoredDone[i] = false
+		}
+		if lj.job.Remaining == 0 {
+			queue = append(queue, lj)
+		}
+		lj.job.Remaining++
+		h.stats.tasksMigrated.Add(1)
 	}
 
 	// nodeDown declares worker node dead: close its connection, mark it
@@ -1069,7 +1115,7 @@ func (h *Head) dispatch() {
 		}
 		h.stats.workersRejoined.Add(1)
 		h.Logf("head: node %d rejoined (%s, resync=%v)", node, ev.hello.Name, ev.hello.Resync)
-		ack := HelloBody{NodeID: int(node), TileSize: h.dfbTile()}
+		ack := HelloBody{NodeID: int(node), TileSize: h.dfbTile(), Shard: h.ShardID}
 		if ev.hello.Resync {
 			for _, lj := range inflight {
 				for i := range lj.job.Tasks {
@@ -1086,6 +1132,12 @@ func (h *Head) dispatch() {
 		// A node just became schedulable; put waiting work on it now rather
 		// than at the next tick or arrival.
 		runSched()
+		// Pre-warmed bring-up: a worker that came back from Down is cold —
+		// for the warm-up window the autoscaler's tick copies the hottest
+		// predicted chunks onto it through the governor.
+		if scaler != nil && health == core.HealthDown {
+			scaler.noteBringup(node)
+		}
 	}
 
 	stop := func() {
@@ -1176,6 +1228,23 @@ func (h *Head) dispatch() {
 
 		case <-check.C:
 			checkHealth()
+			// Refresh the queue-depth/backlog gauges on the same cadence the
+			// autoscaler samples them — cheap, and /metrics reads atomics.
+			depth, backlog := len(queue), 0
+			for _, lj := range queue {
+				if lj.job.Class == core.Batch {
+					backlog++
+				}
+			}
+			if h.qosc != nil {
+				depth += h.qosc.QueueLen()
+				backlog += h.qosc.BatchBacklog()
+			}
+			h.stats.queueDepth.Store(int64(depth))
+			h.stats.batchBacklog.Store(int64(backlog))
+			if scaler != nil {
+				scaler.tick(inflight, func() int { return len(queue) }, migrate, sendPrefetches, runSched)
+			}
 
 		case ev := <-h.workCh:
 			if ev.gen != h.gens[ev.node] {

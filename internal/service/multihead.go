@@ -131,6 +131,33 @@ func (m *MultiHead) AddWorker(conn transport.Conn) (int, error) {
 	return s, nil
 }
 
+// Rejoin routes a reconnecting worker to the shard that owns its slot. The
+// hello ack of the original registration told the worker its shard index
+// (HelloBody.Shard); the worker echoes it when redialing, so routing needs
+// no shared lookup table — decode once here, then hand the connection to
+// the owning head's ordinary rejoin path. Valid after Start; safe to call
+// from any goroutine.
+func (m *MultiHead) Rejoin(conn transport.Conn) error {
+	msg, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("service: rejoin hello: %w", err)
+	}
+	if msg.Kind != transport.KindHello {
+		conn.Close()
+		return fmt.Errorf("service: expected hello, got %v", msg.Kind)
+	}
+	var hello HelloBody
+	if err := transport.Decode(msg.Body, &hello); err != nil {
+		conn.Close()
+		return err
+	}
+	if hello.Shard < 0 || hello.Shard >= len(m.heads) {
+		conn.Close()
+		return fmt.Errorf("service: rejoin hello names shard %d of %d", hello.Shard, len(m.heads))
+	}
+	return m.heads[hello.Shard].rejoinDecoded(conn, hello)
+}
+
 // Start launches every shard's dispatcher. Every shard needs at least one
 // worker — with fewer workers than shards the plane cannot start.
 func (m *MultiHead) Start() error {
@@ -247,6 +274,45 @@ func StartMultiCluster(shards int, newSched func() core.Scheduler, catalog *Cata
 		return nil, err
 	}
 	return mc, nil
+}
+
+// locate maps a global worker index to its (shard, local slot) under the
+// round-robin placement AddWorker uses.
+func (m *MultiHead) locate(g int) (shardIdx, local int) {
+	return g % len(m.heads), g / len(m.heads)
+}
+
+// KillWorker forcibly closes global worker g's connection — fault injection
+// for tests, routed to the owning shard's dispatcher.
+func (mc *MultiCluster) KillWorker(g int) {
+	s, local := mc.MH.locate(g)
+	mc.MH.heads[s].KillWorker(core.NodeID(local))
+}
+
+// RejoinWorker restarts global worker g as a fresh process (cold cache) and
+// reconnects it through MultiHead.Rejoin: the worker echoes the shard index
+// its original registration ack assigned, and the plane routes the
+// connection to that shard without consulting any shared table. The owning
+// shard must currently consider the slot down.
+func (mc *MultiCluster) RejoinWorker(g int) error {
+	if g < 0 || g >= len(mc.workers) {
+		return fmt.Errorf("service: no such worker %d", g)
+	}
+	old := mc.workers[g]
+	w := NewWorker(old.Name, old.catalog, old.quota)
+	w.Logf = mc.MH.heads[0].Logf
+	// A restarted process learns its shard the way an operator would tell
+	// it: from the slot it is reclaiming.
+	w.shard.Store(int64(old.Shard()))
+	_, local := mc.MH.locate(g)
+	headSide, workerSide := transport.Pipe()
+	mc.workers[g] = w
+	mc.wg.Add(1)
+	go func() {
+		defer mc.wg.Done()
+		_ = w.Rejoin(workerSide, local)
+	}()
+	return mc.MH.Rejoin(headSide)
 }
 
 // Worker returns the cluster's global worker i, for tests that inspect

@@ -22,9 +22,10 @@ type HelloBody struct {
 	// to a pixel-free execution report. Zero keeps full-frame fragments.
 	TileSize int
 	// Shard, in the head's ack, is the shard index of the head this worker
-	// registered with (§5.11) — zero for a standalone head. A worker keeps it
-	// so operators (and future shard-aware rejoin paths) can tell which slice
-	// of a sharded control plane a node serves.
+	// registered with (§5.11) — zero for a standalone head. The worker echoes
+	// it in rejoin/resync hellos so MultiHead.Rejoin can route the connection
+	// to the owning shard without consulting any shared state (-1 if the
+	// worker never completed a registration).
 	Shard int
 	// Resync marks a reconnection to a recovered (or restarted) head
 	// (§5.10): alongside Rejoin, the worker re-announces its full state so

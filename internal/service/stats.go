@@ -8,6 +8,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vizsched/internal/autoscale"
+	"vizsched/internal/core"
 )
 
 // headStats holds the service's operational counters; all fields are
@@ -66,6 +69,25 @@ type headStats struct {
 	tilesFinalized atomic.Int64
 	tileFragments  atomic.Int64
 	fragsInFlight  atomic.Int64
+
+	// Queue gauges: every job waiting for a node (the scheduler's working
+	// window plus the QoS fair queues) and its batch-class subset. The
+	// dispatcher refreshes them on its health-check tick.
+	queueDepth   atomic.Int64
+	batchBacklog atomic.Int64
+
+	// Autoscale counters (§5.12) — deliberately disjoint from the crash
+	// counters above: a graceful drain increments these and never
+	// workersDown, tasksRedispatched, the MTTR accumulators, or
+	// chunksReseeded.
+	desiredWorkers  atomic.Int64
+	drains          atomic.Int64
+	drainsCompleted atomic.Int64
+	tasksMigrated   atomic.Int64
+	drainRehomed    atomic.Int64
+	drainOrphaned   atomic.Int64
+	orphanWarms     atomic.Int64
+	bringupWarms    atomic.Int64
 
 	// frameLat samples end-to-end frame latencies for the quantile view.
 	frameLat latRing
@@ -137,6 +159,12 @@ type StatsSnapshot struct {
 	ChunksRehomed  int64 `json:"chunks_rehomed"`
 	ChunksReseeded int64 `json:"chunks_reseeded"`
 
+	// QueueDepth is every job waiting for a node; BatchBacklog is its
+	// batch-class subset — the autoscaler's primary pressure signals,
+	// exported whether or not autoscaling is on.
+	QueueDepth   int64 `json:"queue_depth"`
+	BatchBacklog int64 `json:"batch_backlog"`
+
 	// CacheEvictions counts bricks worker caches dropped to make room —
 	// with ChunkHits/ChunkMisses, the full cache-efficacy picture.
 	CacheEvictions int64 `json:"cache_evictions"`
@@ -148,6 +176,24 @@ type StatsSnapshot struct {
 	// Compositing is present only when the head runs the distributed
 	// framebuffer (Compositing = "dfb").
 	Compositing *CompositingSnapshot `json:"compositing,omitempty"`
+	// Autoscale is present only when the head runs with an autoscale config.
+	Autoscale *AutoscaleSnapshot `json:"autoscale,omitempty"`
+}
+
+// AutoscaleSnapshot is the elastic-fleet layer's slice of a stats snapshot
+// (§5.12): the fleet shape the policy wants versus what it has, and the
+// graceful-drain lifecycle counters — all disjoint from the crash counters.
+type AutoscaleSnapshot struct {
+	DesiredWorkers  int64 `json:"desired_workers"`
+	ActiveWorkers   int   `json:"active_workers"`
+	DrainingWorkers int   `json:"draining_workers"`
+	Drains          int64 `json:"drains"`
+	DrainsCompleted int64 `json:"drains_completed"`
+	TasksMigrated   int64 `json:"tasks_migrated"`
+	DrainRehomed    int64 `json:"drain_rehomed"`
+	DrainOrphaned   int64 `json:"drain_orphaned"`
+	OrphanWarms     int64 `json:"orphan_warms"`
+	BringupWarms    int64 `json:"bringup_warms"`
 }
 
 // CompositingSnapshot is the distributed framebuffer's slice of a stats
@@ -183,14 +229,19 @@ type PrefetchSnapshot struct {
 // degradation ladder position, aggregate admission verdicts, Jain's fairness
 // index over per-tenant completions, and per-tenant accounting.
 type QoSSnapshot struct {
-	Level         int                 `json:"level"`
-	LevelName     string              `json:"level_name"`
-	MaxLevel      int                 `json:"max_level"`
-	LevelChanges  int64               `json:"level_changes"`
-	JobsThrottled int64               `json:"jobs_throttled"`
-	JobsRejected  int64               `json:"jobs_rejected"`
-	Jain          float64             `json:"jain_fairness"`
-	Tenants       []TenantQoSSnapshot `json:"tenants,omitempty"`
+	Level         int     `json:"level"`
+	LevelName     string  `json:"level_name"`
+	MaxLevel      int     `json:"max_level"`
+	LevelChanges  int64   `json:"level_changes"`
+	JobsThrottled int64   `json:"jobs_throttled"`
+	JobsRejected  int64   `json:"jobs_rejected"`
+	Jain          float64 `json:"jain_fairness"`
+	// SLOMillis is the interactive SLO the headroom gauges measure against;
+	// MinHeadroomPct is the worst tenant's SLO headroom (100 × (1 − p95/SLO),
+	// clamped to [0,100]) — the autoscaler's scale-up trigger.
+	SLOMillis      float64             `json:"slo_ms"`
+	MinHeadroomPct float64             `json:"min_headroom_pct"`
+	Tenants        []TenantQoSSnapshot `json:"tenants,omitempty"`
 }
 
 // TenantQoSSnapshot is one tenant's admission and latency accounting.
@@ -206,6 +257,9 @@ type TenantQoSSnapshot struct {
 	P50Millis float64 `json:"p50_ms"`
 	P95Millis float64 `json:"p95_ms"`
 	P99Millis float64 `json:"p99_ms"`
+	// HeadroomPct is this tenant's SLO headroom, 100 × (1 − p95/SLO) clamped
+	// to [0,100]; 100 with no observations yet.
+	HeadroomPct float64 `json:"headroom_pct"`
 }
 
 // RecoveryReport summarizes the service's fault-tolerance activity: how
@@ -288,6 +342,9 @@ func (h *Head) Stats() StatsSnapshot {
 		ChunksRehomed:     h.stats.chunksRehomed.Load(),
 		ChunksReseeded:    h.stats.chunksReseeded.Load(),
 		CacheEvictions:    h.stats.evictions.Load(),
+
+		QueueDepth:   h.stats.queueDepth.Load(),
+		BatchBacklog: h.stats.batchBacklog.Load(),
 	}
 	if n := h.stats.mttrEvents.Load(); n > 0 {
 		s.MTTRSeconds = time.Duration(h.stats.mttrNanos.Load() / n).Seconds()
@@ -302,28 +359,36 @@ func (h *Head) Stats() StatsSnapshot {
 	if h.qosc != nil {
 		o := h.qosc.Outcome()
 		level := h.qosc.Level()
+		slo := h.qosc.SLO()
 		q := &QoSSnapshot{
-			Level:         int(level),
-			LevelName:     level.String(),
-			MaxLevel:      o.MaxLevel,
-			LevelChanges:  o.LevelChanges,
-			JobsThrottled: h.stats.jobsThrottled.Load(),
-			JobsRejected:  h.stats.jobsRejected.Load(),
-			Jain:          o.Jain(),
+			Level:          int(level),
+			LevelName:      level.String(),
+			MaxLevel:       o.MaxLevel,
+			LevelChanges:   o.LevelChanges,
+			JobsThrottled:  h.stats.jobsThrottled.Load(),
+			JobsRejected:   h.stats.jobsRejected.Load(),
+			Jain:           o.Jain(),
+			SLOMillis:      slo.Seconds() * 1e3,
+			MinHeadroomPct: 100,
 		}
 		for _, t := range o.Tenants {
+			headroom := 100 * autoscale.Headroom(t.Latency.P95, slo)
+			if headroom < q.MinHeadroomPct {
+				q.MinHeadroomPct = headroom
+			}
 			q.Tenants = append(q.Tenants, TenantQoSSnapshot{
-				Tenant:    t.Tenant,
-				Issued:    t.Issued,
-				Admitted:  t.Admitted,
-				Throttled: t.Throttled,
-				Rejected:  t.Rejected,
-				Shed:      t.ShedTotal,
-				Completed: t.Completed,
-				Failed:    t.Failed,
-				P50Millis: t.Latency.P50.Seconds() * 1e3,
-				P95Millis: t.Latency.P95.Seconds() * 1e3,
-				P99Millis: t.Latency.P99.Seconds() * 1e3,
+				Tenant:      t.Tenant,
+				Issued:      t.Issued,
+				Admitted:    t.Admitted,
+				Throttled:   t.Throttled,
+				Rejected:    t.Rejected,
+				Shed:        t.ShedTotal,
+				Completed:   t.Completed,
+				Failed:      t.Failed,
+				P50Millis:   t.Latency.P50.Seconds() * 1e3,
+				P95Millis:   t.Latency.P95.Seconds() * 1e3,
+				P99Millis:   t.Latency.P99.Seconds() * 1e3,
+				HeadroomPct: headroom,
 			})
 		}
 		s.QoS = q
@@ -355,6 +420,27 @@ func (h *Head) Stats() StatsSnapshot {
 			FrameP95Millis: p95.Seconds() * 1e3,
 			FrameP99Millis: p99.Seconds() * 1e3,
 		}
+	}
+	if h.Autoscale != nil {
+		a := &AutoscaleSnapshot{
+			DesiredWorkers:  h.stats.desiredWorkers.Load(),
+			Drains:          h.stats.drains.Load(),
+			DrainsCompleted: h.stats.drainsCompleted.Load(),
+			TasksMigrated:   h.stats.tasksMigrated.Load(),
+			DrainRehomed:    h.stats.drainRehomed.Load(),
+			DrainOrphaned:   h.stats.drainOrphaned.Load(),
+			OrphanWarms:     h.stats.orphanWarms.Load(),
+			BringupWarms:    h.stats.bringupWarms.Load(),
+		}
+		for k := range h.healthView {
+			switch core.Health(h.healthView[k].Load()) {
+			case core.HealthUp, core.HealthSuspect:
+				a.ActiveWorkers++
+			case core.HealthDraining:
+				a.DrainingWorkers++
+			}
+		}
+		s.Autoscale = a
 	}
 	return s
 }
@@ -399,6 +485,8 @@ func (h *Head) StatsHandler() http.Handler {
 		write("chunks_rehomed_total", float64(s.ChunksRehomed))
 		write("chunks_reseeded_total", float64(s.ChunksReseeded))
 		write("cache_evictions_total", float64(s.CacheEvictions))
+		write("queue_depth", float64(s.QueueDepth))
+		write("batch_backlog", float64(s.BatchBacklog))
 		write("mttr_seconds", s.MTTRSeconds)
 		write("uptime_seconds", s.UptimeSeconds)
 		if q := s.QoS; q != nil {
@@ -413,6 +501,8 @@ func (h *Head) StatsHandler() http.Handler {
 			write("qos_max_level", float64(q.MaxLevel))
 			write("qos_level_changes_total", float64(q.LevelChanges))
 			write("fairness_jain", q.Jain)
+			write("qos_slo_seconds", q.SLOMillis/1e3)
+			write("qos_min_headroom_pct", q.MinHeadroomPct)
 			for _, t := range q.Tenants {
 				l := fmt.Sprintf("tenant=%q", fmt.Sprint(t.Tenant))
 				writeL("tenant_jobs_issued_total", l, float64(t.Issued))
@@ -430,6 +520,7 @@ func (h *Head) StatsHandler() http.Handler {
 				} {
 					writeL("tenant_latency_seconds", l+",quantile=\""+pq.q+"\"", pq.v/1e3)
 				}
+				writeL("tenant_slo_headroom_pct", l, t.HeadroomPct)
 			}
 		}
 		if p := s.Prefetch; p != nil {
@@ -456,6 +547,18 @@ func (h *Head) StatsHandler() http.Handler {
 				_, _ = w.Write(appendFloat(nil, pq.v/1e3))
 				_, _ = w.Write([]byte("\n"))
 			}
+		}
+		if a := s.Autoscale; a != nil {
+			write("autoscale_desired_workers", float64(a.DesiredWorkers))
+			write("autoscale_active_workers", float64(a.ActiveWorkers))
+			write("autoscale_draining_workers", float64(a.DrainingWorkers))
+			write("autoscale_drains_total", float64(a.Drains))
+			write("autoscale_drains_completed_total", float64(a.DrainsCompleted))
+			write("autoscale_tasks_migrated_total", float64(a.TasksMigrated))
+			write("autoscale_drain_rehomed_total", float64(a.DrainRehomed))
+			write("autoscale_drain_orphaned_total", float64(a.DrainOrphaned))
+			write("autoscale_orphan_warms_total", float64(a.OrphanWarms))
+			write("autoscale_bringup_warms_total", float64(a.BringupWarms))
 		}
 	})
 	return mux

@@ -269,7 +269,7 @@ func (w *Worker) Serve(conn transport.Conn) error {
 // assumes cold and relearns residency from fragment reports.
 func (w *Worker) Rejoin(conn transport.Conn, node int) error {
 	w.node.Store(int64(node))
-	hello := HelloBody{Name: w.Name, MemQuota: int64(w.quota), NodeID: node, Rejoin: true}
+	hello := HelloBody{Name: w.Name, MemQuota: int64(w.quota), NodeID: node, Rejoin: true, Shard: w.Shard()}
 	return w.serve(conn, hello)
 }
 
@@ -283,7 +283,7 @@ func (w *Worker) Resync(conn transport.Conn, node int) error {
 	w.node.Store(int64(node))
 	hello := HelloBody{
 		Name: w.Name, MemQuota: int64(w.quota), NodeID: node,
-		Rejoin: true, Resync: true,
+		Rejoin: true, Resync: true, Shard: w.Shard(),
 	}
 	for _, e := range w.lru.Export() {
 		hello.Cached = append(hello.Cached, ChunkRef{Dataset: w.datasetName(e.ID.Dataset), Index: e.ID.Index})

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"time"
 
+	"vizsched/internal/autoscale"
 	"vizsched/internal/cache"
 	"vizsched/internal/compositing"
 	"vizsched/internal/core"
@@ -154,6 +155,14 @@ type Config struct {
 	// directory's donation board, preserving fair-queue order within each
 	// donated tenant. Sharded runs only.
 	Donation bool
+	// Autoscale enables the elastic-fleet layer (§5.12): a hysteresis
+	// control loop samples queue depth, SLO headroom, and cache pressure on
+	// the virtual clock and activates or gracefully drains nodes between
+	// MinNodes and MaxNodes. Drains migrate queued work and pre-warm the
+	// victim's working set before the capacity leaves; nothing they do ever
+	// touches the Recovery crash accounting. nil (the default) leaves every
+	// code path untouched, so golden outputs are bit-identical.
+	Autoscale *autoscale.Config
 	// Compositing selects the algorithm the cost model charges per task
 	// (§5.9): "binary-swap", "2-3-swap" and "direct-send" price the group's
 	// synchronous round count via the compositing package's closed forms,
@@ -208,6 +217,10 @@ type node struct {
 	pfWaiters []*core.Task
 
 	failed bool
+	// draining marks a graceful autoscaler exit in progress (§5.12): the
+	// node finishes its running work but takes no new assignments; its
+	// queued tasks have already migrated back to the head queue.
+	draining bool
 	// stalled freezes the node (FaultStall): nothing starts or completes,
 	// but queues and caches survive — unlike a crash.
 	stalled bool
@@ -285,6 +298,9 @@ type Engine struct {
 	// pinned tracks the demand tasks whose resident chunk the engine pinned
 	// at enqueue so a background warm can never evict it (prefetch only).
 	pinned map[*core.Task]bool
+	// scaler is the elastic-fleet machinery (nil when disabled); see
+	// autoscale.go.
+	scaler *autoScaler
 
 	// headDown marks a control-plane outage (FaultHeadCrash): no admission,
 	// scheduling, or completion processing until the standby takes over.
@@ -382,6 +398,9 @@ func New(cfg Config) *Engine {
 	if cfg.Preload {
 		e.preload()
 	}
+	if cfg.Autoscale != nil {
+		e.initAutoscale()
+	}
 	return e
 }
 
@@ -437,6 +456,9 @@ func (e *Engine) Run(wl *workload.Schedule, horizon units.Time) *metrics.Report 
 	for _, f := range e.cfg.Failures {
 		e.inject(f)
 	}
+	if e.scaler != nil {
+		e.sim.Every(e.scaler.pol.Config().Interval, func(s *des.Simulator) { e.autoscaleTick() })
+	}
 	e.report.Horizon = horizon
 	e.sim.Run(horizon)
 	if e.qosc != nil {
@@ -444,6 +466,9 @@ func (e *Engine) Run(wl *workload.Schedule, horizon units.Time) *metrics.Report 
 	}
 	if e.pref != nil {
 		e.report.Prefetch = e.pref.Outcome(e.head)
+	}
+	if e.scaler != nil {
+		e.finishAutoscale(horizon)
 	}
 	return e.report
 }
@@ -594,9 +619,9 @@ func (e *Engine) invokeScheduler() {
 		jobsTouched[t.Job.ID] = struct{}{}
 		e.emit(trace.Event{Kind: trace.Assign, Job: t.Job.ID, Class: t.Job.Class, Task: t.Index, Node: a.Node, Chunk: t.Chunk})
 		n := e.nodes[a.Node]
-		if n.failed || n.partitioned {
-			// A scheduler placing work on a known-failed or suspect node is
-			// a policy bug; the head state exposes liveness.
+		if n.failed || n.partitioned || n.draining {
+			// A scheduler placing work on a known-failed, suspect, or
+			// draining node is a policy bug; the head state exposes liveness.
 			panic(fmt.Sprintf("sim: scheduler %s assigned %v to unavailable node %d", e.cfg.Scheduler.Name(), t, a.Node))
 		}
 		e.enqueue(n, t)
@@ -1064,6 +1089,11 @@ func (e *Engine) fail(k core.NodeID) {
 func (e *Engine) repair(k core.NodeID) {
 	n := e.nodes[k]
 	if !n.failed {
+		return
+	}
+	if e.scaler != nil && e.scaler.inactive[k] {
+		// The slot is parked by the autoscaler, not crashed; only a
+		// scale-up decision may return it to service.
 		return
 	}
 	n.failed = false

@@ -70,6 +70,11 @@ func NewSharded(cfg Config) *ShardedEngine {
 	if cfg.NewScheduler == nil {
 		panic("sim: NewSharded requires Config.NewScheduler (one scheduler instance per shard)")
 	}
+	if cfg.Autoscale != nil {
+		// Per-shard fleets would need cross-shard victim coordination and a
+		// shared node-hours bill; not wired yet.
+		panic("sim: Config.Autoscale is not supported with sharded runs yet")
+	}
 	if cfg.Nodes < s {
 		panic(fmt.Sprintf("sim: %d shards need at least %d nodes, have %d", s, s, cfg.Nodes))
 	}
