@@ -34,7 +34,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	only := flag.String("only", "all",
-		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep, prefsweep, compsweep, hasweep, shardsweep, elasticsweep")
+		"comma-separated subset: fig2, table2, fig4, fig5, fig6, fig7, table3, fig8, fig9, failsweep, replsweep, qossweep, prefsweep, compsweep, hasweep, shardsweep, elasticsweep, fracsweep")
 	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
 	parallel := flag.Int("parallel", experiments.DefaultWorkers(),
 		"max concurrent simulation runs; 1 = sequential (reference scheduling-cost numbers)")
@@ -178,6 +178,11 @@ func main() {
 		points := experiments.ElasticSweepN(fleets, *scale, workers)
 		experiments.PrintElasticSweep(out, points)
 		writeCSV("elasticsweep.csv", func(f *os.File) error { return experiments.ElasticSweepCSV(f, points) })
+	}
+	if has("fracsweep") {
+		points := experiments.FracSweepN(*scale, workers)
+		experiments.PrintFracSweep(out, points)
+		writeCSV("fracsweep.csv", func(f *os.File) error { return experiments.FracSweepCSV(f, points) })
 	}
 	fmt.Fprintf(out, "done. (%v, -parallel %d)\n", time.Since(start).Round(time.Millisecond), workers)
 }

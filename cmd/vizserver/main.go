@@ -39,6 +39,7 @@ import (
 	"vizsched/internal/autoscale"
 	"vizsched/internal/core"
 	"vizsched/internal/experiments"
+	"vizsched/internal/fracshare"
 	"vizsched/internal/hastate"
 	"vizsched/internal/journal"
 	"vizsched/internal/prefetch"
@@ -161,6 +162,8 @@ func main() {
 		"enable the QoS subsystem (head mode): per-tenant admission control, fair queuing, SLO-driven degradation")
 	useAutoscale := flag.Bool("autoscale", false,
 		"enable the elastic autoscaler (head mode): a hysteresis control loop that gracefully drains quiet workers (migrating their queued batch work and pre-warming survivors) and raises the desired-workers gauge under pressure; drained slots rejoin through the ordinary bring-up path")
+	fracSlots := flag.Int("fracshare", 0,
+		"fractional task slots per worker (head mode, §5.13): workers run up to K tasks concurrently and the head exports the fracshare_* busy-share gauges; 0 keeps serial FIFO execution")
 	usePrefetch := flag.Bool("prefetch", false,
 		"enable predictive chunk prefetching (head mode, OURS scheduler): warm predicted bricks into worker caches during idle windows")
 	compositing := flag.String("compositing", "",
@@ -230,6 +233,9 @@ func main() {
 				if *useAutoscale {
 					h.Autoscale = autoscale.DefaultConfig()
 				}
+				if *fracSlots > 0 {
+					h.FracShare = &fracshare.Config{Slots: *fracSlots}
+				}
 			})
 			wl, err := transport.ListenTCP(*workerAddr)
 			if err != nil {
@@ -298,6 +304,10 @@ func main() {
 		if *useAutoscale {
 			head.Autoscale = autoscale.DefaultConfig()
 			log.Printf("head: elastic autoscaling enabled (hysteresis control loop, graceful drains, desired-workers gauge)")
+		}
+		if *fracSlots > 0 {
+			head.FracShare = &fracshare.Config{Slots: *fracSlots}
+			log.Printf("head: fractional capacity enabled (%d task slots per worker, busy-share gauges)", head.FracShare.SlotCount())
 		}
 		wl, err := transport.ListenTCP(*workerAddr)
 		if err != nil {

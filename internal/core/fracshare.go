@@ -1,0 +1,57 @@
+package core
+
+import "vizsched/internal/units"
+
+// This file is the scheduler-side half of the fractional-capacity layer
+// (§5.13, internal/fracshare): co-scheduled assignments and the head-table
+// bookkeeping that backs them. A co-scheduled task rides a node's spare
+// capacity at a fractional share — it is preempted (share → 0) the instant a
+// demand task starts on the node — so committing one must NOT advance the
+// node's predicted available time: interactive placement has to keep seeing
+// the node as free, or the guest would repel exactly the work it yields to.
+
+// CoScheduleSetter is implemented by schedulers that can emit co-scheduled
+// fractional assignments (OURS). The engine installs the configured co-share
+// when the fracshare layer is enabled, mirroring ReplicaSetter and
+// PrefetchSetter; without the call the scheduler emits none, so every other
+// configuration is untouched.
+type CoScheduleSetter interface {
+	SetCoSchedule(share float64)
+}
+
+// CoBusy reports whether node k already hosts a co-scheduled task. The
+// scheduler consults it so at most one guest runs per node — the slot model
+// reserves the remaining capacity for demand work.
+func (h *HeadState) CoBusy(k NodeID) bool {
+	return h.coBusy != nil && h.coBusy[k]
+}
+
+// CommitCoAssign records a co-scheduled assignment in the tables: the
+// predicted cache learns the chunk (the guest's execution loads it like any
+// other task), but Available[k] and lastInteractive are left alone — the
+// guest occupies only capacity the demand plan considers idle. Returns the
+// predicted full-share execution time, threaded to Correct like any other
+// assignment.
+func (h *HeadState) CommitCoAssign(t *Task, k NodeID, now units.Time) units.Duration {
+	exec := h.PredictExec(t, k)
+	if !h.Caches[k].Contains(t.Chunk) {
+		h.Caches[k].Insert(t.Chunk, t.Size)
+	} else {
+		h.Caches[k].Touch(t.Chunk)
+	}
+	h.trackPlacement(t.Chunk, k)
+	if h.coBusy == nil {
+		h.coBusy = make([]bool, len(h.Available))
+	}
+	h.coBusy[k] = true
+	t.PredictedExec = exec
+	return exec
+}
+
+// CoDone clears node k's co-scheduled occupancy — called when the guest
+// completes, is requeued by a fault, or its node leaves service.
+func (h *HeadState) CoDone(k NodeID) {
+	if h.coBusy != nil {
+		h.coBusy[k] = false
+	}
+}

@@ -95,6 +95,12 @@ type NodeID int
 type Assignment struct {
 	Task *Task
 	Node NodeID
+	// CoScheduled marks a fractional-share guest placement (§5.13): the task
+	// runs on the node's spare capacity, suspended whenever demand work is
+	// active there. Only emitted by schedulers whose co-scheduling was
+	// enabled via CoScheduleSetter, and only honoured by engines with the
+	// fracshare layer on; the zero value is an ordinary assignment.
+	CoScheduled bool
 }
 
 // Trigger tells the engine when to invoke a scheduler.

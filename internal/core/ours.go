@@ -51,6 +51,12 @@ type LocalityScheduler struct {
 	prefetch   PrefetchPlanner
 	prefetches []PrefetchDirective
 
+	// coShare, when positive, enables the fractional co-scheduling pass
+	// (§5.13): each node the demand passes leave idle hosts one batch guest
+	// at this share, preempted the instant demand work starts there. Zero
+	// (the default) emits no co-scheduled assignments.
+	coShare float64
+
 	// Per-cycle scratch, reused across Schedule calls.
 	byChunk                 map[volume.ChunkID]*chunkGroup
 	groupSlab               []*chunkGroup
@@ -94,6 +100,10 @@ func (s *LocalityScheduler) SetReplicas(k int) { s.Replicas = k }
 
 // SetPrefetchPlanner implements PrefetchSetter.
 func (s *LocalityScheduler) SetPrefetchPlanner(p PrefetchPlanner) { s.prefetch = p }
+
+// SetCoSchedule implements CoScheduleSetter: a positive share turns on the
+// fractional co-scheduling pass (§5.13).
+func (s *LocalityScheduler) SetCoSchedule(share float64) { s.coShare = share }
 
 // PlannedPrefetches implements PrefetchSource. The slice is valid until the
 // next Schedule call.
@@ -345,6 +355,57 @@ func (s *LocalityScheduler) Schedule(now units.Time, queue []*Job, head *HeadSta
 			g.tasks = g.tasks[1:]
 		}
 	}
+	// Co-schedule pass (§5.13): every alive node the demand passes above
+	// left idle — in steady state that means the ε-guard refused it
+	// non-cached batch while it shadows an interactive stream — hosts at
+	// most one batch guest at fractional share. The engine runs the guest
+	// only while the node has no demand task and suspends its share the
+	// instant one starts, so the guard's reason (a started load cannot be
+	// abandoned) no longer applies. Guests prefer a chunk already cached on
+	// the node (a pure-compute guest); failing that, the first pending group
+	// in hb order — with QoS enabled the presented window was popped by DRR,
+	// so guest picks inherit the same fair-order guarantee as demand batch.
+	if s.coShare > 0 {
+		firstUnassigned := func(g *chunkGroup) *Task {
+			for _, t := range g.tasks {
+				if !t.Assigned {
+					return t
+				}
+			}
+			return nil
+		}
+		for k := 0; k < head.Nodes(); k++ {
+			node := NodeID(k)
+			if !head.Alive(node) || head.CoBusy(node) || head.Available[k].After(now) {
+				continue
+			}
+			var pick *Task
+			for _, g := range hb {
+				if !head.Caches[k].Contains(g.chunk) {
+					continue
+				}
+				if t := firstUnassigned(g); t != nil {
+					pick = t
+					break
+				}
+			}
+			if pick == nil {
+				for _, g := range hb {
+					if t := firstUnassigned(g); t != nil {
+						pick = t
+						break
+					}
+				}
+			}
+			if pick == nil {
+				break // no pending batch work anywhere
+			}
+			pick.Assigned = true
+			head.CommitCoAssign(pick, node, now)
+			out = append(out, Assignment{Task: pick, Node: node, CoScheduled: true})
+		}
+	}
+
 	// Prefetch pass (§5.8): runs last, over whatever idle capacity the
 	// demand passes left inside [now, λ).
 	s.prefetches = s.prefetches[:0]

@@ -65,6 +65,11 @@ type HeadState struct {
 	// low-pressure nodes.
 	pressure []int
 
+	// coBusy[k] marks node k as hosting a co-scheduled fractional task
+	// (§5.13); lazily allocated by CommitCoAssign, so runs without the
+	// fracshare layer never touch it.
+	coBusy []bool
+
 	// prefetched tags residencies created by the prefetching layer (§5.8)
 	// that no demand task has touched yet; the counters below settle its
 	// entries into hits, hidden hits, or waste. Lazily allocated — nil until
@@ -168,6 +173,7 @@ func (h *HeadState) MarkUp(k NodeID) {
 func (h *HeadState) MarkFailed(k NodeID) RehomeReport {
 	h.health[k] = HealthDown
 	h.dropPrefetchedOn(k)
+	h.CoDone(k)
 	h.Caches[k] = cache.NewLRU(h.Caches[k].Quota())
 	return h.rehomeFailed(k)
 }
@@ -204,6 +210,7 @@ func (h *HeadState) Draining(k NodeID) bool { return h.health[k] == HealthDraini
 func (h *HeadState) CompleteDrain(k NodeID) {
 	h.health[k] = HealthDown
 	h.dropPrefetchedOn(k)
+	h.CoDone(k)
 	h.Caches[k] = cache.NewLRU(h.Caches[k].Quota())
 }
 

@@ -34,17 +34,21 @@ func Schedulers() []core.Scheduler {
 
 // SchedulerByName returns a fresh instance of the named policy. Beyond the
 // paper's six, "DELAY" selects the delay-scheduling extension (the paper's
-// reference [26]).
+// reference [26]) and "DFRS" the dynamic fractional resource scheduling
+// baseline (§5.13, arXiv:1106.4985).
 func SchedulerByName(name string) (core.Scheduler, error) {
 	if name == "DELAY" {
 		return baselines.NewDelay(0, 0), nil
+	}
+	if name == "DFRS" {
+		return baselines.NewDFRS(0, 0), nil
 	}
 	for _, s := range Schedulers() {
 		if s.Name() == name {
 			return s, nil
 		}
 	}
-	return nil, fmt.Errorf("experiments: unknown scheduler %q (want FS, SF, FCFS, FCFSU, FCFSL, OURS, or DELAY)", name)
+	return nil, fmt.Errorf("experiments: unknown scheduler %q (want FS, SF, FCFS, FCFSU, FCFSL, OURS, DELAY, or DFRS)", name)
 }
 
 // Jitter is the execution-time noise used by all experiment runs; it keeps

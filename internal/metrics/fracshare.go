@@ -1,0 +1,78 @@
+package metrics
+
+import "vizsched/internal/units"
+
+// FloatRunning accumulates count/mean/min/max of a unitless float stream —
+// the stretch ratios the fractional-scheduling comparison reports, where a
+// Duration-typed Running would be a lie.
+type FloatRunning struct {
+	N         int64
+	sum       float64
+	Min, Max  float64
+	populated bool
+}
+
+// Add folds one observation in.
+func (r *FloatRunning) Add(v float64) {
+	r.N++
+	r.sum += v
+	if !r.populated || v < r.Min {
+		r.Min = v
+	}
+	if !r.populated || v > r.Max {
+		r.Max = v
+	}
+	r.populated = true
+}
+
+// Mean returns the average, or zero with no observations.
+func (r *FloatRunning) Mean() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return r.sum / float64(r.N)
+}
+
+// FracShareOutcome summarizes one run's fractional-capacity activity
+// (§5.13). Nil on runs without the fracshare layer.
+type FracShareOutcome struct {
+	// Slots is the per-node slot count K the run used.
+	Slots int
+
+	// CoScheduled counts guest (co-scheduled) assignments committed;
+	// CoCompleted counts guests that ran to completion. They differ by
+	// guests still running at the horizon or requeued by faults.
+	CoScheduled int64
+	CoCompleted int64
+	// Preemptions counts share→0 suspensions of a guest because demand work
+	// started on its node; Resumes counts the guests' share restorations
+	// when the node went demand-idle again.
+	Preemptions int64
+	Resumes     int64
+
+	// CoBusyTime integrates the guests' granted share over virtual time —
+	// the ε-guard idle actually reclaimed, directly comparable to the
+	// report's GuardIdle.
+	CoBusyTime units.Duration
+	// CoWork is the full-share work guests delivered (the cached-batch
+	// throughput bought with reclaimed idle).
+	CoWork units.Duration
+
+	// NodeBusy is each node's busy-share integral over the horizon — the
+	// per-node utilization gauges the live service exports as
+	// fracshare_node_busy_seconds.
+	NodeBusy []units.Duration
+}
+
+// ReclaimedPct returns the share of attributed ε-guard idle the guests
+// reclaimed, as a percentage (capped at 100).
+func (f *FracShareOutcome) ReclaimedPct(guardIdle units.Duration) float64 {
+	if f == nil || guardIdle <= 0 {
+		return 0
+	}
+	pct := 100 * float64(f.CoBusyTime) / float64(guardIdle)
+	if pct > 100 {
+		pct = 100
+	}
+	return pct
+}

@@ -121,6 +121,21 @@ type Report struct {
 	BusyNodeTime units.Duration
 	Nodes        int
 
+	// GuardIdle and QueueIdle split sampled node idleness while batch work is
+	// pending (§5.13). GuardIdle is idleness attributable to OURS's ε-guard:
+	// the node was recently interactive and every pending batch group would
+	// be a cache miss there, so filling it would risk the next frame.
+	// QueueIdle is every other sampled idle-with-pending-work interval.
+	// Sampled once per scheduling cycle for periodic schedulers; both stay
+	// zero for on-arrival schedulers.
+	GuardIdle units.Duration
+	QueueIdle units.Duration
+
+	// BatchStretch accumulates per-batch-job stretch: (JF − JI) divided by
+	// the job's largest task execution — the slowdown a job suffered relative
+	// to running alone, the DFRS comparison's fairness metric.
+	BatchStretch FloatRunning
+
 	// Recovery aggregates the run's fault-tolerance outcomes (§VI-D).
 	Recovery Recovery
 
@@ -136,6 +151,9 @@ type Report struct {
 	// Autoscale carries the elastic-fleet outcome when the run had the
 	// autoscaler enabled; nil otherwise.
 	Autoscale *AutoscaleOutcome
+	// FracShare carries the fractional-capacity outcome when the run had the
+	// fracshare layer enabled; nil otherwise.
+	FracShare *FracShareOutcome
 }
 
 // Recovery tracks what faults cost a run: how much work had to be
@@ -401,6 +419,25 @@ func (r *Report) TaskExecuted(hit bool, exec units.Duration, evictions int) {
 	r.TaskAccess(hit)
 	r.EvictionsAdd(evictions)
 	r.BusyAdd(exec)
+}
+
+// IdleSampled attributes one cycle's worth of idle-with-pending-batch time on
+// one node to the ε-guard (guard=true) or to ordinary queueing.
+func (r *Report) IdleSampled(guard bool, d units.Duration) {
+	if guard {
+		r.GuardIdle += d
+	} else {
+		r.QueueIdle += d
+	}
+}
+
+// StretchAdd folds one batch job's stretch in: latency over its largest
+// task's execution time. Non-positive bases are skipped.
+func (r *Report) StretchAdd(latency, base units.Duration) {
+	if base <= 0 {
+		return
+	}
+	r.BatchStretch.Add(float64(latency) / float64(base))
 }
 
 // ScheduleCall records one scheduler invocation.

@@ -14,6 +14,7 @@ import (
 	"vizsched/internal/compositing"
 	"vizsched/internal/compositing/dfb"
 	"vizsched/internal/core"
+	"vizsched/internal/fracshare"
 	"vizsched/internal/hastate"
 	"vizsched/internal/img"
 	"vizsched/internal/journal"
@@ -314,6 +315,16 @@ type Head struct {
 	// behaviour exactly.
 	Autoscale *autoscale.Config
 
+	// FracShare, when set before Start, enables the fractional-capacity
+	// layer (§5.13) on the live fleet: the hello ack advertises the slot
+	// count K and workers execute up to K tasks concurrently, with the
+	// operating system doing the actual time-slicing the simulator's share
+	// model prices. The head keeps the busy-share account (per-node
+	// in-flight and utilization gauges, the fracshare_* metrics family).
+	// Nil keeps the serial-FIFO worker behaviour exactly.
+	FracShare *fracshare.Config
+	frac      *fracTracker
+
 	// ShardID is this head's shard index when it runs as one shard of a
 	// MultiHead control plane (§5.11); the hello ack carries it so workers
 	// know which shard they serve. Zero for a standalone head.
@@ -398,7 +409,18 @@ func (h *Head) AddWorker(conn transport.Conn) error {
 	}
 	node := len(h.workers)
 	h.workers = append(h.workers, conn)
-	return send(conn, transport.KindHello, 0, HelloBody{NodeID: node, TileSize: h.dfbTile(), Shard: h.ShardID})
+	return send(conn, transport.KindHello, 0, HelloBody{
+		NodeID: node, TileSize: h.dfbTile(), Shard: h.ShardID, Slots: h.fracSlots(),
+	})
+}
+
+// fracSlots returns the fractional slot count workers must run with, or 0
+// when the fractional-capacity layer is off.
+func (h *Head) fracSlots() int {
+	if h.FracShare == nil {
+		return 0
+	}
+	return h.FracShare.SlotCount()
 }
 
 // dfbTile returns the tile edge workers must fragment to, or 0 when the
@@ -488,6 +510,9 @@ func (h *Head) Start() error {
 			ps.SetPrefetchPlanner(h.prefc)
 			h.prefSrc, _ = h.sched.(core.PrefetchSource)
 		}
+	}
+	if h.FracShare != nil {
+		h.frac = newFracTracker(n, h.fracSlots())
 	}
 	h.start = time.Now()
 	h.started = true
@@ -714,6 +739,9 @@ func (h *Head) dispatch() {
 				}); err != nil {
 					h.Logf("head: send to node %d failed: %v", a.Node, err)
 				}
+				if h.frac != nil {
+					h.frac.noteDispatch(int(a.Node))
+				}
 			}
 		}
 		// The scheduler's own planner fitted warms into this cycle's leftover
@@ -789,6 +817,9 @@ func (h *Head) dispatch() {
 		}
 		lj.job.Remaining++
 		h.stats.tasksRedispatched.Add(1)
+		if h.frac != nil {
+			h.frac.noteDone(int(lj.nodes[i]), false)
+		}
 	}
 
 	// migrate is release's drain-side twin (§5.12): the task returns to the
@@ -808,6 +839,9 @@ func (h *Head) dispatch() {
 		}
 		lj.job.Remaining++
 		h.stats.tasksMigrated.Add(1)
+		if h.frac != nil {
+			h.frac.noteDone(int(lj.nodes[i]), false)
+		}
 	}
 
 	// nodeDown declares worker node dead: close its connection, mark it
@@ -1115,7 +1149,7 @@ func (h *Head) dispatch() {
 		}
 		h.stats.workersRejoined.Add(1)
 		h.Logf("head: node %d rejoined (%s, resync=%v)", node, ev.hello.Name, ev.hello.Resync)
-		ack := HelloBody{NodeID: int(node), TileSize: h.dfbTile(), Shard: h.ShardID}
+		ack := HelloBody{NodeID: int(node), TileSize: h.dfbTile(), Shard: h.ShardID, Slots: h.fracSlots()}
 		if ev.hello.Resync {
 			for _, lj := range inflight {
 				for i := range lj.job.Tasks {
@@ -1242,6 +1276,9 @@ func (h *Head) dispatch() {
 			}
 			h.stats.queueDepth.Store(int64(depth))
 			h.stats.batchBacklog.Store(int64(backlog))
+			if h.frac != nil {
+				h.frac.sample()
+			}
 			if scaler != nil {
 				scaler.tick(inflight, func() int { return len(queue) }, migrate, sendPrefetches, runSched)
 			}
@@ -1332,6 +1369,9 @@ func (h *Head) dispatch() {
 					}
 					lj.frags[i] = &frag
 					lj.got++
+					if h.frac != nil {
+						h.frac.noteDone(int(ev.node), true)
+					}
 				}
 				if lj.got == len(lj.frags) {
 					delete(inflight, lj.job.ID)

@@ -27,6 +27,11 @@ type HelloBody struct {
 	// to the owning shard without consulting any shared state (-1 if the
 	// worker never completed a registration).
 	Shard int
+	// Slots, in the head's ack, is the fractional-capacity slot count K
+	// (§5.13): the worker executes up to K tasks concurrently, letting the
+	// operating system time-slice the node the way the simulator's share
+	// model prices it. Zero or one keeps the serial FIFO executor exactly.
+	Slots int
 	// Resync marks a reconnection to a recovered (or restarted) head
 	// (§5.10): alongside Rejoin, the worker re-announces its full state so
 	// the head can reconcile tables rebuilt from snapshot+journal with

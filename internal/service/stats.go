@@ -178,6 +178,9 @@ type StatsSnapshot struct {
 	Compositing *CompositingSnapshot `json:"compositing,omitempty"`
 	// Autoscale is present only when the head runs with an autoscale config.
 	Autoscale *AutoscaleSnapshot `json:"autoscale,omitempty"`
+	// FracShare is present only when the head runs with a fractional-capacity
+	// config (§5.13).
+	FracShare *FracShareSnapshot `json:"fracshare,omitempty"`
 }
 
 // AutoscaleSnapshot is the elastic-fleet layer's slice of a stats snapshot
@@ -442,6 +445,9 @@ func (h *Head) Stats() StatsSnapshot {
 		}
 		s.Autoscale = a
 	}
+	if h.frac != nil {
+		s.FracShare = h.frac.snapshot()
+	}
 	return s
 }
 
@@ -464,6 +470,11 @@ func (h *Head) StatsHandler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		write := func(name string, v float64) {
 			_, _ = w.Write([]byte("vizsched_" + name + " "))
+			_, _ = w.Write(appendFloat(nil, v))
+			_, _ = w.Write([]byte("\n"))
+		}
+		writeL := func(name, labels string, v float64) {
+			_, _ = w.Write([]byte("vizsched_" + name + "{" + labels + "} "))
 			_, _ = w.Write(appendFloat(nil, v))
 			_, _ = w.Write([]byte("\n"))
 		}
@@ -490,11 +501,6 @@ func (h *Head) StatsHandler() http.Handler {
 		write("mttr_seconds", s.MTTRSeconds)
 		write("uptime_seconds", s.UptimeSeconds)
 		if q := s.QoS; q != nil {
-			writeL := func(name, labels string, v float64) {
-				_, _ = w.Write([]byte("vizsched_" + name + "{" + labels + "} "))
-				_, _ = w.Write(appendFloat(nil, v))
-				_, _ = w.Write([]byte("\n"))
-			}
 			write("jobs_throttled_total", float64(q.JobsThrottled))
 			write("jobs_rejected_total", float64(q.JobsRejected))
 			write("qos_level", float64(q.Level))
@@ -559,6 +565,25 @@ func (h *Head) StatsHandler() http.Handler {
 			write("autoscale_drain_orphaned_total", float64(a.DrainOrphaned))
 			write("autoscale_orphan_warms_total", float64(a.OrphanWarms))
 			write("autoscale_bringup_warms_total", float64(a.BringupWarms))
+		}
+		if f := s.FracShare; f != nil {
+			write("fracshare_slots", float64(f.Slots))
+			write("fracshare_tasks_dispatched_total", float64(f.TasksDispatched))
+			write("fracshare_tasks_completed_total", float64(f.TasksCompleted))
+			write("fracshare_mean_busy_pct", f.MeanBusyPct)
+			for k := range f.NodeBusyPct {
+				l := fmt.Sprintf("node=%q", fmt.Sprint(k))
+				writeL("fracshare_node_busy_pct", l, f.NodeBusyPct[k])
+				writeL("fracshare_node_in_flight", l, float64(f.NodeInFlight[k]))
+			}
+			for _, pq := range []struct {
+				q string
+				v float64
+			}{
+				{"0.5", f.BusyP50Pct}, {"0.95", f.BusyP95Pct}, {"0.99", f.BusyP99Pct},
+			} {
+				writeL("fracshare_busy_pct", "quantile=\""+pq.q+"\"", pq.v)
+			}
 		}
 	})
 	return mux

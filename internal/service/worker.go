@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,9 +27,14 @@ type Worker struct {
 	catalog *Catalog
 	quota   units.Bytes
 
-	// lru tracks residency accounting; bricks holds the payloads.
-	lru    *cache.LRU
-	bricks map[volume.ChunkID]*raycast.Brick
+	// lru tracks residency accounting; bricks holds the payloads. cacheMu
+	// guards both (and datasetIDs): with fractional slots, task executors
+	// run concurrently and contend for the cache — the serialized load
+	// under the lock is the single disk the share model prices, while
+	// renders overlap freely outside it.
+	cacheMu sync.Mutex
+	lru     *cache.LRU
+	bricks  map[volume.ChunkID]*raycast.Brick
 	// datasetIDs gives each dataset name a stable local ID for cache keys.
 	datasetIDs map[string]volume.DatasetID
 
@@ -54,11 +60,21 @@ type Worker struct {
 	// while callers poll TasksExecuted.
 	tasks atomic.Int64
 
+	// slots is the fractional slot count K from the head's hello ack
+	// (§5.13); sem bounds concurrent task executors to it and execWG drains
+	// them before serve returns. 0 or 1 keeps the serial FIFO path: tasks
+	// execute inline on the serve goroutine exactly as before.
+	slots  atomic.Int64
+	sem    chan struct{}
+	execWG sync.WaitGroup
+
 	// retained holds recently completed results for the resync replay
 	// (§5.10): a head recovered from snapshot+journal lists the tasks it
 	// still considers outstanding, and the worker re-sends retained results
-	// instead of re-rendering. Serve-loop owned. RetainCap bounds it; zero
-	// means DefaultRetain.
+	// instead of re-rendering. retainMu guards it against concurrent slot
+	// executors; Resync reads it with the executors drained. RetainCap
+	// bounds it; zero means DefaultRetain.
+	retainMu  sync.Mutex
 	retained  []retainedResult
 	RetainCap int
 
@@ -111,6 +127,11 @@ func (w *Worker) Shard() int { return int(w.shard.Load()) }
 // TasksExecuted reports how many tasks this worker has completed.
 func (w *Worker) TasksExecuted() int64 { return w.tasks.Load() }
 
+// Slots reports the fractional slot count the head's hello ack assigned
+// (§5.13): 0 before the ack (or with the layer off), in which case tasks
+// execute serially.
+func (w *Worker) Slots() int { return int(w.slots.Load()) }
+
 // chunkID maps a wire chunk reference to a local cache key.
 func (w *Worker) chunkID(dataset string, chunk int) volume.ChunkID {
 	id, ok := w.datasetIDs[dataset]
@@ -134,6 +155,8 @@ func (w *Worker) datasetName(id volume.DatasetID) string {
 // loadBrick returns the brick for the task, loading from disk on a miss.
 // It reports whether the access hit and what was evicted.
 func (w *Worker) loadBrick(dataset string, chunk int) (*raycast.Brick, bool, []ChunkRef, error) {
+	w.cacheMu.Lock()
+	defer w.cacheMu.Unlock()
 	cid := w.chunkID(dataset, chunk)
 	if w.lru.Touch(cid) {
 		return w.bricks[cid], true, nil, nil
@@ -165,6 +188,8 @@ func (w *Worker) loadBrick(dataset string, chunk int) (*raycast.Brick, bool, []C
 func (w *Worker) prefetch(p PrefetchBody) PrefetchDoneBody {
 	start := time.Now()
 	done := PrefetchDoneBody{Dataset: p.Dataset, Chunk: p.Chunk}
+	w.cacheMu.Lock()
+	defer w.cacheMu.Unlock()
 	cid := w.chunkID(p.Dataset, p.Chunk)
 	if w.lru.Contains(cid) {
 		done.Resident = true
@@ -296,6 +321,8 @@ func (w *Worker) Resync(conn transport.Conn, node int) error {
 
 // retain remembers one completed result for resync replay, bounded FIFO.
 func (w *Worker) retain(r retainedResult) {
+	w.retainMu.Lock()
+	defer w.retainMu.Unlock()
 	for i := range w.retained {
 		if w.retained[i].ref == r.ref {
 			w.retained[i] = r // a re-render of the same task supersedes
@@ -339,12 +366,43 @@ func (w *Worker) replayRetained(conn transport.Conn, outstanding []TaskRef) erro
 	return nil
 }
 
+// runTask executes one task and ships its output: tile fragments first,
+// then the execution report — the per-task FIFO contract the head's reducer
+// relies on, which holds per goroutine under fractional slots too. The
+// returned error is a dead connection; execution failures are reported to
+// the head and absorbed.
+func (w *Worker) runTask(conn transport.Conn, msgID uint64, t TaskBody) error {
+	frag, tiles, err := w.execute(t)
+	if err != nil {
+		w.Logf("worker %s: task J%d/T%d failed: %v", w.Name, t.JobID, t.TaskIndex, err)
+		return send(conn, transport.KindError, msgID, ErrorBody{Msg: err.Error()})
+	}
+	w.tasks.Add(1)
+	w.retain(retainedResult{
+		ref:   TaskRef{JobID: t.JobID, TaskIndex: t.TaskIndex},
+		frag:  frag,
+		tiles: tiles,
+	})
+	// Tile fragments go first: the connection preserves send order, so the
+	// head sees every tile before the execution report that completes the
+	// task's accounting.
+	for i := range tiles {
+		if err := send(conn, transport.KindTileFrag, msgID, tiles[i]); err != nil {
+			return err
+		}
+	}
+	return send(conn, transport.KindFragment, msgID, frag)
+}
+
 // serve sends the hello, starts the heartbeat beacon, and runs the task
 // loop.
 func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 	if err := send(conn, transport.KindHello, 0, hello); err != nil {
 		return err
 	}
+	// Fractional-slot executors must drain before the session ends: a
+	// Resync after reconnect reads the retained results they write.
+	defer w.execWG.Wait()
 	if w.Heartbeat > 0 {
 		stop := make(chan struct{})
 		defer close(stop)
@@ -383,6 +441,12 @@ func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 				w.node.Store(int64(ack.NodeID))
 				w.shard.Store(int64(ack.Shard))
 				w.tileSize = ack.TileSize
+				w.slots.Store(int64(ack.Slots))
+				if ack.Slots > 1 {
+					w.sem = make(chan struct{}, ack.Slots)
+				} else {
+					w.sem = nil
+				}
 				if len(ack.Outstanding) > 0 {
 					if err := w.replayRetained(conn, ack.Outstanding); err != nil {
 						return err
@@ -395,29 +459,23 @@ func (w *Worker) serve(conn transport.Conn, hello HelloBody) error {
 				w.Logf("worker %s: bad task: %v", w.Name, err)
 				continue
 			}
-			frag, tiles, err := w.execute(t)
-			if err != nil {
-				w.Logf("worker %s: task J%d/T%d failed: %v", w.Name, t.JobID, t.TaskIndex, err)
-				if serr := send(conn, transport.KindError, msg.ID, ErrorBody{Msg: err.Error()}); serr != nil {
-					return serr
-				}
+			if w.sem != nil {
+				// Fractional slots (§5.13): run up to K tasks concurrently,
+				// blocking intake at the K+1th so the head's FIFO still
+				// backpressures. A send failure here means the connection
+				// died; the serve loop's Recv sees it too and returns.
+				w.sem <- struct{}{}
+				w.execWG.Add(1)
+				go func(msgID uint64, t TaskBody) {
+					defer w.execWG.Done()
+					defer func() { <-w.sem }()
+					if err := w.runTask(conn, msgID, t); err != nil {
+						w.Logf("worker %s: task J%d/T%d send failed: %v", w.Name, t.JobID, t.TaskIndex, err)
+					}
+				}(msg.ID, t)
 				continue
 			}
-			w.tasks.Add(1)
-			w.retain(retainedResult{
-				ref:   TaskRef{JobID: t.JobID, TaskIndex: t.TaskIndex},
-				frag:  frag,
-				tiles: tiles,
-			})
-			// Tile fragments go first: the connection is FIFO, so the head
-			// sees every tile before the execution report that completes the
-			// task's accounting.
-			for i := range tiles {
-				if err := send(conn, transport.KindTileFrag, msg.ID, tiles[i]); err != nil {
-					return err
-				}
-			}
-			if err := send(conn, transport.KindFragment, msg.ID, frag); err != nil {
+			if err := w.runTask(conn, msg.ID, t); err != nil {
 				return err
 			}
 		case transport.KindPrefetch:

@@ -181,11 +181,19 @@ func (e *Engine) stallNode(k core.NodeID) *node {
 	}
 	n.stalled = true
 	now := e.sim.Now()
-	for _, ex := range n.running {
-		ex.timer.Cancel()
-		ex.remaining = ex.end.Sub(now)
-		if ex.remaining < 0 {
-			ex.remaining = 0
+	if e.frac != nil {
+		// Frac mode suspends through the share accounts: re-pricing with the
+		// node stalled zeroes every slot's rate (crediting progress up to
+		// now first), so the stalled span accrues no progress and resume
+		// re-prices from exactly where each task stopped.
+		e.repriceNode(n)
+	} else {
+		for _, ex := range n.running {
+			ex.timer.Cancel()
+			ex.remaining = ex.end.Sub(now)
+			if ex.remaining < 0 {
+				ex.remaining = 0
+			}
 		}
 	}
 	if n.loadActive {
@@ -223,6 +231,12 @@ func (e *Engine) resumeNode(k core.NodeID, n *node) {
 	}
 	n.stalled = false
 	now := e.sim.Now()
+	if e.frac != nil {
+		// startFrac fills freed slots and re-prices, which restores every
+		// suspended slot's rate and re-arms its completion timer.
+		e.startFrac(n)
+		return
+	}
 	for _, ex := range n.running {
 		ex.end = now.Add(ex.remaining)
 		ex.timer = e.sim.After(ex.remaining, ex.fn)

@@ -27,6 +27,7 @@ import (
 	"vizsched/internal/compositing"
 	"vizsched/internal/core"
 	"vizsched/internal/des"
+	"vizsched/internal/fracshare"
 	"vizsched/internal/metrics"
 	"vizsched/internal/prefetch"
 	"vizsched/internal/qos"
@@ -163,6 +164,17 @@ type Config struct {
 	// touches the Recovery crash accounting. nil (the default) leaves every
 	// code path untouched, so golden outputs are bit-identical.
 	Autoscale *autoscale.Config
+	// FracShare enables the fractional-capacity layer (§5.13): nodes run up
+	// to Slots concurrent tasks at fractional shares, completions are
+	// re-priced deterministically on every share change, and schedulers
+	// implementing core.CoScheduleSetter (OURS) may co-schedule one cached
+	// batch guest per node inside the ε-guard window, preempted the instant
+	// demand work starts. Incompatible with OverlapIO, GPUsPerNode > 1,
+	// Prefetch, Autoscale, and sharded runs — the slot model replaces the
+	// node's executor, and those extensions assume the serial/overlap one.
+	// nil (the default) leaves every code path untouched, so golden outputs
+	// are bit-identical.
+	FracShare *fracshare.Config
 	// Compositing selects the algorithm the cost model charges per task
 	// (§5.9): "binary-swap", "2-3-swap" and "direct-send" price the group's
 	// synchronous round count via the compositing package's closed forms,
@@ -236,6 +248,9 @@ type node struct {
 	// ioScale multiplies disk I/O times; 1 is healthy, FaultSlowDisk raises
 	// it for an interval.
 	ioScale float64
+	// frac holds the node's fractional-slot bookkeeping (§5.13); nil unless
+	// Config.FracShare is set.
+	frac *fracNode
 }
 
 // execution is one running task's suspendable completion: the armed timer,
@@ -246,6 +261,13 @@ type execution struct {
 	fn    des.Event
 	// remaining holds the unserved execution time while the node is stalled.
 	remaining units.Duration
+	// slot is the task's fractional progress account (§5.13); nil outside
+	// frac mode, where end/remaining carry the timing instead. io marks the
+	// execution as I/O-heavy (it paid a disk load) for super-linear
+	// contention pricing, and co marks a co-scheduled guest.
+	slot *fracshare.Slot
+	io   bool
+	co   bool
 }
 
 func (n *node) push(t *core.Task) { n.fifo = append(n.fifo, t) }
@@ -301,6 +323,9 @@ type Engine struct {
 	// scaler is the elastic-fleet machinery (nil when disabled); see
 	// autoscale.go.
 	scaler *autoScaler
+	// frac is the fractional-capacity runtime (nil when disabled); see
+	// fracshare.go.
+	frac *fracRuntime
 
 	// headDown marks a control-plane outage (FaultHeadCrash): no admission,
 	// scheduling, or completion processing until the standby takes over.
@@ -318,6 +343,9 @@ type Engine struct {
 	nextJob  core.JobID
 	started  map[core.JobID]units.Time // JS per in-flight job
 	finished map[core.JobID]int        // completed-task counts
+	// maxExec tracks each in-flight job's largest task execution — the
+	// denominator of the batch stretch metric (§5.13).
+	maxExec map[core.JobID]units.Duration
 	// pendingEvictions carries evictions from an overlap-mode load to the
 	// triggering task's completion report.
 	pendingEvictions map[*core.Task][]volume.ChunkID
@@ -343,6 +371,18 @@ func New(cfg Config) *Engine {
 	if cfg.GPUsPerNode <= 0 {
 		cfg.GPUsPerNode = 1
 	}
+	if cfg.FracShare != nil {
+		switch {
+		case cfg.OverlapIO:
+			panic("sim: FracShare is incompatible with OverlapIO")
+		case cfg.GPUsPerNode > 1:
+			panic("sim: FracShare is incompatible with GPUsPerNode > 1")
+		case cfg.Prefetch != nil:
+			panic("sim: FracShare is incompatible with Prefetch")
+		case cfg.Autoscale != nil:
+			panic("sim: FracShare is incompatible with Autoscale")
+		}
+	}
 	for _, d := range cfg.Library.All() {
 		for _, c := range d.Chunks {
 			if cfg.GPUMem > 0 && c.Size > cfg.GPUMem {
@@ -364,8 +404,12 @@ func New(cfg Config) *Engine {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		started:  make(map[core.JobID]units.Time),
 		finished: make(map[core.JobID]int),
+		maxExec:  make(map[core.JobID]units.Duration),
 
 		pendingEvictions: make(map[*core.Task][]volume.ChunkID),
+	}
+	if cfg.FracShare != nil {
+		e.initFracShare()
 	}
 	if cfg.Replicas > 1 {
 		e.head.SetReplication(cfg.Replicas)
@@ -418,6 +462,9 @@ func (e *Engine) newNode(id core.NodeID) *node {
 	if e.cfg.GPUCache > 0 {
 		n.gpu = cache.NewStore(e.cfg.EvictionPolicy, e.cfg.GPUCache, e.cfg.Seed+int64(id)*131+7)
 	}
+	if e.frac != nil {
+		n.frac = &fracNode{}
+	}
 	return n
 }
 
@@ -469,6 +516,9 @@ func (e *Engine) Run(wl *workload.Schedule, horizon units.Time) *metrics.Report 
 	}
 	if e.scaler != nil {
 		e.finishAutoscale(horizon)
+	}
+	if e.frac != nil {
+		e.finishFracShare(horizon)
 	}
 	return e.report
 }
@@ -624,7 +674,11 @@ func (e *Engine) invokeScheduler() {
 			// draining node is a policy bug; the head state exposes liveness.
 			panic(fmt.Sprintf("sim: scheduler %s assigned %v to unavailable node %d", e.cfg.Scheduler.Name(), t, a.Node))
 		}
-		e.enqueue(n, t)
+		if a.CoScheduled {
+			e.enqueueCo(n, t)
+		} else {
+			e.enqueue(n, t)
+		}
 	}
 	e.report.ScheduleCall(wall, len(jobsTouched))
 
@@ -639,6 +693,11 @@ func (e *Engine) invokeScheduler() {
 		e.queue[i] = nil
 	}
 	e.queue = live
+
+	// Attribute this cycle's idle-with-pending-batch node time to the
+	// ε-guard or to ordinary queueing (§5.13) — pure observation, after the
+	// scheduler had its full say.
+	e.sampleIdleSplit()
 
 	// Launch whatever warms the scheduler's planner fitted into the cycle's
 	// leftover idle windows — strictly after every demand assignment above.
@@ -660,6 +719,11 @@ func (e *Engine) schedulerCycle() units.Duration {
 
 // enqueue routes an assigned task into the node's execution machinery.
 func (e *Engine) enqueue(n *node, t *core.Task) {
+	if e.frac != nil {
+		n.push(t)
+		e.startFrac(n)
+		return
+	}
 	if !e.cfg.OverlapIO {
 		if e.pref != nil && n.mem.Pin(t.Chunk) {
 			e.pinned[t] = true
@@ -969,7 +1033,9 @@ func (e *Engine) complete(n *node, res core.TaskResult) {
 	} else {
 		e.account(res)
 	}
-	if e.cfg.OverlapIO {
+	if e.frac != nil {
+		e.startFrac(n)
+	} else if e.cfg.OverlapIO {
 		e.startOverlap(n)
 	} else {
 		e.startSerial(n)
@@ -991,9 +1057,17 @@ func (e *Engine) account(res core.TaskResult) {
 		e.pref.Observe(res.Task.Job.Action, res.Task.Chunk, now)
 	}
 	j := res.Task.Job
+	if res.Exec > e.maxExec[j.ID] {
+		e.maxExec[j.ID] = res.Exec
+	}
 	e.finished[j.ID]++
 	if e.finished[j.ID] == len(j.Tasks) {
 		e.report.JobCompleted(j.Class == core.Interactive, int(j.Action), j.Issued, e.started[j.ID], now)
+		if j.Class == core.Batch {
+			// Stretch: job latency over its largest task's full-share
+			// execution — the fairness metric of the DFRS comparison.
+			e.report.StretchAdd(now.Sub(j.Issued), e.maxExec[j.ID])
+		}
 		if j.Tenant != 0 {
 			e.report.TenantCompleted(int(j.Tenant), j.Class == core.Interactive, now.Sub(j.Issued))
 		}
@@ -1005,6 +1079,7 @@ func (e *Engine) account(res core.TaskResult) {
 		}
 		delete(e.finished, j.ID)
 		delete(e.started, j.ID)
+		delete(e.maxExec, j.ID)
 	}
 }
 
@@ -1080,6 +1155,10 @@ func (e *Engine) fail(k core.NodeID) {
 	fresh := e.newNode(k)
 	fresh.failed = true
 	e.nodes[k] = fresh
+	if e.frac != nil {
+		e.frac.meter.Set(int(k), 0, e.sim.Now())
+		e.frac.coMeter.Set(int(k), 0, e.sim.Now())
+	}
 	if e.cfg.Scheduler.Trigger() == core.OnArrival {
 		e.invokeScheduler()
 	}

@@ -67,6 +67,9 @@ func NewSharded(cfg Config) *ShardedEngine {
 	if s <= 0 {
 		s = 1
 	}
+	if cfg.FracShare != nil {
+		panic("sim: FracShare is incompatible with sharded runs")
+	}
 	if cfg.NewScheduler == nil {
 		panic("sim: NewSharded requires Config.NewScheduler (one scheduler instance per shard)")
 	}
